@@ -1,0 +1,6 @@
+//! Shared helpers for the benchmark harness binaries (see `src/bin/`).
+//!
+//! The real content of this crate is its binaries — `table1`, `table2`,
+//! `table3`, `ablations` — and the Criterion benches under `benches/`.
+
+pub mod harness;

@@ -1,0 +1,457 @@
+//! The bytecode set.
+//!
+//! A compact, Blue-Book-flavoured encoding. Berkeley Smalltalk interpreted
+//! the Smalltalk-80 bytecode set; ours keeps its structure (short push/store
+//! forms, special-selector sends, literal-selector sends with embedded
+//! argument counts, short and long jumps) with a cleaner numbering and one
+//! addition, [`PUSH_BLOCK`], which replaces the `blockCopy:`/jump idiom.
+
+/// `0x00..=0x0F`: push receiver (instance) variable 0..15.
+pub const PUSH_RCVR_VAR: u8 = 0x00;
+/// `0x10..=0x1F`: push temporary 0..15.
+pub const PUSH_TEMP: u8 = 0x10;
+/// `0x20..=0x3F`: push literal constant 0..31.
+pub const PUSH_LIT_CONST: u8 = 0x20;
+/// `0x40..=0x4F`: push the value of literal variable (Association) 0..15.
+pub const PUSH_LIT_VAR: u8 = 0x40;
+/// `0x50..=0x57`: store top into receiver variable 0..7 and pop.
+pub const STORE_POP_RCVR_VAR: u8 = 0x50;
+/// `0x58..=0x5F`: store top into temporary 0..7 and pop.
+pub const STORE_POP_TEMP: u8 = 0x58;
+/// Push the receiver.
+pub const PUSH_SELF: u8 = 0x60;
+/// Push `true`.
+pub const PUSH_TRUE: u8 = 0x61;
+/// Push `false`.
+pub const PUSH_FALSE: u8 = 0x62;
+/// Push `nil`.
+pub const PUSH_NIL: u8 = 0x63;
+/// Push SmallInteger −1.
+pub const PUSH_MINUS_ONE: u8 = 0x64;
+/// Push SmallInteger 0.
+pub const PUSH_ZERO: u8 = 0x65;
+/// Push SmallInteger 1.
+pub const PUSH_ONE: u8 = 0x66;
+/// Push SmallInteger 2.
+pub const PUSH_TWO: u8 = 0x67;
+/// Push the active context (`thisContext`).
+pub const PUSH_THIS_CONTEXT: u8 = 0x68;
+/// Duplicate the top of stack.
+pub const DUP: u8 = 0x6A;
+/// Pop the top of stack.
+pub const POP: u8 = 0x6B;
+/// Return the receiver from the home method.
+pub const RETURN_SELF: u8 = 0x70;
+/// Return `true` from the home method.
+pub const RETURN_TRUE: u8 = 0x71;
+/// Return `false` from the home method.
+pub const RETURN_FALSE: u8 = 0x72;
+/// Return `nil` from the home method.
+pub const RETURN_NIL: u8 = 0x73;
+/// Return top of stack from the home method.
+pub const RETURN_TOP: u8 = 0x74;
+/// Return top of stack from the block to its caller.
+pub const BLOCK_RETURN_TOP: u8 = 0x75;
+/// Extended push: operand byte `kkiiiiii` (kind 0 = receiver var, 1 = temp,
+/// 2 = literal constant, 3 = literal variable; index 0..63).
+pub const EXT_PUSH: u8 = 0x80;
+/// Extended store (same operand encoding), value left on stack.
+pub const EXT_STORE: u8 = 0x81;
+/// Extended store-and-pop (same operand encoding).
+pub const EXT_STORE_POP: u8 = 0x82;
+/// Send: operands literal-index byte, argument-count byte.
+pub const SEND: u8 = 0x83;
+/// Super send: operands literal-index byte, argument-count byte.
+pub const SEND_SUPER: u8 = 0x84;
+/// Push a new BlockContext: operands nargs byte, body length u16 LE.
+/// The block body follows immediately; the pusher jumps over it.
+pub const PUSH_BLOCK: u8 = 0x85;
+/// `0x90..=0x97`: unconditional short forward jump by 1..8.
+pub const SHORT_JUMP: u8 = 0x90;
+/// `0x98..=0x9F`: pop; if false, short forward jump by 1..8.
+pub const SHORT_JUMP_FALSE: u8 = 0x98;
+/// `0xA0..=0xA7`: unconditional long jump; delta = ((op − 0xA4) << 8) +
+/// operand, giving a range of −1024..=1023.
+pub const LONG_JUMP: u8 = 0xA0;
+/// `0xA8..=0xAB`: pop; if true, forward jump ((op & 3) << 8) + operand.
+pub const LONG_JUMP_TRUE: u8 = 0xA8;
+/// `0xAC..=0xAF`: pop; if false, forward jump ((op & 3) << 8) + operand.
+pub const LONG_JUMP_FALSE: u8 = 0xAC;
+/// `0xB0..=0xCF`: special-selector sends (see [`SPECIAL_SELECTORS`]).
+pub const SPECIAL_SEND: u8 = 0xB0;
+/// `0xD0..=0xDF`: send literal selector 0..15 with 0 arguments.
+pub const SEND_LIT_0: u8 = 0xD0;
+/// `0xE0..=0xEF`: send literal selector 0..15 with 1 argument.
+pub const SEND_LIT_1: u8 = 0xE0;
+/// `0xF0..=0xFF`: send literal selector 0..15 with 2 arguments.
+pub const SEND_LIT_2: u8 = 0xF0;
+
+/// The special selectors, indexed by `opcode - SPECIAL_SEND`, with argument
+/// counts. Like the Blue Book's, these avoid literal-frame slots for the
+/// most common messages and give the interpreter a fast path.
+pub const SPECIAL_SELECTORS: [(&str, u8); 32] = [
+    ("+", 1),
+    ("-", 1),
+    ("<", 1),
+    (">", 1),
+    ("<=", 1),
+    (">=", 1),
+    ("=", 1),
+    ("~=", 1),
+    ("*", 1),
+    ("/", 1),
+    ("\\\\", 1),
+    ("//", 1),
+    ("bitShift:", 1),
+    ("bitAnd:", 1),
+    ("bitOr:", 1),
+    ("@", 1),
+    ("==", 1),
+    ("class", 0),
+    ("size", 0),
+    ("at:", 1),
+    ("at:put:", 2),
+    ("value", 0),
+    ("value:", 1),
+    ("isNil", 0),
+    ("notNil", 0),
+    ("not", 0),
+    ("do:", 1),
+    (",", 1),
+    ("new", 0),
+    ("new:", 1),
+    ("x", 0),
+    ("y", 0),
+];
+
+/// Looks up a selector in [`SPECIAL_SELECTORS`].
+pub fn special_selector_index(selector: &str) -> Option<u8> {
+    SPECIAL_SELECTORS
+        .iter()
+        .position(|&(s, _)| s == selector)
+        .map(|i| i as u8)
+}
+
+/// A decoded instruction (for the decompiler, disassembler, and tests; the
+/// interpreter dispatches on raw bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// Push receiver variable.
+    PushRcvrVar(u8),
+    /// Push temporary.
+    PushTemp(u8),
+    /// Push literal constant.
+    PushLitConst(u8),
+    /// Push literal variable's value.
+    PushLitVar(u8),
+    /// Store top into receiver variable (`pop` says whether it also pops).
+    StoreRcvrVar(u8, bool),
+    /// Store top into temporary.
+    StoreTemp(u8, bool),
+    /// Push self/true/false/nil/−1/0/1/2/thisContext.
+    PushSelf,
+    /// Push `true`.
+    PushTrue,
+    /// Push `false`.
+    PushFalse,
+    /// Push `nil`.
+    PushNil,
+    /// Push a small constant SmallInteger.
+    PushInt(i64),
+    /// Push the active context.
+    PushThisContext,
+    /// Duplicate top of stack.
+    Dup,
+    /// Pop top of stack.
+    Pop,
+    /// Return receiver / true / false / nil / top from home method.
+    ReturnSelf,
+    /// Return `true`.
+    ReturnTrue,
+    /// Return `false`.
+    ReturnFalse,
+    /// Return `nil`.
+    ReturnNil,
+    /// Return top of stack.
+    ReturnTop,
+    /// Return top of stack from a block.
+    BlockReturnTop,
+    /// Send literal selector with argument count.
+    Send {
+        /// Literal index of the selector.
+        lit: u8,
+        /// Argument count.
+        nargs: u8,
+        /// Whether lookup starts in the superclass.
+        is_super: bool,
+    },
+    /// Send a special selector.
+    SpecialSend(u8),
+    /// Push a block: argument count and body length in bytes.
+    PushBlock {
+        /// Block argument count.
+        nargs: u8,
+        /// Body length in bytes (the body starts right after this instr).
+        len: u16,
+    },
+    /// Unconditional jump (delta relative to the following instruction).
+    Jump(i16),
+    /// Pop; jump if true.
+    JumpTrue(i16),
+    /// Pop; jump if false.
+    JumpFalse(i16),
+}
+
+/// Decodes the instruction at `pc`; returns it and the next pc.
+///
+/// # Panics
+///
+/// Panics on a malformed stream (unknown opcode or truncated operands).
+pub fn decode(code: &[u8], pc: usize) -> (Instr, usize) {
+    let op = code[pc];
+    match op {
+        0x00..=0x0F => (Instr::PushRcvrVar(op), pc + 1),
+        0x10..=0x1F => (Instr::PushTemp(op - PUSH_TEMP), pc + 1),
+        0x20..=0x3F => (Instr::PushLitConst(op - PUSH_LIT_CONST), pc + 1),
+        0x40..=0x4F => (Instr::PushLitVar(op - PUSH_LIT_VAR), pc + 1),
+        0x50..=0x57 => (Instr::StoreRcvrVar(op - STORE_POP_RCVR_VAR, true), pc + 1),
+        0x58..=0x5F => (Instr::StoreTemp(op - STORE_POP_TEMP, true), pc + 1),
+        PUSH_SELF => (Instr::PushSelf, pc + 1),
+        PUSH_TRUE => (Instr::PushTrue, pc + 1),
+        PUSH_FALSE => (Instr::PushFalse, pc + 1),
+        PUSH_NIL => (Instr::PushNil, pc + 1),
+        PUSH_MINUS_ONE => (Instr::PushInt(-1), pc + 1),
+        PUSH_ZERO => (Instr::PushInt(0), pc + 1),
+        PUSH_ONE => (Instr::PushInt(1), pc + 1),
+        PUSH_TWO => (Instr::PushInt(2), pc + 1),
+        PUSH_THIS_CONTEXT => (Instr::PushThisContext, pc + 1),
+        DUP => (Instr::Dup, pc + 1),
+        POP => (Instr::Pop, pc + 1),
+        RETURN_SELF => (Instr::ReturnSelf, pc + 1),
+        RETURN_TRUE => (Instr::ReturnTrue, pc + 1),
+        RETURN_FALSE => (Instr::ReturnFalse, pc + 1),
+        RETURN_NIL => (Instr::ReturnNil, pc + 1),
+        RETURN_TOP => (Instr::ReturnTop, pc + 1),
+        BLOCK_RETURN_TOP => (Instr::BlockReturnTop, pc + 1),
+        EXT_PUSH | EXT_STORE | EXT_STORE_POP => {
+            let operand = code[pc + 1];
+            let kind = operand >> 6;
+            let index = operand & 0x3F;
+            let instr = match (op, kind) {
+                (EXT_PUSH, 0) => Instr::PushRcvrVar(index),
+                (EXT_PUSH, 1) => Instr::PushTemp(index),
+                (EXT_PUSH, 2) => Instr::PushLitConst(index),
+                (EXT_PUSH, 3) => Instr::PushLitVar(index),
+                (EXT_STORE, 0) => Instr::StoreRcvrVar(index, false),
+                (EXT_STORE, 1) => Instr::StoreTemp(index, false),
+                (EXT_STORE_POP, 0) => Instr::StoreRcvrVar(index, true),
+                (EXT_STORE_POP, 1) => Instr::StoreTemp(index, true),
+                _ => panic!("bad extended operand kind {kind} for op {op:#x}"),
+            };
+            (instr, pc + 2)
+        }
+        SEND => (
+            Instr::Send {
+                lit: code[pc + 1],
+                nargs: code[pc + 2],
+                is_super: false,
+            },
+            pc + 3,
+        ),
+        SEND_SUPER => (
+            Instr::Send {
+                lit: code[pc + 1],
+                nargs: code[pc + 2],
+                is_super: true,
+            },
+            pc + 3,
+        ),
+        PUSH_BLOCK => (
+            Instr::PushBlock {
+                nargs: code[pc + 1],
+                len: u16::from_le_bytes([code[pc + 2], code[pc + 3]]),
+            },
+            pc + 4,
+        ),
+        0x90..=0x97 => (Instr::Jump((op - SHORT_JUMP + 1) as i16), pc + 1),
+        0x98..=0x9F => (Instr::JumpFalse((op - SHORT_JUMP_FALSE + 1) as i16), pc + 1),
+        0xA0..=0xA7 => {
+            let delta = (((op - LONG_JUMP) as i16) - 4) * 256 + code[pc + 1] as i16;
+            (Instr::Jump(delta), pc + 2)
+        }
+        0xA8..=0xAB => {
+            let delta = ((op & 3) as i16) * 256 + code[pc + 1] as i16;
+            (Instr::JumpTrue(delta), pc + 2)
+        }
+        0xAC..=0xAF => {
+            let delta = ((op & 3) as i16) * 256 + code[pc + 1] as i16;
+            (Instr::JumpFalse(delta), pc + 2)
+        }
+        0xB0..=0xCF => (Instr::SpecialSend(op - SPECIAL_SEND), pc + 1),
+        0xD0..=0xDF => (
+            Instr::Send {
+                lit: op - SEND_LIT_0,
+                nargs: 0,
+                is_super: false,
+            },
+            pc + 1,
+        ),
+        0xE0..=0xEF => (
+            Instr::Send {
+                lit: op - SEND_LIT_1,
+                nargs: 1,
+                is_super: false,
+            },
+            pc + 1,
+        ),
+        0xF0..=0xFF => (
+            Instr::Send {
+                lit: op - SEND_LIT_2,
+                nargs: 2,
+                is_super: false,
+            },
+            pc + 1,
+        ),
+        _ => panic!("unknown opcode {op:#04x} at pc {pc}"),
+    }
+}
+
+/// Disassembles a method's bytecodes into one line per instruction.
+pub fn disassemble(code: &[u8]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut pc = 0;
+    while pc < code.len() {
+        let (instr, next) = decode(code, pc);
+        out.push(format!("{pc:4}: {instr:?}"));
+        pc = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_selector_lookup() {
+        assert_eq!(special_selector_index("+"), Some(0));
+        assert_eq!(special_selector_index("@"), Some(15));
+        assert_eq!(special_selector_index("frobnicate"), None);
+        // Argument counts are consistent.
+        for (sel, nargs) in SPECIAL_SELECTORS {
+            assert_eq!(sel.matches(':').count() as u8, {
+                if sel.chars().next().unwrap().is_alphabetic() {
+                    nargs
+                } else {
+                    sel.matches(':').count() as u8
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn decode_simple_pushes() {
+        let code = [0x05, 0x13, 0x25, 0x42, PUSH_SELF, DUP, POP];
+        assert_eq!(decode(&code, 0).0, Instr::PushRcvrVar(5));
+        assert_eq!(decode(&code, 1).0, Instr::PushTemp(3));
+        assert_eq!(decode(&code, 2).0, Instr::PushLitConst(5));
+        assert_eq!(decode(&code, 3).0, Instr::PushLitVar(2));
+        assert_eq!(decode(&code, 4).0, Instr::PushSelf);
+        assert_eq!(decode(&code, 5).0, Instr::Dup);
+        assert_eq!(decode(&code, 6).0, Instr::Pop);
+    }
+
+    #[test]
+    fn decode_extended_forms() {
+        let code = [
+            EXT_PUSH, 0b01_100000, // temp 32
+            EXT_STORE, 0b00_000101, // rcvr var 5, no pop
+            EXT_STORE_POP, 0b01_001000, // temp 8, pop
+        ];
+        let (i0, pc1) = decode(&code, 0);
+        assert_eq!(i0, Instr::PushTemp(32));
+        let (i1, pc2) = decode(&code, pc1);
+        assert_eq!(i1, Instr::StoreRcvrVar(5, false));
+        let (i2, _) = decode(&code, pc2);
+        assert_eq!(i2, Instr::StoreTemp(8, true));
+    }
+
+    #[test]
+    fn decode_sends() {
+        let code = [SEND, 7, 3, SEND_SUPER, 1, 0, 0xD2, 0xE5, 0xF9, 0xB0];
+        assert_eq!(
+            decode(&code, 0).0,
+            Instr::Send {
+                lit: 7,
+                nargs: 3,
+                is_super: false
+            }
+        );
+        assert_eq!(
+            decode(&code, 3).0,
+            Instr::Send {
+                lit: 1,
+                nargs: 0,
+                is_super: true
+            }
+        );
+        assert_eq!(
+            decode(&code, 6).0,
+            Instr::Send {
+                lit: 2,
+                nargs: 0,
+                is_super: false
+            }
+        );
+        assert_eq!(
+            decode(&code, 7).0,
+            Instr::Send {
+                lit: 5,
+                nargs: 1,
+                is_super: false
+            }
+        );
+        assert_eq!(
+            decode(&code, 8).0,
+            Instr::Send {
+                lit: 9,
+                nargs: 2,
+                is_super: false
+            }
+        );
+        assert_eq!(decode(&code, 9).0, Instr::SpecialSend(0));
+    }
+
+    #[test]
+    fn decode_jumps() {
+        let code = [0x90, 0x97, 0x9B, 0xA3, 0x10, 0xA4, 0x80, 0xA9, 0x05, 0xAE, 0x01];
+        assert_eq!(decode(&code, 0).0, Instr::Jump(1));
+        assert_eq!(decode(&code, 1).0, Instr::Jump(8));
+        assert_eq!(decode(&code, 2).0, Instr::JumpFalse(4));
+        assert_eq!(decode(&code, 3).0, Instr::Jump(-256 + 0x10));
+        assert_eq!(decode(&code, 5).0, Instr::Jump(0x80));
+        assert_eq!(decode(&code, 7).0, Instr::JumpTrue(256 + 5));
+        assert_eq!(decode(&code, 9).0, Instr::JumpFalse(512 + 1));
+    }
+
+    #[test]
+    fn decode_push_block() {
+        let code = [PUSH_BLOCK, 2, 0x34, 0x12];
+        assert_eq!(
+            decode(&code, 0).0,
+            Instr::PushBlock {
+                nargs: 2,
+                len: 0x1234
+            }
+        );
+        assert_eq!(decode(&code, 0).1, 4);
+    }
+
+    #[test]
+    fn disassemble_produces_one_line_per_instr() {
+        let code = [PUSH_SELF, 0xB0, RETURN_TOP];
+        let lines = disassemble(&code);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("SpecialSend"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Chunk-format (`fileIn`) reader.
+//!
+//! Smalltalk-80 sources are exchanged in *chunk format*: chunks of text
+//! separated by `!`, with `!!` escaping a literal bang. A chunk of the form
+//! `ClassName methodsFor: 'category'` (optionally `ClassName class
+//! methodsFor: …`) introduces a run of method-source chunks terminated by an
+//! empty chunk. Any other non-empty chunk is an expression to evaluate
+//! ("doit") — the image sources use doits for class definitions.
+
+use std::fmt;
+
+/// One event from a chunk stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkEvent {
+    /// An expression chunk to evaluate.
+    Expression(String),
+    /// A run of method sources for one class and category.
+    Methods {
+        /// The class the methods belong to.
+        class_name: String,
+        /// Whether they go on the metaclass (`Foo class methodsFor:`).
+        meta: bool,
+        /// The method category.
+        category: String,
+        /// The method source chunks.
+        sources: Vec<String>,
+    },
+}
+
+/// Errors from the chunk reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkError {
+    /// A `methodsFor:` run was not terminated by an empty chunk.
+    UnterminatedMethods {
+        /// The class whose run was left open.
+        class_name: String,
+    },
+}
+
+impl fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChunkError::UnterminatedMethods { class_name } => {
+                write!(f, "unterminated methodsFor: run for class {class_name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+/// Splits `text` into raw chunks, resolving `!!` escapes.
+fn split_chunks(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut chunks = Vec::new();
+    let mut cur = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'!' {
+            if i + 1 < bytes.len() && bytes[i + 1] == b'!' {
+                cur.push('!');
+                i += 2;
+            } else {
+                chunks.push(std::mem::take(&mut cur));
+                i += 1;
+            }
+        } else {
+            cur.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    if !cur.trim().is_empty() {
+        chunks.push(cur);
+    }
+    chunks
+}
+
+/// Recognizes `ClassName [class] methodsFor: 'category'`.
+fn parse_methods_header(chunk: &str) -> Option<(String, bool, String)> {
+    let mut words = chunk.split_whitespace();
+    let class_name = words.next()?.to_string();
+    if !class_name
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_uppercase())
+    {
+        return None;
+    }
+    let mut next = words.next()?;
+    let meta = if next == "class" {
+        next = words.next()?;
+        true
+    } else {
+        false
+    };
+    if next != "methodsFor:" {
+        return None;
+    }
+    let rest: String = words.collect::<Vec<_>>().join(" ");
+    let rest = rest.trim();
+    if rest.starts_with('\'') && rest.ends_with('\'') && rest.len() >= 2 {
+        Some((
+            class_name,
+            meta,
+            rest[1..rest.len() - 1].replace("''", "'"),
+        ))
+    } else {
+        None
+    }
+}
+
+/// Parses a chunk-format source file into events.
+///
+/// # Errors
+///
+/// Returns [`ChunkError::UnterminatedMethods`] if the input ends inside a
+/// `methodsFor:` run.
+pub fn parse_chunks(text: &str) -> Result<Vec<ChunkEvent>, ChunkError> {
+    let chunks = split_chunks(text);
+    let mut events = Vec::new();
+    let mut i = 0;
+    while i < chunks.len() {
+        let chunk = chunks[i].trim();
+        i += 1;
+        if chunk.is_empty() {
+            continue;
+        }
+        if let Some((class_name, meta, category)) = parse_methods_header(chunk) {
+            let mut sources = Vec::new();
+            loop {
+                if i >= chunks.len() {
+                    return Err(ChunkError::UnterminatedMethods { class_name });
+                }
+                let body = chunks[i].trim();
+                i += 1;
+                if body.is_empty() {
+                    break;
+                }
+                sources.push(body.to_string());
+            }
+            events.push(ChunkEvent::Methods {
+                class_name,
+                meta,
+                category,
+                sources,
+            });
+        } else {
+            events.push(ChunkEvent::Expression(chunk.to_string()));
+        }
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expression_chunks() {
+        let events = parse_chunks("Object subclass: #Foo.!\n1 + 2!").unwrap();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(&events[0], ChunkEvent::Expression(e) if e.contains("subclass:")));
+    }
+
+    #[test]
+    fn methods_run_until_empty_chunk() {
+        let src = "!Point methodsFor: 'accessing'!\nx ^x!\ny ^y! !\nrest!";
+        let events = parse_chunks(src).unwrap();
+        assert_eq!(events.len(), 2);
+        let ChunkEvent::Methods {
+            class_name,
+            meta,
+            category,
+            sources,
+        } = &events[0]
+        else {
+            panic!("expected methods event");
+        };
+        assert_eq!(class_name, "Point");
+        assert!(!meta);
+        assert_eq!(category, "accessing");
+        assert_eq!(sources.len(), 2);
+        assert_eq!(sources[0], "x ^x");
+        assert_eq!(events[1], ChunkEvent::Expression("rest".into()));
+    }
+
+    #[test]
+    fn class_side_methods() {
+        let src = "!Point class methodsFor: 'instance creation'!\nx: ax y: ay ^self new! !";
+        let events = parse_chunks(src).unwrap();
+        let ChunkEvent::Methods { meta, .. } = &events[0] else {
+            panic!()
+        };
+        assert!(meta);
+    }
+
+    #[test]
+    fn double_bang_escapes() {
+        let events = parse_chunks("foo bar: 'a!!b'!").unwrap();
+        assert_eq!(events[0], ChunkEvent::Expression("foo bar: 'a!b'".into()));
+    }
+
+    #[test]
+    fn unterminated_run_is_an_error() {
+        let err = parse_chunks("!Point methodsFor: 'x'!\nm ^1!").unwrap_err();
+        assert!(matches!(err, ChunkError::UnterminatedMethods { .. }));
+        assert!(err.to_string().contains("Point"));
+    }
+
+    #[test]
+    fn category_with_quote() {
+        let src = "!Foo methodsFor: 'it''s odd'!\nm ^1! !";
+        let events = parse_chunks(src).unwrap();
+        let ChunkEvent::Methods { category, .. } = &events[0] else {
+            panic!()
+        };
+        assert_eq!(category, "it's odd");
+    }
+
+    #[test]
+    fn leading_bang_headers_are_tolerated() {
+        // `!Foo methodsFor: 'c'!` — the leading ! produces an empty chunk.
+        let events = parse_chunks("!Foo methodsFor: 'c'!\nm ^1! !").unwrap();
+        assert_eq!(events.len(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Compilation errors.
+
+use std::fmt;
+
+/// An error produced by the lexer, parser, or code generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Byte offset in the source where the problem was noticed.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> CompileError {
+        CompileError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_offset_and_message() {
+        let e = CompileError::new(7, "unexpected token");
+        assert_eq!(e.to_string(), "compile error at offset 7: unexpected token");
+    }
+}

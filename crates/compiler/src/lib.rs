@@ -1,0 +1,46 @@
+//! Smalltalk-80 compiler and decompiler for Multiprocessor Smalltalk.
+//!
+//! Berkeley Smalltalk executed bytecodes "produced by the Smalltalk compiler
+//! from Smalltalk source code" (paper §2). This crate is that compiler,
+//! rebuilt in Rust as a VM-level service: lexer, recursive-descent parser,
+//! bytecode generator with Blue-Book-style control-flow inlining, a
+//! decompiler that reconstructs source from bytecodes (exercised by the
+//! *decompile class* macro benchmark), a pretty-printer, and a reader for
+//! the classic chunk (`fileIn`) format used to load the image sources.
+//!
+//! The crate is pure: it knows nothing about object memory. Compiled methods
+//! come out as [`CompiledMethodSpec`] values whose literal frame uses the
+//! neutral [`LitEntry`]/[`Literal`](ast::Literal) forms; the `mst-image`
+//! crate converts those into heap objects.
+//!
+//! # Example
+//!
+//! ```
+//! use mst_compiler::{compile, CompileContext};
+//!
+//! let spec = compile("double: x ^x * 2", &CompileContext::default())?;
+//! assert_eq!(spec.selector, "double:");
+//! assert_eq!(spec.num_args, 1);
+//! # Ok::<(), mst_compiler::CompileError>(())
+//! ```
+
+pub mod ast;
+pub mod bytecode;
+mod chunk;
+mod codegen;
+mod decompiler;
+mod error;
+mod parser;
+mod printer;
+mod token;
+
+pub use chunk::{parse_chunks, ChunkError, ChunkEvent};
+pub use codegen::{
+    compile, compile_method, CompileContext, CompiledMethodSpec, LitEntry, LARGE_FRAME,
+    SMALL_FRAME,
+};
+pub use decompiler::decompile;
+pub use error::CompileError;
+pub use parser::{parse_doit, parse_method};
+pub use printer::print_method;
+pub use token::{lex, SpannedTok, Tok};

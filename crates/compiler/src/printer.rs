@@ -1,0 +1,332 @@
+//! Pretty-printing of method ASTs back to Smalltalk source.
+//!
+//! Used by the decompiler (the *decompile class* macro benchmark renders
+//! every method of a class back to source) and by tests that check
+//! compile ∘ print round trips.
+
+use crate::ast::{Expr, Literal, Message, MethodNode, Pseudo, Stmt};
+
+/// Renders a whole method.
+pub fn print_method(m: &MethodNode) -> String {
+    let mut out = String::new();
+    print_pattern(m, &mut out);
+    out.push('\n');
+    if m.primitive != 0 {
+        out.push_str(&format!("\t<primitive: {}>\n", m.primitive));
+    }
+    if !m.temps.is_empty() {
+        out.push_str("\t| ");
+        out.push_str(&m.temps.join(" "));
+        out.push_str(" |\n");
+    }
+    for (i, s) in m.body.iter().enumerate() {
+        out.push('\t');
+        print_stmt(s, &mut out, 1);
+        if i + 1 < m.body.len() {
+            out.push('.');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn print_pattern(m: &MethodNode, out: &mut String) {
+    if m.args.is_empty() {
+        out.push_str(&m.selector);
+    } else if !m.selector.contains(':') {
+        out.push_str(&m.selector);
+        out.push(' ');
+        out.push_str(&m.args[0]);
+    } else {
+        for (part, arg) in m.selector.split_inclusive(':').zip(&m.args) {
+            if !out.is_empty() && !out.ends_with(' ') {
+                out.push(' ');
+            }
+            out.push_str(part);
+            out.push(' ');
+            out.push_str(arg);
+        }
+    }
+}
+
+fn print_stmt(s: &Stmt, out: &mut String, indent: usize) {
+    match s {
+        Stmt::Expr(e) => print_expr(e, out, Prec::Statement, indent),
+        Stmt::Return(e) => {
+            out.push('^');
+            print_expr(e, out, Prec::Statement, indent);
+        }
+    }
+}
+
+/// Syntactic level of the surrounding context, for parenthesization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    /// Inside a unary send's receiver: everything weaker needs parens.
+    Unary,
+    /// Inside a binary send: keyword sends and cascades need parens.
+    Binary,
+    /// Inside a keyword send argument/receiver: keyword sends, cascades
+    /// and assignments need parens.
+    Keyword,
+    /// Statement position: nothing needs parens.
+    Statement,
+}
+
+fn expr_level(e: &Expr) -> Prec {
+    match e {
+        Expr::Var(_) | Expr::Pseudo(_) | Expr::Literal(_) | Expr::Block { .. } => Prec::Unary,
+        Expr::Send { selector, args, .. } => {
+            if args.is_empty() {
+                Prec::Unary
+            } else if !selector.contains(':') {
+                Prec::Binary
+            } else {
+                Prec::Keyword
+            }
+        }
+        Expr::Cascade { .. } | Expr::Assign(..) => Prec::Statement,
+    }
+}
+
+fn print_expr(e: &Expr, out: &mut String, ctx: Prec, indent: usize) {
+    let needs_parens = expr_level(e) > ctx;
+    if needs_parens {
+        out.push('(');
+    }
+    match e {
+        Expr::Var(name) => out.push_str(name),
+        Expr::Pseudo(p) => out.push_str(match p {
+            Pseudo::SelfVar => "self",
+            Pseudo::True => "true",
+            Pseudo::False => "false",
+            Pseudo::Nil => "nil",
+            Pseudo::ThisContext => "thisContext",
+        }),
+        Expr::Literal(lit) => print_literal(lit, out),
+        Expr::Assign(name, value) => {
+            out.push_str(name);
+            out.push_str(" := ");
+            print_expr(value, out, Prec::Statement, indent);
+        }
+        Expr::Send {
+            receiver,
+            selector,
+            args,
+            is_super,
+        } => {
+            let recv_str: &mut String = out;
+            if *is_super {
+                recv_str.push_str("super");
+            } else {
+                let recv_ctx = if args.is_empty() {
+                    Prec::Unary
+                } else {
+                    // Binary receivers may be binary (left-assoc); keyword
+                    // receivers must be at most binary.
+                    Prec::Binary
+                };
+                print_expr(receiver, recv_str, recv_ctx, indent);
+            }
+            print_message_tail(&Message {
+                selector: selector.clone(),
+                args: args.clone(),
+            }, out, indent);
+        }
+        Expr::Cascade { receiver, messages } => {
+            print_expr(receiver, out, Prec::Binary, indent);
+            for (i, msg) in messages.iter().enumerate() {
+                if i > 0 {
+                    out.push(';');
+                }
+                print_message_tail(msg, out, indent);
+            }
+        }
+        Expr::Block { args, temps, body } => {
+            out.push('[');
+            if !args.is_empty() {
+                for a in args {
+                    out.push(':');
+                    out.push_str(a);
+                    out.push(' ');
+                }
+                out.push_str("| ");
+            }
+            if !temps.is_empty() {
+                out.push_str("| ");
+                out.push_str(&temps.join(" "));
+                out.push_str(" | ");
+            }
+            for (i, s) in body.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(". ");
+                }
+                print_stmt(s, out, indent + 1);
+            }
+            out.push(']');
+        }
+    }
+    if needs_parens {
+        out.push(')');
+    }
+}
+
+fn print_message_tail(msg: &Message, out: &mut String, indent: usize) {
+    if msg.args.is_empty() {
+        out.push(' ');
+        out.push_str(&msg.selector);
+    } else if !msg.selector.contains(':') {
+        out.push(' ');
+        out.push_str(&msg.selector);
+        out.push(' ');
+        // Binary sends are left-associative: a binary argument needs parens.
+        print_expr(&msg.args[0], out, Prec::Unary, indent);
+    } else {
+        for (part, arg) in msg.selector.split_inclusive(':').zip(&msg.args) {
+            out.push(' ');
+            out.push_str(part);
+            out.push(' ');
+            // A keyword-send argument must itself be at most binary.
+            print_expr(arg, out, Prec::Binary, indent);
+        }
+    }
+}
+
+fn print_literal(lit: &Literal, out: &mut String) {
+    match lit {
+        Literal::Int(v) => out.push_str(&v.to_string()),
+        Literal::Float(v) => {
+            let s = format!("{v:?}"); // Debug always includes a decimal point
+            out.push_str(&s);
+        }
+        Literal::Char(c) => {
+            out.push('$');
+            out.push(*c as char);
+        }
+        Literal::Str(s) => {
+            out.push('\'');
+            out.push_str(&s.replace('\'', "''"));
+            out.push('\'');
+        }
+        Literal::Symbol(s) => {
+            out.push('#');
+            out.push_str(s);
+        }
+        Literal::Array(items) => {
+            out.push_str("#(");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                print_array_element(item, out);
+            }
+            out.push(')');
+        }
+        Literal::ByteArray(bytes) => {
+            out.push_str("#[");
+            for (i, b) in bytes.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push(']');
+        }
+        Literal::True => out.push_str("true"),
+        Literal::False => out.push_str("false"),
+        Literal::Nil => out.push_str("nil"),
+    }
+}
+
+fn print_array_element(lit: &Literal, out: &mut String) {
+    match lit {
+        // Inside a literal array, symbols drop the `#` and nested arrays use
+        // plain parentheses.
+        Literal::Symbol(s) => out.push_str(s),
+        Literal::Array(items) => {
+            out.push('(');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                print_array_element(item, out);
+            }
+            out.push(')');
+        }
+        other => print_literal(other, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::{compile, CompileContext, CompiledMethodSpec};
+    use crate::parser::parse_method;
+
+    fn round_trip(src: &str) -> (CompiledMethodSpec, CompiledMethodSpec) {
+        let ctx = CompileContext::default();
+        let first = compile(src, &ctx).unwrap();
+        let printed = print_method(&parse_method(src).unwrap());
+        let second = compile(&printed, &ctx).unwrap();
+        (first, second)
+    }
+
+    #[test]
+    fn print_compile_round_trip_preserves_code() {
+        for src in [
+            "yourself ^self",
+            "+ x ^x + 1",
+            "at: i put: v self checkIndex: i. ^self basicAt: i put: v",
+            "m ^#(1 2 (3 4) sym kw:word: 'str' $c true nil #[1 2])",
+            "m | a b | a := 1. b := a + 2. ^a * b",
+            "m x ifTrue: [1] ifFalse: [2]. ^nil",
+            "m | x | x := 0. [x < 3] whileTrue: [x := x + 1]",
+            "m s nextPutAll: 'a'; tab; nextPut: $b. ^s contents",
+            "m ^[:a :b | a + b] value: 3 value: 4",
+            "m ^(1 + 2) * (3 - 4)",
+            "m ^self foo: (bar baz: 2) qux: x y",
+            "m ^x isNil or: [x = 0]",
+            "withPrim <primitive: 7> ^nil",
+        ] {
+            let (first, second) = round_trip(src);
+            assert_eq!(first.bytecodes, second.bytecodes, "source: {src}");
+            assert_eq!(first.literals, second.literals, "source: {src}");
+        }
+    }
+
+    #[test]
+    fn parenthesization_by_precedence() {
+        let m = parse_method("m ^a foo + (b + c) bar").unwrap();
+        let printed = print_method(&m);
+        assert!(printed.contains("a foo + (b + c) bar"));
+    }
+
+    #[test]
+    fn strings_escape_quotes() {
+        let m = parse_method("m ^'it''s'").unwrap();
+        assert!(print_method(&m).contains("'it''s'"));
+    }
+
+    #[test]
+    fn keyword_pattern_prints_with_args() {
+        let m = parse_method("at: i put: v ^v").unwrap();
+        let printed = print_method(&m);
+        assert!(printed.starts_with("at: i put: v"));
+    }
+
+    #[test]
+    fn negative_float_prints_with_point() {
+        let m = parse_method("m ^1.0e10").unwrap();
+        let printed = print_method(&m);
+        // Must re-lex as a float, not an integer.
+        let m2 = parse_method(&printed).unwrap();
+        assert_eq!(m.body, m2.body);
+    }
+
+    #[test]
+    fn block_with_temps_prints() {
+        let src = "m ^[:x | | t | t := x. t]";
+        let (first, second) = round_trip(src);
+        assert_eq!(first.bytecodes, second.bytecodes);
+    }
+}

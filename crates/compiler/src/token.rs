@@ -1,0 +1,552 @@
+//! Lexical analysis of Smalltalk-80 source.
+
+use crate::error::CompileError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// An identifier (`foo`, `Transcript`).
+    Ident(String),
+    /// A keyword (`at:`) — one segment, parser assembles full selectors.
+    Keyword(String),
+    /// A binary selector (`+`, `//`, `~=`). `|` and `-` are special-cased.
+    BinOp(String),
+    /// A block argument declaration (`:x`).
+    BlockArg(String),
+    /// Integer literal (decimal or radix form like `16rFF`).
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Character literal (`$a`).
+    CharLit(u8),
+    /// String literal with quote-doubling already resolved.
+    StrLit(String),
+    /// Symbol literal (`#foo`, `#at:put:`, `#+`).
+    SymLit(String),
+    /// `#(` — literal array open.
+    HashParen,
+    /// `#[` — literal byte-array open.
+    HashBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `.` statement separator.
+    Dot,
+    /// `;` cascade separator.
+    Semi,
+    /// `^` return.
+    Caret,
+    /// `|` — temp-declaration delimiter *or* binary selector.
+    Pipe,
+    /// `:=` assignment.
+    Assign,
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its source offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+const BINARY_CHARS: &[u8] = b"+-*/~<>=&@%,?!\\";
+
+/// Lexes an entire source string.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, CompileError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let start = i;
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' | 0x0c => {
+                i += 1;
+            }
+            b'"' => {
+                // Comment: runs to the next double quote ("" escapes).
+                i += 1;
+                loop {
+                    if i >= b.len() {
+                        return Err(CompileError::new(start, "unterminated comment"));
+                    }
+                    if b[i] == b'"' {
+                        if i + 1 < b.len() && b[i + 1] == b'"' {
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                let (s, ni) = lex_string(b, i)?;
+                out.push(SpannedTok {
+                    tok: Tok::StrLit(s),
+                    offset: start,
+                });
+                i = ni;
+            }
+            b'$' => {
+                if i + 1 >= b.len() {
+                    return Err(CompileError::new(start, "character literal at end of input"));
+                }
+                out.push(SpannedTok {
+                    tok: Tok::CharLit(b[i + 1]),
+                    offset: start,
+                });
+                i += 2;
+            }
+            b'#' => {
+                i += 1;
+                if i >= b.len() {
+                    return Err(CompileError::new(start, "stray #"));
+                }
+                match b[i] {
+                    b'(' => {
+                        out.push(SpannedTok {
+                            tok: Tok::HashParen,
+                            offset: start,
+                        });
+                        i += 1;
+                    }
+                    b'[' => {
+                        out.push(SpannedTok {
+                            tok: Tok::HashBracket,
+                            offset: start,
+                        });
+                        i += 1;
+                    }
+                    b'\'' => {
+                        let (s, ni) = lex_string(b, i)?;
+                        out.push(SpannedTok {
+                            tok: Tok::SymLit(s),
+                            offset: start,
+                        });
+                        i = ni;
+                    }
+                    c if c.is_ascii_alphabetic() || c == b'_' => {
+                        // Identifier or keyword-sequence symbol.
+                        let mut s = String::new();
+                        while i < b.len()
+                            && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b':')
+                        {
+                            s.push(b[i] as char);
+                            i += 1;
+                        }
+                        out.push(SpannedTok {
+                            tok: Tok::SymLit(s),
+                            offset: start,
+                        });
+                    }
+                    c if BINARY_CHARS.contains(&c) || c == b'|' => {
+                        let mut s = String::new();
+                        while i < b.len() && (BINARY_CHARS.contains(&b[i]) || b[i] == b'|') {
+                            s.push(b[i] as char);
+                            i += 1;
+                        }
+                        out.push(SpannedTok {
+                            tok: Tok::SymLit(s),
+                            offset: start,
+                        });
+                    }
+                    _ => return Err(CompileError::new(start, "malformed symbol literal")),
+                }
+            }
+            b'(' => {
+                out.push(SpannedTok {
+                    tok: Tok::LParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b')' => {
+                out.push(SpannedTok {
+                    tok: Tok::RParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'[' => {
+                out.push(SpannedTok {
+                    tok: Tok::LBracket,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b']' => {
+                out.push(SpannedTok {
+                    tok: Tok::RBracket,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'.' => {
+                out.push(SpannedTok {
+                    tok: Tok::Dot,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b';' => {
+                out.push(SpannedTok {
+                    tok: Tok::Semi,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'^' => {
+                out.push(SpannedTok {
+                    tok: Tok::Caret,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'|' => {
+                out.push(SpannedTok {
+                    tok: Tok::Pipe,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b':' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(SpannedTok {
+                        tok: Tok::Assign,
+                        offset: start,
+                    });
+                    i += 2;
+                } else if i + 1 < b.len() && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_') {
+                    i += 1;
+                    let mut s = String::new();
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        s.push(b[i] as char);
+                        i += 1;
+                    }
+                    out.push(SpannedTok {
+                        tok: Tok::BlockArg(s),
+                        offset: start,
+                    });
+                } else {
+                    return Err(CompileError::new(start, "stray colon"));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, ni) = lex_number(b, i, false)?;
+                out.push(SpannedTok { tok, offset: start });
+                i = ni;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut s = String::new();
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    s.push(b[i] as char);
+                    i += 1;
+                }
+                if i < b.len() && b[i] == b':' && !(i + 1 < b.len() && b[i + 1] == b'=') {
+                    s.push(':');
+                    i += 1;
+                    out.push(SpannedTok {
+                        tok: Tok::Keyword(s),
+                        offset: start,
+                    });
+                } else {
+                    out.push(SpannedTok {
+                        tok: Tok::Ident(s),
+                        offset: start,
+                    });
+                }
+            }
+            c if BINARY_CHARS.contains(&c) => {
+                let mut s = String::new();
+                while i < b.len() && BINARY_CHARS.contains(&b[i]) {
+                    s.push(b[i] as char);
+                    i += 1;
+                    if s.len() == 2 {
+                        break; // binary selectors are at most two characters
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::BinOp(s),
+                    offset: start,
+                });
+            }
+            _ => {
+                return Err(CompileError::new(
+                    start,
+                    format!("unexpected character {:?}", c as char),
+                ))
+            }
+        }
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        offset: b.len(),
+    });
+    Ok(out)
+}
+
+fn lex_string(b: &[u8], mut i: usize) -> Result<(String, usize), CompileError> {
+    let start = i;
+    debug_assert_eq!(b[i], b'\'');
+    i += 1;
+    let mut s = String::new();
+    loop {
+        if i >= b.len() {
+            return Err(CompileError::new(start, "unterminated string literal"));
+        }
+        if b[i] == b'\'' {
+            if i + 1 < b.len() && b[i + 1] == b'\'' {
+                s.push('\'');
+                i += 2;
+            } else {
+                i += 1;
+                return Ok((s, i));
+            }
+        } else {
+            s.push(b[i] as char);
+            i += 1;
+        }
+    }
+}
+
+pub(crate) fn lex_number(
+    b: &[u8],
+    mut i: usize,
+    negative: bool,
+) -> Result<(Tok, usize), CompileError> {
+    let start = i;
+    let mut int_part: i64 = 0;
+    while i < b.len() && b[i].is_ascii_digit() {
+        int_part = int_part
+            .checked_mul(10)
+            .and_then(|v| v.checked_add((b[i] - b'0') as i64))
+            .ok_or_else(|| CompileError::new(start, "integer literal too large"))?;
+        i += 1;
+    }
+    // Radix form: 16rFF
+    if i < b.len() && b[i] == b'r' && (2..=36).contains(&int_part) {
+        let radix = int_part as u32;
+        i += 1;
+        let mut v: i64 = 0;
+        let mut digits = 0;
+        while i < b.len() && (b[i].is_ascii_alphanumeric()) {
+            let d = (b[i] as char)
+                .to_digit(radix)
+                .ok_or_else(|| CompileError::new(start, "bad digit for radix"))?;
+            v = v
+                .checked_mul(radix as i64)
+                .and_then(|x| x.checked_add(d as i64))
+                .ok_or_else(|| CompileError::new(start, "integer literal too large"))?;
+            digits += 1;
+            i += 1;
+        }
+        if digits == 0 {
+            return Err(CompileError::new(start, "radix literal needs digits"));
+        }
+        return Ok((Tok::IntLit(if negative { -v } else { v }), i));
+    }
+    // Float: 1.5, 1.5e3, 2e8 — a '.' only counts if a digit follows
+    // (otherwise it is a statement period).
+    let mut is_float = false;
+    let mut text = String::new();
+    text.push_str(std::str::from_utf8(&b[start..i]).unwrap());
+    if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+        is_float = true;
+        text.push('.');
+        i += 1;
+        while i < b.len() && b[i].is_ascii_digit() {
+            text.push(b[i] as char);
+            i += 1;
+        }
+    }
+    if i < b.len() && (b[i] == b'e' || b[i] == b'd') && i + 1 < b.len() {
+        let (mut j, mut exp) = (i + 1, String::new());
+        if b[j] == b'-' {
+            exp.push('-');
+            j += 1;
+        }
+        if j < b.len() && b[j].is_ascii_digit() {
+            while j < b.len() && b[j].is_ascii_digit() {
+                exp.push(b[j] as char);
+                j += 1;
+            }
+            is_float = true;
+            text.push('e');
+            text.push_str(&exp);
+            i = j;
+        }
+    }
+    if is_float {
+        let v: f64 = text
+            .parse()
+            .map_err(|_| CompileError::new(start, "malformed float literal"))?;
+        Ok((Tok::FloatLit(if negative { -v } else { v }), i))
+    } else {
+        Ok((
+            Tok::IntLit(if negative { -int_part } else { int_part }),
+            i,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn identifiers_and_keywords() {
+        assert_eq!(
+            toks("at: foo put: Bar_2"),
+            vec![
+                Tok::Keyword("at:".into()),
+                Tok::Ident("foo".into()),
+                Tok::Keyword("put:".into()),
+                Tok::Ident("Bar_2".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn assignment_is_not_a_keyword() {
+        assert_eq!(
+            toks("x := 1"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::IntLit(1),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::IntLit(42), Tok::Eof]);
+        assert_eq!(toks("16rFF"), vec![Tok::IntLit(255), Tok::Eof]);
+        assert_eq!(toks("2r101"), vec![Tok::IntLit(5), Tok::Eof]);
+        assert_eq!(toks("1.5"), vec![Tok::FloatLit(1.5), Tok::Eof]);
+        assert_eq!(toks("2e3"), vec![Tok::FloatLit(2000.0), Tok::Eof]);
+        assert_eq!(toks("1.5e-2"), vec![Tok::FloatLit(0.015), Tok::Eof]);
+    }
+
+    #[test]
+    fn trailing_period_is_a_statement_dot() {
+        assert_eq!(
+            toks("3. 4"),
+            vec![Tok::IntLit(3), Tok::Dot, Tok::IntLit(4), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_with_doubled_quotes() {
+        assert_eq!(
+            toks("'it''s'"),
+            vec![Tok::StrLit("it's".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn characters_and_symbols() {
+        assert_eq!(toks("$a"), vec![Tok::CharLit(b'a'), Tok::Eof]);
+        assert_eq!(toks("#foo"), vec![Tok::SymLit("foo".into()), Tok::Eof]);
+        assert_eq!(
+            toks("#at:put:"),
+            vec![Tok::SymLit("at:put:".into()), Tok::Eof]
+        );
+        assert_eq!(toks("#+"), vec![Tok::SymLit("+".into()), Tok::Eof]);
+        assert_eq!(
+            toks("#'hello there'"),
+            vec![Tok::SymLit("hello there".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn literal_array_openers() {
+        assert_eq!(
+            toks("#(1) #[2]"),
+            vec![
+                Tok::HashParen,
+                Tok::IntLit(1),
+                Tok::RParen,
+                Tok::HashBracket,
+                Tok::IntLit(2),
+                Tok::RBracket,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("1 \"a comment\" 2 \"with \"\"quote\"\" inside\" 3"),
+            vec![Tok::IntLit(1), Tok::IntLit(2), Tok::IntLit(3), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn binary_operators() {
+        assert_eq!(
+            toks("a ~= b // c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::BinOp("~=".into()),
+                Tok::Ident("b".into()),
+                Tok::BinOp("//".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(toks("|"), vec![Tok::Pipe, Tok::Eof]);
+    }
+
+    #[test]
+    fn block_args_and_punctuation() {
+        assert_eq!(
+            toks("[:x | x]"),
+            vec![
+                Tok::LBracket,
+                Tok::BlockArg("x".into()),
+                Tok::Pipe,
+                Tok::Ident("x".into()),
+                Tok::RBracket,
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("^ a; b"),
+            vec![
+                Tok::Caret,
+                Tok::Ident("a".into()),
+                Tok::Semi,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(lex("'open").is_err());
+        assert!(lex("\"open").is_err());
+        assert!(lex("{").is_err());
+        assert!(lex("16r").is_err());
+    }
+}

@@ -1,0 +1,665 @@
+//! Multiprocessor Smalltalk — the public API.
+//!
+//! [`MsSystem`] assembles the whole reproduction: object memory, bootstrap
+//! image, and one interpreter per virtual processor, configured by
+//! [`Strategies`] — the paper's serialization / replication / reorganization
+//! knobs — and [`SystemState`], the four configurations of Table 2.
+//!
+//! ```no_run
+//! use mst_core::{MsConfig, MsSystem, Value};
+//!
+//! let mut ms = MsSystem::new(MsConfig::default());
+//! let value = ms.evaluate("3 + 4 * 2").unwrap();
+//! assert_eq!(value, Value::Int(14));
+//! ms.shutdown();
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use mst_compiler::CompileError;
+use mst_image::BootstrapError;
+use mst_interp::{
+    scheduler, spawn_method_process, CachePolicy, FreeListPolicy, Interpreter, RunOutcome, Vm,
+    VmOptions,
+};
+use mst_objmem::{AllocPolicy, MemoryConfig, ObjectMemory, Oop, RootHandle, So};
+use mst_vkernel::{spawn_lightweight, LightweightHandle, Processor, SyncMode};
+
+/// The four system states measured in the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemState {
+    /// "Baseline BS": the interpreter before any multiprocessor support —
+    /// no interlocked operations, a single interpreter.
+    BaselineBs,
+    /// "MS": full multiprocessor support, one busy interpreter.
+    Ms,
+    /// "MS with four idle Processes": four extra interpreters each running
+    /// `[true] whileTrue`.
+    MsIdle4,
+    /// "MS with four busy Processes": four extra interpreters each running
+    /// the sweep-hand-style busy loop.
+    MsBusy4,
+}
+
+impl SystemState {
+    /// All four states, in the paper's row order.
+    pub const ALL: [SystemState; 4] = [
+        SystemState::BaselineBs,
+        SystemState::Ms,
+        SystemState::MsIdle4,
+        SystemState::MsBusy4,
+    ];
+
+    /// The paper's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemState::BaselineBs => "Baseline BS on multiprocessor",
+            SystemState::Ms => "MS on multiprocessor",
+            SystemState::MsIdle4 => "MS with four idle Processes",
+            SystemState::MsBusy4 => "MS with four busy Processes",
+        }
+    }
+
+    /// Number of background competitor Processes.
+    pub fn competitors(self) -> usize {
+        match self {
+            SystemState::BaselineBs | SystemState::Ms => 0,
+            SystemState::MsIdle4 | SystemState::MsBusy4 => 4,
+        }
+    }
+}
+
+/// The paper's three adaptation strategies, as configuration.
+///
+/// Table 3 maps strategies to resources; this struct is the runtime
+/// realization (reorganization has no knob — the `activeProcess` rework is
+/// structural and always on, with `thisProcess`/`canRun:` primitives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Strategies {
+    /// Baseline BS (no interlocking) or MS.
+    pub sync: SyncMode,
+    /// Method-lookup cache: serialized (two-level lock) or replicated.
+    pub cache: CachePolicy,
+    /// Free context lists: disabled, shared-locked, or replicated.
+    pub free_contexts: FreeListPolicy,
+    /// New-space allocation: one locked eden, or per-processor buffers
+    /// (the paper's proposed "replication of the new-object space").
+    pub alloc: AllocPolicy,
+}
+
+impl Default for Strategies {
+    fn default() -> Self {
+        Strategies {
+            sync: SyncMode::Multiprocessor,
+            cache: CachePolicy::Replicated,
+            free_contexts: FreeListPolicy::Replicated,
+            alloc: AllocPolicy::SharedEden,
+        }
+    }
+}
+
+impl Strategies {
+    /// The baseline-BS strategy set (everything pre-multiprocessor).
+    pub fn baseline() -> Strategies {
+        Strategies {
+            sync: SyncMode::Uniprocessor,
+            ..Strategies::default()
+        }
+    }
+
+    /// The paper's final MS configuration.
+    pub fn ms() -> Strategies {
+        Strategies::default()
+    }
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MsConfig {
+    /// Strategy knobs.
+    pub strategies: Strategies,
+    /// Number of virtual processors (the Firefly had five).
+    pub processors: usize,
+    /// Object-memory sizing.
+    pub memory: MemoryConfig,
+    /// Bytecodes between safepoint polls.
+    pub quantum: u32,
+}
+
+impl Default for MsConfig {
+    fn default() -> Self {
+        MsConfig {
+            strategies: Strategies::default(),
+            processors: 5,
+            memory: MemoryConfig::default(),
+            quantum: 1024,
+        }
+    }
+}
+
+impl MsConfig {
+    /// Configuration for one of the paper's Table 2 states.
+    pub fn for_state(state: SystemState) -> MsConfig {
+        let strategies = match state {
+            SystemState::BaselineBs => Strategies::baseline(),
+            _ => Strategies::ms(),
+        };
+        let processors = match state {
+            SystemState::BaselineBs => 1,
+            _ => 5,
+        };
+        MsConfig {
+            strategies,
+            processors,
+            ..MsConfig::default()
+        }
+    }
+}
+
+/// A Smalltalk value, converted for Rust consumption.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SmallInteger.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// nil.
+    Nil,
+    /// String contents.
+    Str(String),
+    /// Symbol name.
+    Symbol(String),
+    /// Character.
+    Char(char),
+    /// Anything else, identified by its class name.
+    Other {
+        /// The value's class name.
+        class_name: String,
+    },
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v:?}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Nil => f.write_str("nil"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Symbol(s) => write!(f, "#{s}"),
+            Value::Char(c) => write!(f, "${c}"),
+            Value::Other { class_name } => write!(f, "<{class_name}>"),
+        }
+    }
+}
+
+/// Errors from [`MsSystem::evaluate`].
+#[derive(Debug)]
+pub enum EvalError {
+    /// The doit failed to compile.
+    Compile(CompileError),
+    /// The doit's process died with an `error:` report.
+    Runtime(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Compile(e) => write!(f, "{e}"),
+            EvalError::Runtime(msg) => write!(f, "Smalltalk error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<CompileError> for EvalError {
+    fn from(e: CompileError) -> Self {
+        EvalError::Compile(e)
+    }
+}
+
+/// A compiled doit, ready for repeated execution.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    method: RootHandle,
+}
+
+/// A running Multiprocessor Smalltalk system.
+pub struct MsSystem {
+    vm: Arc<Vm>,
+    config: MsConfig,
+    main: Interpreter,
+    workers: Vec<LightweightHandle<()>>,
+    background: Vec<RootHandle>,
+}
+
+impl fmt::Debug for MsSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MsSystem")
+            .field("config", &self.config)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl MsSystem {
+    /// Builds the object memory, bootstraps the image, and starts worker
+    /// interpreters on processors 1..n (the main interpreter runs on the
+    /// calling thread, processor 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled image sources fail to compile (a build defect,
+    /// not a runtime condition).
+    pub fn new(config: MsConfig) -> MsSystem {
+        MsSystem::try_new(config).expect("bundled image failed to bootstrap")
+    }
+
+    /// Like [`new`](Self::new) but surfacing bootstrap errors.
+    pub fn try_new(config: MsConfig) -> Result<MsSystem, BootstrapError> {
+        let mut memory = config.memory;
+        memory.sync = config.strategies.sync;
+        memory.alloc_policy = config.strategies.alloc;
+        let options = VmOptions {
+            sync: config.strategies.sync,
+            memory,
+            cache_policy: config.strategies.cache,
+            context_policy: config.strategies.free_contexts,
+            processors: config.processors,
+            quantum: config.quantum,
+        };
+        let vm = Arc::new(Vm::new(options));
+        mst_image::build_image(&vm.mem)?;
+        let main = Interpreter::new(Arc::clone(&vm));
+        let mut system = MsSystem {
+            vm,
+            config,
+            main,
+            workers: Vec::new(),
+            background: Vec::new(),
+        };
+        system.start_workers();
+        Ok(system)
+    }
+
+    fn start_workers(&mut self) {
+        // Baseline BS is single-threaded by definition.
+        if !self.config.strategies.sync.is_mp() {
+            return;
+        }
+        for p in 1..self.config.processors {
+            let vm = Arc::clone(&self.vm);
+            let handle = spawn_lightweight(Processor(p), "interp", move || {
+                let mut interp = Interpreter::new(vm);
+                let _ = interp.run(None);
+            });
+            self.workers.push(handle);
+        }
+    }
+
+    /// The shared VM (counters, devices, memory).
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    /// The object memory.
+    pub fn mem(&self) -> &ObjectMemory {
+        &self.vm.mem
+    }
+
+    /// The configuration the system was built with.
+    pub fn config(&self) -> &MsConfig {
+        &self.config
+    }
+
+    /// Compiles and runs a Smalltalk expression sequence as a Process at
+    /// user priority, returning the value of its last expression.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::Compile`] for syntax errors; [`EvalError::Runtime`] if
+    /// the Process terminated through `error:`.
+    pub fn evaluate(&mut self, source: &str) -> Result<Value, EvalError> {
+        let prepared = self.prepare(source)?;
+        self.run_prepared(&prepared)
+    }
+
+    /// Runs `f` with every interpreter parked at a safepoint. All heap
+    /// access performed outside the main interpreter (compilation, process
+    /// spawning, result conversion) must go through this: the main thread
+    /// is not a rendezvous participant between runs, so without the guard
+    /// it would race against worker-triggered scavenges.
+    fn with_world<R>(&self, f: impl FnOnce(&Vm) -> R) -> R {
+        // stop_world() counts its caller as one of the registered
+        // participants; a thread that is not registered must join first or
+        // the rendezvous under-waits by one and a mutator keeps running.
+        self.vm.rendezvous.register();
+        let guard = self.vm.rendezvous.stop_world();
+        let r = f(&self.vm);
+        drop(guard);
+        self.vm.rendezvous.unregister();
+        r
+    }
+
+    /// Compiles a doit once for repeated execution (benchmark harnesses).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::Compile`] for syntax errors.
+    pub fn prepare(&mut self, source: &str) -> Result<Prepared, EvalError> {
+        let method = self.with_world(|vm| mst_image::compile_doit(&vm.mem, source))?;
+        Ok(Prepared {
+            method: self.with_world(|vm| vm.mem.new_root(method)),
+        })
+    }
+
+    /// Runs a [`Prepared`] doit as a fresh Process.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::Runtime`] if the Process terminated through `error:`.
+    pub fn run_prepared(&mut self, prepared: &Prepared) -> Result<Value, EvalError> {
+        let root = self.run_prepared_rooted(prepared)?;
+        Ok(self.with_world(|_| self.value_of_unguarded(root.get())))
+    }
+
+    /// As [`run_prepared`](Self::run_prepared), returning a GC-tracked root
+    /// so the result object stays alive and current across further runs.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_prepared`](Self::run_prepared).
+    pub fn run_prepared_rooted(&mut self, prepared: &Prepared) -> Result<RootHandle, EvalError> {
+        let errors_before = self.vm.error_log.lock().len();
+        let process = self.with_world(|vm| {
+            let token = vm.mem.new_token();
+            loop {
+                match spawn_method_process(vm, &token, prepared.method.get(), vm.mem.nil(), 5)
+                {
+                    Some(p) => {
+                        scheduler::add_ready(vm, p);
+                        break vm.mem.new_root(p);
+                    }
+                    None => {
+                        // Eden is full; collect while we hold the world.
+                        vm.mem.scavenge();
+                        vm.bump_cache_epoch();
+                    }
+                }
+            }
+        });
+        // Pin the doit to this interpreter so measurements charge the
+        // right thread; workers will not claim it.
+        self.vm.set_reserved(Some(process.clone()));
+        let outcome = self.main.run(Some(process.clone()));
+        self.vm.set_reserved(None);
+        match outcome {
+            RunOutcome::WatchedTerminated => {}
+            RunOutcome::Shutdown => return Err(EvalError::Runtime("VM shut down".into())),
+        }
+        // The terminating interpreter (possibly a worker) left the value in
+        // the Process's result slot.
+        let result = self.with_world(|vm| {
+            vm.mem
+                .new_root(vm.mem.fetch(process.get(), mst_objmem::layout::process::RESULT))
+        });
+        let errors = self.vm.error_log.lock();
+        if errors.len() > errors_before {
+            return Err(EvalError::Runtime(
+                errors.last().cloned().unwrap_or_default(),
+            ));
+        }
+        drop(errors);
+        Ok(result)
+    }
+
+    /// Like [`evaluate`](Self::evaluate), but returns a GC-tracked root for
+    /// the result so Rust code can keep the object alive across further
+    /// execution (benchmark harnesses retaining object graphs).
+    ///
+    /// # Errors
+    ///
+    /// As [`evaluate`](Self::evaluate).
+    pub fn evaluate_to_root(&mut self, source: &str) -> Result<RootHandle, EvalError> {
+        let prepared = self.prepare(source)?;
+        self.run_prepared_rooted(&prepared)
+    }
+
+    /// Converts an oop into a [`Value`], parking the interpreters while it
+    /// reads the heap.
+    pub fn value_of(&self, oop: Oop) -> Value {
+        self.with_world(|_| self.value_of_unguarded(oop))
+    }
+
+    fn value_of_unguarded(&self, oop: Oop) -> Value {
+        let mem = &self.vm.mem;
+        if oop == Oop::ZERO {
+            return Value::Nil;
+        }
+        if oop.is_small_int() {
+            return Value::Int(oop.as_small_int());
+        }
+        let sp = mem.specials();
+        if oop == mem.nil() {
+            return Value::Nil;
+        }
+        if oop == sp.get(So::True) {
+            return Value::Bool(true);
+        }
+        if oop == sp.get(So::False) {
+            return Value::Bool(false);
+        }
+        let class = mem.class_of(oop);
+        if class == sp.get(So::ClassString) {
+            Value::Str(mem.str_value(oop))
+        } else if class == sp.get(So::ClassSymbol) {
+            Value::Symbol(mem.str_value(oop))
+        } else if class == sp.get(So::ClassFloat) {
+            Value::Float(mem.float_value(oop))
+        } else if class == sp.get(So::ClassCharacter) {
+            Value::Char(mem.fetch(oop, 0).as_small_int() as u8 as char)
+        } else {
+            let name = mem.fetch(class, mst_objmem::layout::class::NAME);
+            Value::Other {
+                class_name: if name == mem.nil() {
+                    "<anonymous>".to_string()
+                } else {
+                    mem.str_value(name)
+                },
+            }
+        }
+    }
+
+    /// Spawns `n` background competitor Processes (`idle` = the paper's
+    /// `[true] whileTrue`, else the sweep-hand busy loop). They run on the
+    /// worker interpreters until [`shutdown`](Self::shutdown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spawn expression fails (image defect).
+    pub fn spawn_competitors(&mut self, n: usize, idle: bool) {
+        for _ in 0..n {
+            let expr = if idle {
+                "Benchmark spawnIdle"
+            } else {
+                "Benchmark spawnBusy"
+            };
+            let root = self
+                .evaluate_to_root(expr)
+                .expect("competitor spawn failed");
+            // Keep a root so diagnostics can find the Processes.
+            self.background.push(root);
+        }
+    }
+
+    /// Spawns the competitors implied by a [`SystemState`].
+    pub fn enter_state(&mut self, state: SystemState) {
+        match state {
+            SystemState::BaselineBs | SystemState::Ms => {}
+            SystemState::MsIdle4 => self.spawn_competitors(4, true),
+            SystemState::MsBusy4 => self.spawn_competitors(4, false),
+        }
+    }
+
+    /// Number of background roots retained (diagnostics).
+    pub fn background_count(&self) -> usize {
+        self.background.len()
+    }
+
+    /// Writes a snapshot of the running image (paper §3.3: the
+    /// `activeProcess` slot is filled around the snapshot for
+    /// pre-reorganization compatibility, then emptied again).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the writer.
+    pub fn save_snapshot(
+        &self,
+        w: &mut impl std::io::Write,
+    ) -> Result<(), mst_objmem::SnapshotError> {
+        self.with_world(|vm| {
+            vm.mem.scavenge(); // snapshot with an empty eden
+            vm.bump_cache_epoch();
+            scheduler::set_active_process_slot(&vm.mem, vm.mem.nil());
+            vm.mem.save_snapshot(w)
+        })
+    }
+
+    /// Boots a system from a snapshot instead of a fresh bootstrap. The
+    /// sizes in `config.memory` must match the snapshot's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot-format errors.
+    pub fn from_snapshot(
+        r: &mut impl std::io::Read,
+        config: MsConfig,
+    ) -> Result<MsSystem, mst_objmem::SnapshotError> {
+        let mut memory = config.memory;
+        memory.sync = config.strategies.sync;
+        memory.alloc_policy = config.strategies.alloc;
+        let mem = ObjectMemory::load_snapshot(r, memory)?;
+        let options = VmOptions {
+            sync: config.strategies.sync,
+            memory,
+            cache_policy: config.strategies.cache,
+            context_policy: config.strategies.free_contexts,
+            processors: config.processors,
+            quantum: config.quantum,
+        };
+        let vm = Arc::new(Vm::with_memory(mem, options));
+        let main = Interpreter::new(Arc::clone(&vm));
+        let mut system = MsSystem {
+            vm,
+            config,
+            main,
+            workers: Vec::new(),
+            background: Vec::new(),
+        };
+        system.start_workers();
+        Ok(system)
+    }
+
+    /// Stops the world and scavenges (for tests and harnesses).
+    pub fn collect_garbage(&self) {
+        self.vm.rendezvous.register();
+        let guard = self.vm.rendezvous.stop_world();
+        self.vm.mem.scavenge();
+        self.vm.bump_cache_epoch();
+        drop(guard);
+        self.vm.rendezvous.unregister();
+    }
+
+    /// Stops every interpreter and joins the worker threads.
+    pub fn shutdown(mut self) {
+        self.vm.shutdown();
+        for w in self.workers.drain(..) {
+            w.join();
+        }
+    }
+}
+
+impl Drop for MsSystem {
+    fn drop(&mut self) {
+        self.vm.shutdown();
+        for w in self.workers.drain(..) {
+            w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> MsConfig {
+        MsConfig {
+            processors: 2,
+            ..MsConfig::default()
+        }
+    }
+
+    #[test]
+    fn arithmetic_evaluates() {
+        let mut ms = MsSystem::new(small_config());
+        assert_eq!(ms.evaluate("3 + 4").unwrap(), Value::Int(7));
+        assert_eq!(ms.evaluate("3 + 4 * 2").unwrap(), Value::Int(14));
+        assert_eq!(ms.evaluate("10 // 3").unwrap(), Value::Int(3));
+        assert_eq!(ms.evaluate("10 \\\\ 3").unwrap(), Value::Int(1));
+        assert_eq!(ms.evaluate("2 < 3").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn message_sends_and_blocks() {
+        let mut ms = MsSystem::new(small_config());
+        assert_eq!(
+            ms.evaluate("[:a :b | a * b] value: 6 value: 7").unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(ms.evaluate("3 max: 9").unwrap(), Value::Int(9));
+        assert_eq!(
+            ms.evaluate("(1 to: 10) inject: 0 into: [:a :b | a + b]")
+                .unwrap(),
+            Value::Int(55)
+        );
+    }
+
+    #[test]
+    fn strings_and_print_string() {
+        let mut ms = MsSystem::new(small_config());
+        assert_eq!(
+            ms.evaluate("'hello' , ' ' , 'world'").unwrap(),
+            Value::Str("hello world".into())
+        );
+        assert_eq!(
+            ms.evaluate("42 printString").unwrap(),
+            Value::Str("42".into())
+        );
+        assert_eq!(
+            ms.evaluate("(3 @ 4) printString").unwrap(),
+            Value::Str("3@4".into())
+        );
+    }
+
+    #[test]
+    fn runtime_errors_surface() {
+        let mut ms = MsSystem::new(small_config());
+        let err = ms.evaluate("nil frobnicate").unwrap_err();
+        match err {
+            EvalError::Runtime(msg) => assert!(msg.contains("frobnicate"), "{msg}"),
+            other => panic!("expected runtime error, got {other:?}"),
+        }
+        // The system still works afterwards.
+        assert_eq!(ms.evaluate("1 + 1").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        let mut ms = MsSystem::new(small_config());
+        assert!(matches!(ms.evaluate("3 + "), Err(EvalError::Compile(_))));
+    }
+}

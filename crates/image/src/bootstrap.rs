@@ -1,0 +1,568 @@
+//! Building the virtual image.
+//!
+//! The paper's experimental subject was "the ParcPlace Systems Smalltalk-80
+//! virtual image release VI2.1" — proprietary then and unavailable now, so
+//! this module builds a replacement from scratch: the class hierarchy is
+//! wired up in Rust (the chicken-and-egg part) and the behaviour is compiled
+//! from the Smalltalk sources under `src/st/` using the `mst-compiler`
+//! crate, exactly as a `fileIn` would.
+//!
+//! Bootstrap stages:
+//!
+//! 1. *Husks*: `nil` and empty class shells for everything the allocator,
+//!    symbol table and dictionaries need before classes can exist.
+//! 2. The `Smalltalk` SystemDictionary.
+//! 3. The class hierarchy (filling the husks in place so early objects'
+//!    class words stay valid).
+//! 4. Patches: `nil`'s class, `true`/`false`, the character table, the
+//!    ProcessorScheduler, global bindings (`Smalltalk`, `Processor`,
+//!    `Transcript`, `Display`).
+//! 5. `fileIn` of the class-library sources (chunk format).
+
+use std::fmt;
+
+use mst_compiler::{parse_chunks, ChunkEvent, CompileError};
+use mst_interp::classes::{define_class_reusing, InstanceSpec};
+use mst_interp::dicts::{global_get, global_put, system_dict_create};
+use mst_interp::install::organize_method;
+use mst_interp::scheduler::create_scheduler;
+use mst_objmem::layout::{class as cls, linked_list, scheduler as sched_layout};
+use mst_objmem::{ObjFormat, ObjectMemory, Oop, So};
+
+/// Everything that can go wrong while building the image.
+#[derive(Debug)]
+pub enum BootstrapError {
+    /// A method failed to compile.
+    Compile {
+        /// Class the method was destined for.
+        class_name: String,
+        /// First line of the method (the pattern).
+        method: String,
+        /// The underlying error.
+        error: CompileError,
+    },
+    /// A chunk file was malformed.
+    Chunk(String),
+    /// A `methodsFor:` chunk named an unknown class.
+    UnknownClass(String),
+}
+
+impl fmt::Display for BootstrapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BootstrapError::Compile {
+                class_name,
+                method,
+                error,
+            } => write!(f, "compiling {class_name}>>{method}: {error}"),
+            BootstrapError::Chunk(e) => write!(f, "bad chunk file: {e}"),
+            BootstrapError::UnknownClass(n) => write!(f, "methodsFor: unknown class {n}"),
+        }
+    }
+}
+
+impl std::error::Error for BootstrapError {}
+
+/// The class-library sources, in fileIn order.
+pub const SOURCES: &[(&str, &str)] = &[
+    ("kernel.st", include_str!("st/kernel.st")),
+    ("magnitude.st", include_str!("st/magnitude.st")),
+    ("collections.st", include_str!("st/collections.st")),
+    ("streams.st", include_str!("st/streams.st")),
+    ("processes.st", include_str!("st/processes.st")),
+    ("classes.st", include_str!("st/classes.st")),
+    ("system.st", include_str!("st/system.st")),
+    ("benchmarks.st", include_str!("st/benchmarks.st")),
+];
+
+fn husk(mem: &ObjectMemory, which: So) -> Oop {
+    let c = mem
+        .allocate_old(Oop::ZERO, ObjFormat::Pointers, cls::SIZE, 0)
+        .expect("old space exhausted during bootstrap");
+    mem.specials().set(which, c);
+    c
+}
+
+/// Builds the complete image into `mem`. Returns the number of methods
+/// compiled.
+pub fn build_image(mem: &ObjectMemory) -> Result<usize, BootstrapError> {
+    // --- Stage 1: nil and class husks --------------------------------
+    let nil = mem
+        .allocate_old(Oop::ZERO, ObjFormat::Pointers, 0, 0)
+        .expect("old space exhausted during bootstrap");
+    mem.specials().set(So::Nil, nil);
+    for which in [
+        So::ClassSymbol,
+        So::ClassArray,
+        So::ClassAssociation,
+        So::ClassString,
+        So::ClassMethodDictionary,
+        So::ClassMetaclass,
+        So::ClassCompiledMethod,
+        So::ClassCharacter,
+        So::ClassFloat,
+        So::ClassSmallInteger,
+        So::ClassMethodContext,
+        So::ClassBlockContext,
+        So::ClassProcess,
+        So::ClassSemaphore,
+        So::ClassLinkedList,
+        So::ClassMessage,
+        So::ClassByteArray,
+    ] {
+        husk(mem, which);
+    }
+
+    // --- Stage 2: the Smalltalk SystemDictionary ---------------------
+    let smalltalk = system_dict_create(mem, 512);
+
+    // --- Stage 3: the class hierarchy ---------------------------------
+    let sp = mem.specials();
+    let d = |name: &str, superclass: Oop, ivars: &[&str], spec: InstanceSpec, cat: &str| {
+        define_class_reusing(mem, None, name, superclass, ivars, spec, cat)
+    };
+    let dr = |husk: Oop, name: &str, superclass: Oop, ivars: &[&str], spec: InstanceSpec, cat: &str| {
+        define_class_reusing(mem, Some(husk), name, superclass, ivars, spec, cat)
+    };
+
+    let object = d("Object", nil, &[], InstanceSpec::Named, "Kernel-Objects");
+    let behavior = d(
+        "Behavior",
+        object,
+        &[
+            "superclass",
+            "methodDict",
+            "format",
+            "name",
+            "instVarNames",
+            "subclasses",
+            "organization",
+            "category",
+        ],
+        InstanceSpec::Named,
+        "Kernel-Classes",
+    );
+    let class_class = d("Class", behavior, &[], InstanceSpec::Named, "Kernel-Classes");
+    dr(
+        sp.get(So::ClassMetaclass),
+        "Metaclass",
+        behavior,
+        &[],
+        InstanceSpec::Named,
+        "Kernel-Classes",
+    );
+    // Object's metaclass was created before Class existed; patch its
+    // superclass now (Object class superclass == Class, as in ST-80).
+    let object_meta = mem.class_of(object);
+    mem.store(object_meta, cls::SUPERCLASS, class_class);
+
+    let undefined = d(
+        "UndefinedObject",
+        object,
+        &[],
+        InstanceSpec::Named,
+        "Kernel-Objects",
+    );
+    let boolean = d("Boolean", object, &[], InstanceSpec::Named, "Kernel-Objects");
+    let true_class = d("True", boolean, &[], InstanceSpec::Named, "Kernel-Objects");
+    let false_class = d("False", boolean, &[], InstanceSpec::Named, "Kernel-Objects");
+
+    let magnitude = d(
+        "Magnitude",
+        object,
+        &[],
+        InstanceSpec::Named,
+        "Kernel-Magnitudes",
+    );
+    dr(
+        sp.get(So::ClassCharacter),
+        "Character",
+        magnitude,
+        &["value"],
+        InstanceSpec::Named,
+        "Kernel-Magnitudes",
+    );
+    let number = d(
+        "Number",
+        magnitude,
+        &[],
+        InstanceSpec::Named,
+        "Kernel-Magnitudes",
+    );
+    dr(
+        sp.get(So::ClassSmallInteger),
+        "SmallInteger",
+        number,
+        &[],
+        InstanceSpec::Named,
+        "Kernel-Magnitudes",
+    );
+    dr(
+        sp.get(So::ClassFloat),
+        "Float",
+        number,
+        &[],
+        InstanceSpec::ByteIndexable,
+        "Kernel-Magnitudes",
+    );
+
+    let collection = d(
+        "Collection",
+        object,
+        &[],
+        InstanceSpec::Named,
+        "Collections-Abstract",
+    );
+    let seq = d(
+        "SequenceableCollection",
+        collection,
+        &[],
+        InstanceSpec::Named,
+        "Collections-Abstract",
+    );
+    let arrayed = d(
+        "ArrayedCollection",
+        seq,
+        &[],
+        InstanceSpec::Named,
+        "Collections-Abstract",
+    );
+    dr(
+        sp.get(So::ClassArray),
+        "Array",
+        arrayed,
+        &[],
+        InstanceSpec::Indexable,
+        "Collections-Arrayed",
+    );
+    dr(
+        sp.get(So::ClassByteArray),
+        "ByteArray",
+        arrayed,
+        &[],
+        InstanceSpec::ByteIndexable,
+        "Collections-Arrayed",
+    );
+    let string = dr(
+        sp.get(So::ClassString),
+        "String",
+        arrayed,
+        &[],
+        InstanceSpec::ByteIndexable,
+        "Collections-Text",
+    );
+    dr(
+        sp.get(So::ClassSymbol),
+        "Symbol",
+        string,
+        &[],
+        InstanceSpec::ByteIndexable,
+        "Collections-Text",
+    );
+    d(
+        "Interval",
+        seq,
+        &["start", "stop", "step"],
+        InstanceSpec::Named,
+        "Collections-Sequenceable",
+    );
+    d(
+        "OrderedCollection",
+        seq,
+        &["array", "firstIndex", "lastIndex"],
+        InstanceSpec::Named,
+        "Collections-Sequenceable",
+    );
+    d(
+        "Set",
+        collection,
+        &["tally", "array"],
+        InstanceSpec::Named,
+        "Collections-Unordered",
+    );
+    d(
+        "Dictionary",
+        collection,
+        &["tally", "keys", "values"],
+        InstanceSpec::Named,
+        "Collections-Unordered",
+    );
+    dr(
+        sp.get(So::ClassAssociation),
+        "Association",
+        object,
+        &["key", "value"],
+        InstanceSpec::Named,
+        "Collections-Support",
+    );
+    dr(
+        sp.get(So::ClassMethodDictionary),
+        "MethodDictionary",
+        object,
+        &["tally", "keys", "values"],
+        InstanceSpec::Named,
+        "Kernel-Classes",
+    );
+    let sysdict_class = d(
+        "SystemDictionary",
+        object,
+        &["tally", "array"],
+        InstanceSpec::Named,
+        "Kernel-System",
+    );
+
+    let stream = d("Stream", object, &[], InstanceSpec::Named, "Streams");
+    d(
+        "ReadStream",
+        stream,
+        &["collection", "position", "readLimit"],
+        InstanceSpec::Named,
+        "Streams",
+    );
+    d(
+        "WriteStream",
+        stream,
+        &["collection", "position", "writeLimit"],
+        InstanceSpec::Named,
+        "Streams",
+    );
+
+    dr(
+        sp.get(So::ClassMethodContext),
+        "MethodContext",
+        object,
+        &["sender", "pc", "stackp", "method", "receiver"],
+        InstanceSpec::Indexable,
+        "Kernel-Methods",
+    );
+    dr(
+        sp.get(So::ClassBlockContext),
+        "BlockContext",
+        object,
+        &["caller", "pc", "stackp", "nargs", "startpc", "home"],
+        InstanceSpec::Indexable,
+        "Kernel-Methods",
+    );
+    dr(
+        sp.get(So::ClassCompiledMethod),
+        "CompiledMethod",
+        object,
+        &[],
+        InstanceSpec::ByteIndexable,
+        "Kernel-Methods",
+    );
+    dr(
+        sp.get(So::ClassMessage),
+        "Message",
+        object,
+        &["selector", "args"],
+        InstanceSpec::Named,
+        "Kernel-Methods",
+    );
+
+    dr(
+        sp.get(So::ClassProcess),
+        "Process",
+        object,
+        &[
+            "suspendedContext",
+            "priority",
+            "myList",
+            "nextLink",
+            "running",
+            "name",
+            "result",
+        ],
+        InstanceSpec::Named,
+        "Kernel-Processes",
+    );
+    dr(
+        sp.get(So::ClassSemaphore),
+        "Semaphore",
+        object,
+        &["excessSignals", "firstLink", "lastLink"],
+        InstanceSpec::Named,
+        "Kernel-Processes",
+    );
+    dr(
+        sp.get(So::ClassLinkedList),
+        "LinkedList",
+        object,
+        &["firstLink", "lastLink"],
+        InstanceSpec::Named,
+        "Kernel-Processes",
+    );
+    let sched_class = d(
+        "ProcessorScheduler",
+        object,
+        &["readyQueues", "activeProcess"],
+        InstanceSpec::Named,
+        "Kernel-Processes",
+    );
+
+    d(
+        "ClassOrganizer",
+        object,
+        &["categories", "selectors"],
+        InstanceSpec::Named,
+        "Kernel-Classes",
+    );
+    d(
+        "Point",
+        object,
+        &["x", "y"],
+        InstanceSpec::Named,
+        "Graphics-Primitives",
+    );
+    let transcript_class = d(
+        "TranscriptStream",
+        stream,
+        &[],
+        InstanceSpec::Named,
+        "Kernel-System",
+    );
+    let display_class = d(
+        "DisplayScreen",
+        object,
+        &[],
+        InstanceSpec::Named,
+        "Graphics-Display",
+    );
+    d(
+        "Inspector",
+        object,
+        &["object", "fields"],
+        InstanceSpec::Named,
+        "Interface-Inspector",
+    );
+    d(
+        "Benchmark",
+        object,
+        &[],
+        InstanceSpec::Named,
+        "System-Benchmarks",
+    );
+
+    // --- Stage 4: patches ---------------------------------------------
+    mem.set_class(nil, undefined);
+    let true_oop = mem
+        .allocate_old(true_class, ObjFormat::Pointers, 0, 0)
+        .expect("old space exhausted");
+    let false_oop = mem
+        .allocate_old(false_class, ObjFormat::Pointers, 0, 0)
+        .expect("old space exhausted");
+    sp.set(So::True, true_oop);
+    sp.set(So::False, false_oop);
+
+    // Character table.
+    let char_class = sp.get(So::ClassCharacter);
+    let table = mem.alloc_array_old(256).expect("old space exhausted");
+    for i in 0..256usize {
+        let c = mem
+            .allocate_old(char_class, ObjFormat::Pointers, 1, 0)
+            .expect("old space exhausted");
+        mem.store_nocheck(c, 0, Oop::from_small_int(i as i64));
+        mem.store(table, i, c);
+    }
+    sp.set(So::CharTable, table);
+
+    // The scheduler and its ready queues.
+    let scheduler = create_scheduler(mem);
+    mem.set_class(scheduler, sched_class);
+    let queues = mem.fetch(scheduler, sched_layout::READY_QUEUES);
+    let ll_class = sp.get(So::ClassLinkedList);
+    for i in 0..sched_layout::PRIORITIES {
+        let list = mem.fetch(queues, i);
+        mem.set_class(list, ll_class);
+        // Empty lists hold nil links.
+        mem.store(list, linked_list::FIRST_LINK, nil);
+        mem.store(list, linked_list::LAST_LINK, nil);
+    }
+
+    // Well-known selectors the interpreter sends itself.
+    sp.set(So::SelDoesNotUnderstand, mem.intern("doesNotUnderstand:"));
+    sp.set(So::SelMustBeBoolean, mem.intern("mustBeBoolean"));
+    sp.set(So::SelCannotReturn, mem.intern("cannotReturn:"));
+    sp.set(So::SelPrimitiveFailed, mem.intern("primitiveFailed"));
+
+    // Global bindings.
+    mem.set_class(smalltalk, sysdict_class);
+    global_put(mem, "Smalltalk", smalltalk);
+    global_put(mem, "Processor", scheduler);
+    let transcript = mem
+        .allocate_old(transcript_class, ObjFormat::Pointers, 0, 0)
+        .expect("old space exhausted");
+    global_put(mem, "Transcript", transcript);
+    let display = mem
+        .allocate_old(display_class, ObjFormat::Pointers, 0, 0)
+        .expect("old space exhausted");
+    global_put(mem, "Display", display);
+
+    // --- Stage 5: fileIn the class library -----------------------------
+    let mut methods = 0;
+    for (file, text) in SOURCES {
+        methods += file_in(mem, file, text)?;
+    }
+    Ok(methods)
+}
+
+/// Compiles a chunk-format source into the image. Returns methods compiled.
+pub fn file_in(mem: &ObjectMemory, file: &str, text: &str) -> Result<usize, BootstrapError> {
+    let events =
+        parse_chunks(text).map_err(|e| BootstrapError::Chunk(format!("{file}: {e}")))?;
+    let mut count = 0;
+    for event in events {
+        match event {
+            ChunkEvent::Expression(e) => {
+                // Pure comment chunks (file headers) are fine; anything
+                // else would be a class-definition doit, which the
+                // bootstrapper builds programmatically instead.
+                if e.trim_start().starts_with('"') {
+                    continue;
+                }
+                return Err(BootstrapError::Chunk(format!(
+                    "{file}: unexpected expression chunk {e:?} (class definitions are built \
+                     by the bootstrapper)"
+                )));
+            }
+            ChunkEvent::Methods {
+                class_name,
+                meta,
+                category,
+                sources,
+            } => {
+                let class_oop = global_get(mem, &class_name);
+                if class_oop == mem.nil() {
+                    return Err(BootstrapError::UnknownClass(format!("{file}: {class_name}")));
+                }
+                let target = if meta {
+                    mem.class_of(class_oop)
+                } else {
+                    class_oop
+                };
+                for source in sources {
+                    let ivars = mst_interp::install::all_instance_var_names(mem, target);
+                    let spec = mst_compiler::compile(
+                        &source,
+                        &mst_compiler::CompileContext {
+                            instance_vars: &ivars,
+                        },
+                    )
+                    .map_err(|error| BootstrapError::Compile {
+                        class_name: if meta {
+                            format!("{class_name} class")
+                        } else {
+                            class_name.clone()
+                        },
+                        method: source.lines().next().unwrap_or("").to_string(),
+                        error,
+                    })?;
+                    mst_interp::install::install_method(mem, target, &spec);
+                    organize_method(mem, target, &category, &spec.selector);
+                    count += 1;
+                }
+            }
+        }
+    }
+    Ok(count)
+}

@@ -1,0 +1,155 @@
+//! The bootstrap Smalltalk-80 virtual image.
+//!
+//! The paper ran "the ParcPlace Systems Smalltalk-80 virtual image release
+//! VI2.1"; this crate builds a replacement image from scratch — class
+//! hierarchy, kernel behaviour, collections, streams, processes, the
+//! reflective machinery, and the macro-benchmark suite — by compiling the
+//! chunk-format sources in `src/st/` into a fresh
+//! [`mst_objmem::ObjectMemory`] instance.
+//!
+//! # Example
+//!
+//! ```
+//! use mst_objmem::{MemoryConfig, ObjectMemory};
+//!
+//! let mem = ObjectMemory::new(MemoryConfig::default());
+//! let methods = mst_image::build_image(&mem)?;
+//! assert!(methods > 200, "the class library is substantial");
+//! # Ok::<(), mst_image::BootstrapError>(())
+//! ```
+
+mod bootstrap;
+
+use mst_compiler::ast::MethodNode;
+use mst_compiler::{compile_method, parse_doit, CompileContext, CompileError};
+use mst_interp::dicts::global_get;
+use mst_interp::install::create_method;
+use mst_objmem::{ObjectMemory, Oop};
+
+pub use bootstrap::{build_image, file_in, BootstrapError, SOURCES};
+
+/// Compiles an expression sequence ("doit") into an unbound CompiledMethod
+/// whose value is the last expression. The method is compiled as if defined
+/// by Object (globals resolve; no instance variables).
+///
+/// # Errors
+///
+/// Returns the compiler's error for malformed source.
+pub fn compile_doit(mem: &ObjectMemory, source: &str) -> Result<Oop, CompileError> {
+    let (temps, body) = parse_doit(source)?;
+    let node = MethodNode {
+        selector: "doIt".to_string(),
+        args: vec![],
+        temps,
+        primitive: 0,
+        body,
+    };
+    let spec = compile_method(&node, &CompileContext::default())?;
+    let object_class = global_get(mem, "Object");
+    Ok(create_method(mem, &spec, object_class))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_interp::dicts::global_get;
+    use mst_objmem::layout::class as cls;
+    use mst_objmem::{MemoryConfig, So};
+
+    fn image() -> ObjectMemory {
+        let mem = ObjectMemory::new(MemoryConfig::default());
+        build_image(&mem).expect("bootstrap failed");
+        mem
+    }
+
+    #[test]
+    fn image_builds_with_many_methods() {
+        let mem = ObjectMemory::new(MemoryConfig::default());
+        let n = build_image(&mem).unwrap();
+        assert!(n > 200, "expected a substantial library, got {n} methods");
+    }
+
+    #[test]
+    fn core_classes_are_wired() {
+        let mem = image();
+        let object = global_get(&mem, "Object");
+        assert_ne!(object, mem.nil());
+        assert_eq!(mem.fetch(object, cls::SUPERCLASS), mem.nil());
+        let small_int = global_get(&mem, "SmallInteger");
+        assert_eq!(small_int, mem.specials().get(So::ClassSmallInteger));
+        // SmallInteger < Number < Magnitude < Object
+        let number = mem.fetch(small_int, cls::SUPERCLASS);
+        assert_eq!(mem.str_value(mem.fetch(number, cls::NAME)), "Number");
+        // nil's class is UndefinedObject.
+        assert_eq!(
+            mem.str_value(mem.fetch(mem.class_of(mem.nil()), cls::NAME)),
+            "UndefinedObject"
+        );
+        // true/false are instances of True/False.
+        let t = mem.specials().get(So::True);
+        assert_eq!(mem.str_value(mem.fetch(mem.class_of(t), cls::NAME)), "True");
+    }
+
+    #[test]
+    fn metaclass_chain_matches_smalltalk_80() {
+        let mem = image();
+        let object = global_get(&mem, "Object");
+        let class_class = global_get(&mem, "Class");
+        let metaclass = global_get(&mem, "Metaclass");
+        let object_meta = mem.class_of(object);
+        // Object class superclass == Class
+        assert_eq!(mem.fetch(object_meta, cls::SUPERCLASS), class_class);
+        // Metaclasses are instances of Metaclass.
+        assert_eq!(mem.class_of(object_meta), metaclass);
+        // Point class superclass == Object class
+        let point = global_get(&mem, "Point");
+        assert_eq!(mem.fetch(mem.class_of(point), cls::SUPERCLASS), object_meta);
+    }
+
+    #[test]
+    fn characters_and_scheduler_exist() {
+        let mem = image();
+        let a = mem.char_oop(b'a');
+        assert_eq!(mem.fetch(a, 0).as_small_int(), 97);
+        assert_eq!(
+            mem.str_value(mem.fetch(mem.class_of(a), cls::NAME)),
+            "Character"
+        );
+        let sched = mem.specials().get(So::Scheduler);
+        assert_ne!(sched, mem.nil());
+        assert_eq!(global_get(&mem, "Processor"), sched);
+    }
+
+    #[test]
+    fn method_lookup_finds_kernel_methods() {
+        let mem = image();
+        let object = global_get(&mem, "Object");
+        let dict = mem.fetch(object, cls::METHOD_DICT);
+        let print_string = mem.intern("printString");
+        assert!(
+            mst_interp::dicts::method_dict_at(&mem, dict, print_string).is_some(),
+            "Object>>printString must be installed"
+        );
+        // Class-side method on a metaclass.
+        let bench = global_get(&mem, "Benchmark");
+        let meta_dict = mem.fetch(mem.class_of(bench), cls::METHOD_DICT);
+        let sel = mem.intern("printClassHierarchy");
+        assert!(mst_interp::dicts::method_dict_at(&mem, meta_dict, sel).is_some());
+    }
+
+    #[test]
+    fn compile_doit_produces_a_method() {
+        let mem = image();
+        let m = compile_doit(&mem, "3 + 4").unwrap();
+        assert!(mem.is_old(m));
+        assert!(compile_doit(&mem, "| x | x := 9. x").is_ok(), "doit temps allowed");
+        assert!(compile_doit(&mem, "3 +").is_err());
+    }
+
+    #[test]
+    fn image_fits_and_verifies() {
+        let mem = image();
+        assert!(mem.verify() > 1000, "image should contain many objects");
+        assert!(mem.old_used() > 0);
+    }
+}

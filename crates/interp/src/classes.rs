@@ -1,0 +1,185 @@
+//! Class and metaclass construction.
+//!
+//! Builds Class/Metaclass pairs in old space, wiring superclass chains,
+//! instance formats, subclass lists and global bindings — the machinery the
+//! image bootstrapper (and the `subclass:` runtime path) uses to create the
+//! Smalltalk-80 class hierarchy.
+
+use mst_compiler::{compile, CompileContext, CompileError};
+use mst_objmem::layout::class::{self, ClassFormat};
+use mst_objmem::{ObjFormat, ObjectMemory, Oop, So};
+
+use crate::dicts::global_put;
+use crate::install::{all_instance_var_names, install_method, organize_method};
+
+/// Describes the shape of a class's instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceSpec {
+    /// Fixed named slots only.
+    Named,
+    /// Named slots plus indexable pointer slots (`new:`).
+    Indexable,
+    /// Byte-indexable (Strings, ByteArrays, Floats).
+    ByteIndexable,
+}
+
+/// Creates a class and its metaclass, registering the class as a global.
+///
+/// `superclass` may be nil (for Object). The metaclass chain follows
+/// Smalltalk-80: `Foo class superclass` is `Bar class` when `Foo superclass`
+/// is `Bar`, and `Object class superclass` is `Class` (once Class exists —
+/// the bootstrapper patches the early metaclasses).
+pub fn define_class(
+    mem: &ObjectMemory,
+    name: &str,
+    superclass: Oop,
+    inst_vars: &[&str],
+    spec: InstanceSpec,
+    category: &str,
+) -> Oop {
+    define_class_reusing(mem, None, name, superclass, inst_vars, spec, category)
+}
+
+/// Like [`define_class`], but fills a pre-allocated class "husk" in place
+/// when given — the bootstrap trick that lets symbols, arrays and other
+/// primordial objects exist before their classes do.
+pub fn define_class_reusing(
+    mem: &ObjectMemory,
+    reuse: Option<Oop>,
+    name: &str,
+    superclass: Oop,
+    inst_vars: &[&str],
+    spec: InstanceSpec,
+    category: &str,
+) -> Oop {
+    let nil = mem.nil();
+    let name_sym = mem.intern(name);
+
+    // Metaclass first.
+    let metaclass_class = mem.specials().get(So::ClassMetaclass);
+    let meta = mem
+        .allocate_old(metaclass_class, ObjFormat::Pointers, class::SIZE, 0)
+        .expect("old space exhausted");
+    let meta_super = if superclass == nil {
+        crate::dicts::global_get(mem, "Class")
+    } else {
+        mem.class_of(superclass)
+    };
+    mem.store(meta, class::SUPERCLASS, meta_super);
+    mem.store_nocheck(
+        meta,
+        class::FORMAT,
+        Oop::from_small_int(
+            ClassFormat {
+                inst_size: class::SIZE as u16,
+                indexable: false,
+                bytes: false,
+            }
+            .encode(),
+        ),
+    );
+    mem.store(meta, class::NAME, name_sym);
+
+    // The class itself.
+    let inherited = if superclass == nil {
+        0
+    } else {
+        ClassFormat::decode(mem.fetch(superclass, class::FORMAT).as_small_int()).inst_size
+    };
+    let format = ClassFormat {
+        inst_size: inherited + inst_vars.len() as u16,
+        indexable: spec != InstanceSpec::Named,
+        bytes: spec == InstanceSpec::ByteIndexable,
+    };
+    let cls = match reuse {
+        Some(husk) => {
+            mem.set_class(husk, meta);
+            husk
+        }
+        None => mem
+            .allocate_old(meta, ObjFormat::Pointers, class::SIZE, 0)
+            .expect("old space exhausted"),
+    };
+    mem.store(cls, class::SUPERCLASS, superclass);
+    mem.store_nocheck(cls, class::FORMAT, Oop::from_small_int(format.encode()));
+    mem.store(cls, class::NAME, name_sym);
+    if !inst_vars.is_empty() {
+        let arr = mem
+            .alloc_array_old(inst_vars.len())
+            .expect("old space exhausted");
+        for (i, v) in inst_vars.iter().enumerate() {
+            let s = mem.alloc_string_old(v).expect("old space exhausted");
+            mem.store(arr, i, s);
+        }
+        mem.store(cls, class::INSTVAR_NAMES, arr);
+    }
+    let cat = mem.alloc_string_old(category).expect("old space exhausted");
+    mem.store(cls, class::CATEGORY, cat);
+
+    // Link into the superclass's subclass list (kept in creation order).
+    if superclass != nil {
+        let subs = mem.fetch(superclass, class::SUBCLASSES);
+        let n = if subs == nil {
+            0
+        } else {
+            mem.header(subs).body_words()
+        };
+        let new_subs = mem.alloc_array_old(n + 1).expect("old space exhausted");
+        for i in 0..n {
+            let v = mem.fetch(subs, i);
+            mem.store(new_subs, i, v);
+        }
+        mem.store(new_subs, n, cls);
+        mem.store(superclass, class::SUBCLASSES, new_subs);
+    }
+
+    global_put(mem, name, cls);
+    cls
+}
+
+/// Compiles `source` in `class_oop`'s context and installs the method,
+/// recording it under `category` in the class organization.
+pub fn compile_and_install(
+    mem: &ObjectMemory,
+    class_oop: Oop,
+    category: &str,
+    source: &str,
+) -> Result<Oop, CompileError> {
+    let ivars = all_instance_var_names(mem, class_oop);
+    let spec = compile(source, &CompileContext {
+        instance_vars: &ivars,
+    })?;
+    let method = install_method(mem, class_oop, &spec);
+    organize_method(mem, class_oop, category, &spec.selector);
+    Ok(method)
+}
+
+/// The name of a class (or `"X class"` for a metaclass).
+pub fn class_name(mem: &ObjectMemory, cls: Oop) -> String {
+    let name_sym = mem.fetch(cls, class::NAME);
+    let base = if name_sym == mem.nil() {
+        "<anonymous>".to_string()
+    } else {
+        mem.str_value(name_sym)
+    };
+    if mem.class_of(cls) == mem.specials().get(So::ClassMetaclass) {
+        format!("{base} class")
+    } else {
+        base
+    }
+}
+
+/// Walks the subclass lists, calling `f` on every class reachable from
+/// `root` (root first, preorder).
+pub fn each_subclass(mem: &ObjectMemory, root: Oop, f: &mut impl FnMut(Oop, usize)) {
+    fn walk(mem: &ObjectMemory, cls: Oop, depth: usize, f: &mut impl FnMut(Oop, usize)) {
+        f(cls, depth);
+        let subs = mem.fetch(cls, class::SUBCLASSES);
+        if subs != mem.nil() {
+            for i in 0..mem.header(subs).body_words() {
+                walk(mem, mem.fetch(subs, i), depth + 1, f);
+            }
+        }
+    }
+    walk(mem, root, 0, f);
+}

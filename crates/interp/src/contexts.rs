@@ -1,0 +1,283 @@
+//! Free-context lists.
+//!
+//! "The free context list serves as an optimization of the memory allocation
+//! process for Smalltalk stack frames, or Contexts. BS maintains a list of
+//! unused stack frames, because it is more efficient to reuse one than to
+//! allocate and initialize a new one." (paper §3.2.)
+//!
+//! A free list holds oops of dead contexts chained through their `sender`
+//! slot. The lists are *cleared* (not traced) at every collection — dead
+//! contexts are garbage by definition — via the GC-epoch stamp.
+
+use mst_objmem::layout::{block_ctx, ctx_size, method_ctx};
+use mst_objmem::{ObjectMemory, Oop};
+
+/// Which free list a context belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtxKind {
+    /// Small MethodContext.
+    MethodSmall,
+    /// Large MethodContext.
+    MethodLarge,
+    /// Small BlockContext.
+    BlockSmall,
+    /// Large BlockContext.
+    BlockLarge,
+}
+
+impl CtxKind {
+    /// Body size in slots for this kind.
+    pub fn body_slots(self) -> usize {
+        match self {
+            CtxKind::MethodSmall => ctx_size::SMALL_METHOD_CTX,
+            CtxKind::MethodLarge => ctx_size::LARGE_METHOD_CTX,
+            CtxKind::BlockSmall => ctx_size::SMALL_BLOCK_CTX,
+            CtxKind::BlockLarge => ctx_size::LARGE_BLOCK_CTX,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CtxKind::MethodSmall => 0,
+            CtxKind::MethodLarge => 1,
+            CtxKind::BlockSmall => 2,
+            CtxKind::BlockLarge => 3,
+        }
+    }
+}
+
+/// Four LIFO lists of recyclable contexts, chained through slot 0
+/// (`sender`/`caller`).
+#[derive(Debug, Default)]
+pub struct FreeLists {
+    heads: [Option<Oop>; 4],
+    /// GC epoch the list contents are valid for.
+    pub epoch: u64,
+    /// How many contexts were handed out from the lists (instrumentation).
+    pub recycled: u64,
+}
+
+impl FreeLists {
+    /// Empties every list and stamps a new epoch.
+    pub fn clear(&mut self, epoch: u64) {
+        self.heads = [None; 4];
+        self.epoch = epoch;
+    }
+
+    /// Pops a context of the given kind, if one is available.
+    #[inline]
+    pub fn pop(&mut self, mem: &ObjectMemory, kind: CtxKind) -> Option<Oop> {
+        let head = self.heads[kind.index()]?;
+        let next = mem.fetch(head, method_ctx::SENDER);
+        self.heads[kind.index()] = if next == mem.nil() { None } else { Some(next) };
+        self.recycled += 1;
+        Some(head)
+    }
+
+    /// Pushes a dead context for reuse.
+    #[inline]
+    pub fn push(&mut self, mem: &ObjectMemory, kind: CtxKind, ctx: Oop) {
+        let old_head = self.heads[kind.index()].unwrap_or(mem.nil());
+        mem.store(ctx, method_ctx::SENDER, old_head);
+        self.heads[kind.index()] = Some(ctx);
+    }
+
+    /// Number of contexts currently on the given list.
+    pub fn len(&self, mem: &ObjectMemory, kind: CtxKind) -> usize {
+        let mut n = 0;
+        let mut cur = self.heads[kind.index()];
+        while let Some(c) = cur {
+            n += 1;
+            let next = mem.fetch(c, method_ctx::SENDER);
+            cur = if next == mem.nil() { None } else { Some(next) };
+        }
+        n
+    }
+
+    /// Whether every list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heads.iter().all(|h| h.is_none())
+    }
+}
+
+/// Classifies a context object for recycling given its size and class.
+pub fn kind_of(mem: &ObjectMemory, ctx: Oop) -> Option<CtxKind> {
+    use mst_objmem::So;
+    let class = mem.class_of(ctx);
+    let body = mem.header(ctx).body_words();
+    if class == mem.specials().get(So::ClassMethodContext) {
+        match body {
+            ctx_size::SMALL_METHOD_CTX => Some(CtxKind::MethodSmall),
+            ctx_size::LARGE_METHOD_CTX => Some(CtxKind::MethodLarge),
+            _ => None,
+        }
+    } else if class == mem.specials().get(So::ClassBlockContext) {
+        match body {
+            ctx_size::SMALL_BLOCK_CTX => Some(CtxKind::BlockSmall),
+            ctx_size::LARGE_BLOCK_CTX => Some(CtxKind::BlockLarge),
+            _ => None,
+        }
+    } else {
+        None
+    }
+}
+
+/// Re-initializes a recycled (or fresh) method context's fixed slots.
+///
+/// Temp and stack slots above the arguments are nilled so stale contents
+/// from the previous activation can never leak into the new one.
+pub fn reinit_method_ctx(
+    mem: &ObjectMemory,
+    ctx: Oop,
+    sender: Oop,
+    method: Oop,
+    receiver: Oop,
+    num_temps: usize,
+) {
+    let nil = mem.nil();
+    mem.store(ctx, method_ctx::SENDER, sender);
+    mem.store_nocheck(ctx, method_ctx::PC, Oop::from_small_int(0));
+    mem.store_nocheck(ctx, method_ctx::STACKP, Oop::from_small_int(0));
+    mem.store(ctx, method_ctx::METHOD, method);
+    mem.store(ctx, method_ctx::RECEIVER, receiver);
+    let body = mem.header(ctx).body_words();
+    for i in method_ctx::STACK_START..method_ctx::STACK_START + num_temps {
+        mem.store_nocheck(ctx, i, nil);
+    }
+    // Slots beyond the temps are logically empty; nil the remainder too so
+    // the GC never traces stale oops from a previous activation.
+    for i in method_ctx::STACK_START + num_temps..body {
+        mem.store_nocheck(ctx, i, nil);
+    }
+}
+
+/// Re-initializes a block context's fixed slots.
+pub fn reinit_block_ctx(
+    mem: &ObjectMemory,
+    ctx: Oop,
+    nargs: usize,
+    initial_pc: usize,
+    home: Oop,
+) {
+    let nil = mem.nil();
+    mem.store_nocheck(ctx, block_ctx::CALLER, nil);
+    mem.store_nocheck(ctx, block_ctx::PC, Oop::from_small_int(initial_pc as i64));
+    mem.store_nocheck(ctx, block_ctx::STACKP, Oop::from_small_int(0));
+    mem.store_nocheck(ctx, block_ctx::NARGS, Oop::from_small_int(nargs as i64));
+    mem.store_nocheck(
+        ctx,
+        block_ctx::INITIAL_PC,
+        Oop::from_small_int(initial_pc as i64),
+    );
+    mem.store(ctx, block_ctx::HOME, home);
+    let body = mem.header(ctx).body_words();
+    for i in block_ctx::STACK_START..body {
+        mem.store_nocheck(ctx, i, nil);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_objmem::{MemoryConfig, ObjFormat, So};
+
+    fn mem_with_ctx_classes() -> ObjectMemory {
+        let mem = ObjectMemory::new(MemoryConfig {
+            old_words: 32 << 10,
+            eden_words: 16 << 10,
+            survivor_words: 8 << 10,
+            ..MemoryConfig::default()
+        });
+        let nil = mem
+            .allocate_old(Oop::ZERO, ObjFormat::Pointers, 0, 0)
+            .unwrap();
+        mem.specials().set(So::Nil, nil);
+        for which in [So::ClassMethodContext, So::ClassBlockContext] {
+            let c = mem
+                .allocate_old(Oop::ZERO, ObjFormat::Pointers, 8, 0)
+                .unwrap();
+            mem.specials().set(which, c);
+        }
+        mem
+    }
+
+    fn new_ctx(mem: &ObjectMemory, kind: CtxKind) -> Oop {
+        let class = match kind {
+            CtxKind::MethodSmall | CtxKind::MethodLarge => {
+                mem.specials().get(So::ClassMethodContext)
+            }
+            _ => mem.specials().get(So::ClassBlockContext),
+        };
+        let tok = mem.new_token();
+        mem.allocate(&tok, class, ObjFormat::Pointers, kind.body_slots(), 0)
+            .unwrap()
+    }
+
+    #[test]
+    fn push_pop_lifo() {
+        let mem = mem_with_ctx_classes();
+        let mut fl = FreeLists::default();
+        let a = new_ctx(&mem, CtxKind::MethodSmall);
+        let b = new_ctx(&mem, CtxKind::MethodSmall);
+        fl.push(&mem, CtxKind::MethodSmall, a);
+        fl.push(&mem, CtxKind::MethodSmall, b);
+        assert_eq!(fl.len(&mem, CtxKind::MethodSmall), 2);
+        assert_eq!(fl.pop(&mem, CtxKind::MethodSmall), Some(b));
+        assert_eq!(fl.pop(&mem, CtxKind::MethodSmall), Some(a));
+        assert_eq!(fl.pop(&mem, CtxKind::MethodSmall), None);
+        assert_eq!(fl.recycled, 2);
+    }
+
+    #[test]
+    fn lists_are_kind_separated() {
+        let mem = mem_with_ctx_classes();
+        let mut fl = FreeLists::default();
+        let m = new_ctx(&mem, CtxKind::MethodSmall);
+        fl.push(&mem, CtxKind::MethodSmall, m);
+        assert_eq!(fl.pop(&mem, CtxKind::BlockSmall), None);
+        assert_eq!(fl.pop(&mem, CtxKind::MethodLarge), None);
+        assert!(!fl.is_empty());
+        assert_eq!(fl.pop(&mem, CtxKind::MethodSmall), Some(m));
+        assert!(fl.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_epoch_and_contents() {
+        let mem = mem_with_ctx_classes();
+        let mut fl = FreeLists::default();
+        fl.push(&mem, CtxKind::BlockLarge, new_ctx(&mem, CtxKind::BlockLarge));
+        fl.clear(5);
+        assert!(fl.is_empty());
+        assert_eq!(fl.epoch, 5);
+    }
+
+    #[test]
+    fn kind_classification() {
+        let mem = mem_with_ctx_classes();
+        for kind in [
+            CtxKind::MethodSmall,
+            CtxKind::MethodLarge,
+            CtxKind::BlockSmall,
+            CtxKind::BlockLarge,
+        ] {
+            let c = new_ctx(&mem, kind);
+            assert_eq!(kind_of(&mem, c), Some(kind));
+        }
+        let tok = mem.new_token();
+        let arr = mem
+            .allocate(&tok, Oop::ZERO, ObjFormat::Pointers, 3, 0)
+            .unwrap();
+        assert_eq!(kind_of(&mem, arr), None);
+    }
+
+    #[test]
+    fn reinit_clears_stale_slots() {
+        let mem = mem_with_ctx_classes();
+        let c = new_ctx(&mem, CtxKind::MethodSmall);
+        let junk = new_ctx(&mem, CtxKind::MethodSmall);
+        mem.store_nocheck(c, method_ctx::STACK_START + 3, junk);
+        reinit_method_ctx(&mem, c, mem.nil(), mem.nil(), mem.nil(), 2);
+        assert_eq!(mem.fetch(c, method_ctx::STACK_START + 3), mem.nil());
+        assert_eq!(mem.fetch(c, method_ctx::PC).as_small_int(), 0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Heap dictionaries the VM manipulates directly.
+//!
+//! Two kinds: **MethodDictionary** (selector Symbol → CompiledMethod, open
+//! addressing over parallel key/value Arrays) used for method lookup, and
+//! the **SystemDictionary** `Smalltalk` (Symbol → Association) holding the
+//! global bindings that compiled methods reference through their literal
+//! frames. Both live in old space (they are image structure); dictionary
+//! growth allocates replacement arrays in old space too.
+
+use mst_objmem::layout::{assoc, method_dict};
+use mst_objmem::{ObjectMemory, Oop, So};
+
+/// Layout of the `Smalltalk` SystemDictionary: tally + Association array.
+pub mod system_dict {
+    /// SmallInteger count of bindings.
+    pub const TALLY: usize = 0;
+    /// Array of Associations (nil = empty bucket), capacity a power of two.
+    pub const ARRAY: usize = 1;
+    /// Instance size.
+    pub const SIZE: usize = 2;
+}
+
+fn probe_start(mem: &ObjectMemory, key: Oop, capacity: usize) -> usize {
+    (mem.identity_hash(key) as usize) & (capacity - 1)
+}
+
+// ---------------------------------------------------------------------
+// MethodDictionary
+// ---------------------------------------------------------------------
+
+/// Allocates an empty MethodDictionary (old space) with the given capacity.
+///
+/// # Panics
+///
+/// Panics if old space is exhausted or capacity is not a power of two.
+pub fn method_dict_new(mem: &ObjectMemory, capacity: usize) -> Oop {
+    assert!(capacity.is_power_of_two());
+    let class = mem.specials().get(So::ClassMethodDictionary);
+    let dict = mem
+        .allocate_old(class, mst_objmem::ObjFormat::Pointers, method_dict::SIZE, 0)
+        .expect("old space exhausted allocating a method dictionary");
+    let keys = mem.alloc_array_old(capacity).expect("old space exhausted");
+    let values = mem.alloc_array_old(capacity).expect("old space exhausted");
+    mem.store_nocheck(dict, method_dict::TALLY, Oop::from_small_int(0));
+    mem.store(dict, method_dict::KEYS, keys);
+    mem.store(dict, method_dict::VALUES, values);
+    dict
+}
+
+/// Looks up a selector. `dict` may be nil (empty class), yielding `None`.
+#[inline]
+pub fn method_dict_at(mem: &ObjectMemory, dict: Oop, selector: Oop) -> Option<Oop> {
+    if dict == mem.nil() {
+        return None;
+    }
+    let keys = mem.fetch(dict, method_dict::KEYS);
+    let capacity = mem.header(keys).body_words();
+    let nil = mem.nil();
+    let mut i = probe_start(mem, selector, capacity);
+    loop {
+        let k = mem.fetch(keys, i);
+        if k == selector {
+            return Some(mem.fetch(mem.fetch(dict, method_dict::VALUES), i));
+        }
+        if k == nil {
+            return None;
+        }
+        i = (i + 1) & (capacity - 1);
+    }
+}
+
+/// Installs (or replaces) a selector → method binding. Grows at 3/4 full.
+pub fn method_dict_put(mem: &ObjectMemory, dict: Oop, selector: Oop, method: Oop) {
+    let keys = mem.fetch(dict, method_dict::KEYS);
+    let values = mem.fetch(dict, method_dict::VALUES);
+    let capacity = mem.header(keys).body_words();
+    let nil = mem.nil();
+    let mut i = probe_start(mem, selector, capacity);
+    loop {
+        let k = mem.fetch(keys, i);
+        if k == selector {
+            mem.store(values, i, method);
+            return;
+        }
+        if k == nil {
+            let tally = mem.fetch(dict, method_dict::TALLY).as_small_int() as usize;
+            if (tally + 1) * 4 > capacity * 3 {
+                grow_method_dict(mem, dict, capacity * 2);
+                method_dict_put(mem, dict, selector, method);
+                return;
+            }
+            mem.store(keys, i, selector);
+            mem.store(values, i, method);
+            mem.store_nocheck(dict, method_dict::TALLY, Oop::from_small_int(tally as i64 + 1));
+            return;
+        }
+        i = (i + 1) & (capacity - 1);
+    }
+}
+
+fn grow_method_dict(mem: &ObjectMemory, dict: Oop, new_capacity: usize) {
+    let old_keys = mem.fetch(dict, method_dict::KEYS);
+    let old_values = mem.fetch(dict, method_dict::VALUES);
+    let old_capacity = mem.header(old_keys).body_words();
+    let keys = mem.alloc_array_old(new_capacity).expect("old space exhausted");
+    let values = mem.alloc_array_old(new_capacity).expect("old space exhausted");
+    mem.store(dict, method_dict::KEYS, keys);
+    mem.store(dict, method_dict::VALUES, values);
+    mem.store_nocheck(dict, method_dict::TALLY, Oop::from_small_int(0));
+    let nil = mem.nil();
+    for i in 0..old_capacity {
+        let k = mem.fetch(old_keys, i);
+        if k != nil {
+            method_dict_put(mem, dict, k, mem.fetch(old_values, i));
+        }
+    }
+}
+
+/// Iterates (selector, method) pairs.
+pub fn method_dict_each(mem: &ObjectMemory, dict: Oop, mut f: impl FnMut(Oop, Oop)) {
+    if dict == mem.nil() {
+        return;
+    }
+    let keys = mem.fetch(dict, method_dict::KEYS);
+    let values = mem.fetch(dict, method_dict::VALUES);
+    let nil = mem.nil();
+    for i in 0..mem.header(keys).body_words() {
+        let k = mem.fetch(keys, i);
+        if k != nil {
+            f(k, mem.fetch(values, i));
+        }
+    }
+}
+
+/// Number of installed selectors.
+pub fn method_dict_len(mem: &ObjectMemory, dict: Oop) -> usize {
+    if dict == mem.nil() {
+        0
+    } else {
+        mem.fetch(dict, method_dict::TALLY).as_small_int() as usize
+    }
+}
+
+// ---------------------------------------------------------------------
+// SystemDictionary (`Smalltalk`)
+// ---------------------------------------------------------------------
+
+/// Allocates the SystemDictionary and registers it as a special object.
+pub fn system_dict_create(mem: &ObjectMemory, capacity: usize) -> Oop {
+    assert!(capacity.is_power_of_two());
+    // Its class slot is patched by the bootstrap once classes exist.
+    let dict = mem
+        .allocate_old(Oop::ZERO, mst_objmem::ObjFormat::Pointers, system_dict::SIZE, 0)
+        .expect("old space exhausted allocating Smalltalk");
+    let array = mem.alloc_array_old(capacity).expect("old space exhausted");
+    mem.store_nocheck(dict, system_dict::TALLY, Oop::from_small_int(0));
+    mem.store(dict, system_dict::ARRAY, array);
+    mem.specials().set(So::SmalltalkDict, dict);
+    dict
+}
+
+/// Finds the Association binding `name`, if any.
+pub fn global_lookup(mem: &ObjectMemory, name: &str) -> Option<Oop> {
+    let sym = mem.find_symbol(name)?;
+    global_lookup_sym(mem, sym)
+}
+
+/// Finds the Association binding the symbol, if any.
+pub fn global_lookup_sym(mem: &ObjectMemory, sym: Oop) -> Option<Oop> {
+    let dict = mem.specials().get(So::SmalltalkDict);
+    let array = mem.fetch(dict, system_dict::ARRAY);
+    let capacity = mem.header(array).body_words();
+    let nil = mem.nil();
+    let mut i = probe_start(mem, sym, capacity);
+    loop {
+        let a = mem.fetch(array, i);
+        if a == nil {
+            return None;
+        }
+        if mem.fetch(a, assoc::KEY) == sym {
+            return Some(a);
+        }
+        i = (i + 1) & (capacity - 1);
+    }
+}
+
+/// Returns the Association binding `name`, creating it (value nil, old
+/// space) if absent — the behaviour method installation relies on for
+/// forward references between classes.
+pub fn global_binding(mem: &ObjectMemory, name: &str) -> Oop {
+    let sym = mem.intern(name);
+    if let Some(a) = global_lookup_sym(mem, sym) {
+        return a;
+    }
+    let class = mem.specials().get(So::ClassAssociation);
+    let a = mem
+        .allocate_old(class, mst_objmem::ObjFormat::Pointers, assoc::SIZE, 0)
+        .expect("old space exhausted allocating a global binding");
+    mem.store(a, assoc::KEY, sym);
+    system_dict_insert(mem, a);
+    a
+}
+
+/// Sets a global's value, creating the binding if needed.
+pub fn global_put(mem: &ObjectMemory, name: &str, value: Oop) -> Oop {
+    let binding = global_binding(mem, name);
+    mem.store(binding, assoc::VALUE, value);
+    binding
+}
+
+/// Reads a global's value (nil if unbound).
+pub fn global_get(mem: &ObjectMemory, name: &str) -> Oop {
+    match global_lookup(mem, name) {
+        Some(a) => mem.fetch(a, assoc::VALUE),
+        None => mem.nil(),
+    }
+}
+
+fn system_dict_insert(mem: &ObjectMemory, association: Oop) {
+    let dict = mem.specials().get(So::SmalltalkDict);
+    let array = mem.fetch(dict, system_dict::ARRAY);
+    let capacity = mem.header(array).body_words();
+    let tally = mem.fetch(dict, system_dict::TALLY).as_small_int() as usize;
+    if (tally + 1) * 4 > capacity * 3 {
+        let new_array = mem
+            .alloc_array_old(capacity * 2)
+            .expect("old space exhausted");
+        let old_array = array;
+        mem.store(dict, system_dict::ARRAY, new_array);
+        mem.store_nocheck(dict, system_dict::TALLY, Oop::from_small_int(0));
+        let nil = mem.nil();
+        for i in 0..capacity {
+            let a = mem.fetch(old_array, i);
+            if a != nil {
+                system_dict_insert(mem, a);
+            }
+        }
+        system_dict_insert(mem, association);
+        return;
+    }
+    let key = mem.fetch(association, assoc::KEY);
+    let nil = mem.nil();
+    let mut i = probe_start(mem, key, capacity);
+    loop {
+        if mem.fetch(array, i) == nil {
+            mem.store(array, i, association);
+            mem.store_nocheck(dict, system_dict::TALLY, Oop::from_small_int(tally as i64 + 1));
+            return;
+        }
+        i = (i + 1) & (capacity - 1);
+    }
+}
+
+/// Iterates every Association in the SystemDictionary.
+pub fn global_each(mem: &ObjectMemory, mut f: impl FnMut(Oop)) {
+    let dict = mem.specials().get(So::SmalltalkDict);
+    let array = mem.fetch(dict, system_dict::ARRAY);
+    let nil = mem.nil();
+    for i in 0..mem.header(array).body_words() {
+        let a = mem.fetch(array, i);
+        if a != nil {
+            f(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mst_objmem::{MemoryConfig, ObjFormat};
+
+    fn test_mem() -> ObjectMemory {
+        let mem = ObjectMemory::new(MemoryConfig {
+            old_words: 64 << 10,
+            eden_words: 8 << 10,
+            survivor_words: 4 << 10,
+            ..MemoryConfig::default()
+        });
+        let nil = mem
+            .allocate_old(Oop::ZERO, ObjFormat::Pointers, 0, 0)
+            .unwrap();
+        mem.specials().set(So::Nil, nil);
+        for which in [
+            So::ClassSymbol,
+            So::ClassArray,
+            So::ClassAssociation,
+            So::ClassMethodDictionary,
+        ] {
+            let c = mem
+                .allocate_old(Oop::ZERO, ObjFormat::Pointers, 8, 0)
+                .unwrap();
+            mem.specials().set(which, c);
+        }
+        system_dict_create(&mem, 8);
+        mem
+    }
+
+    #[test]
+    fn method_dict_put_and_get() {
+        let mem = test_mem();
+        let dict = method_dict_new(&mem, 8);
+        let sel = mem.intern("foo");
+        let m = mem.alloc_array_old(1).unwrap(); // stand-in for a method
+        assert_eq!(method_dict_at(&mem, dict, sel), None);
+        method_dict_put(&mem, dict, sel, m);
+        assert_eq!(method_dict_at(&mem, dict, sel), Some(m));
+        assert_eq!(method_dict_len(&mem, dict), 1);
+        // Replacement keeps the tally.
+        let m2 = mem.alloc_array_old(1).unwrap();
+        method_dict_put(&mem, dict, sel, m2);
+        assert_eq!(method_dict_at(&mem, dict, sel), Some(m2));
+        assert_eq!(method_dict_len(&mem, dict), 1);
+    }
+
+    #[test]
+    fn method_dict_grows() {
+        let mem = test_mem();
+        let dict = method_dict_new(&mem, 4);
+        let methods: Vec<(Oop, Oop)> = (0..40)
+            .map(|i| {
+                let sel = mem.intern(&format!("sel{i}"));
+                let m = mem.alloc_array_old(1).unwrap();
+                method_dict_put(&mem, dict, sel, m);
+                (sel, m)
+            })
+            .collect();
+        assert_eq!(method_dict_len(&mem, dict), 40);
+        for (sel, m) in methods {
+            assert_eq!(method_dict_at(&mem, dict, sel), Some(m));
+        }
+        let mut count = 0;
+        method_dict_each(&mem, dict, |_, _| count += 1);
+        assert_eq!(count, 40);
+    }
+
+    #[test]
+    fn lookup_in_nil_dict() {
+        let mem = test_mem();
+        let sel = mem.intern("foo");
+        assert_eq!(method_dict_at(&mem, mem.nil(), sel), None);
+        assert_eq!(method_dict_len(&mem, mem.nil()), 0);
+    }
+
+    #[test]
+    fn globals_create_and_update() {
+        let mem = test_mem();
+        assert_eq!(global_get(&mem, "Transcript"), mem.nil());
+        assert!(global_lookup(&mem, "Transcript").is_none());
+        let v = mem.alloc_array_old(1).unwrap();
+        global_put(&mem, "Transcript", v);
+        assert_eq!(global_get(&mem, "Transcript"), v);
+        // Binding identity is stable across updates.
+        let b1 = global_binding(&mem, "Transcript");
+        let v2 = mem.alloc_array_old(1).unwrap();
+        global_put(&mem, "Transcript", v2);
+        assert_eq!(global_binding(&mem, "Transcript"), b1);
+        assert_eq!(global_get(&mem, "Transcript"), v2);
+    }
+
+    #[test]
+    fn system_dict_grows_past_initial_capacity() {
+        let mem = test_mem();
+        for i in 0..50 {
+            global_put(&mem, &format!("Global{i}"), Oop::from_small_int(i));
+        }
+        for i in 0..50 {
+            assert_eq!(
+                global_get(&mem, &format!("Global{i}")).as_small_int(),
+                i
+            );
+        }
+        let mut n = 0;
+        global_each(&mem, |_| n += 1);
+        assert_eq!(n, 50);
+    }
+}

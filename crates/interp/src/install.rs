@@ -1,0 +1,186 @@
+//! Method installation: compiler output → heap objects.
+//!
+//! Converts a [`CompiledMethodSpec`] into a CompiledMethod object (old
+//! space) and installs it in a class's method dictionary. Literal values are
+//! materialized as heap objects; `GlobalBinding` literals resolve through
+//! the `Smalltalk` SystemDictionary (creating nil bindings for forward
+//! references); the `MethodClass` placeholder becomes the defining class,
+//! which super sends use to start lookup one level up.
+
+use mst_compiler::ast::Literal;
+use mst_compiler::{CompiledMethodSpec, LitEntry};
+use mst_objmem::layout::{class, organizer};
+use mst_objmem::{MethodHeader, ObjectMemory, Oop, So};
+
+use crate::dicts::{global_binding, method_dict_new, method_dict_put};
+
+/// Materializes a compiler literal as a (long-lived, old-space) object.
+pub fn install_literal(mem: &ObjectMemory, lit: &Literal) -> Oop {
+    match lit {
+        Literal::Int(v) => Oop::from_small_int(*v),
+        Literal::Float(v) => {
+            let class = mem.specials().get(So::ClassFloat);
+            mem.alloc_byte_obj_old(class, &v.to_le_bytes())
+                .expect("old space exhausted")
+        }
+        Literal::Char(c) => mem.char_oop(*c),
+        Literal::Str(s) => mem.alloc_string_old(s).expect("old space exhausted"),
+        Literal::Symbol(s) => mem.intern(s),
+        Literal::Array(items) => {
+            let arr = mem
+                .alloc_array_old(items.len())
+                .expect("old space exhausted");
+            for (i, item) in items.iter().enumerate() {
+                let v = install_literal(mem, item);
+                mem.store(arr, i, v);
+            }
+            arr
+        }
+        Literal::ByteArray(bytes) => {
+            let class = mem.specials().get(So::ClassByteArray);
+            mem.alloc_byte_obj_old(class, bytes)
+                .expect("old space exhausted")
+        }
+        Literal::True => mem.specials().get(So::True),
+        Literal::False => mem.specials().get(So::False),
+        Literal::Nil => mem.nil(),
+    }
+}
+
+/// Creates the CompiledMethod object for a spec, resolving literals.
+///
+/// `defining_class` replaces any `MethodClass` placeholder (super sends).
+pub fn create_method(
+    mem: &ObjectMemory,
+    spec: &CompiledMethodSpec,
+    defining_class: Oop,
+) -> Oop {
+    let literals: Vec<Oop> = spec
+        .literals
+        .iter()
+        .map(|entry| match entry {
+            LitEntry::Value(lit) => install_literal(mem, lit),
+            LitEntry::GlobalBinding(name) => global_binding(mem, name),
+            LitEntry::MethodClass => defining_class,
+        })
+        .collect();
+    let header = MethodHeader {
+        num_args: spec.num_args,
+        num_temps: spec.num_temps,
+        num_literals: literals.len() as u16,
+        primitive: spec.primitive,
+        large_context: spec.large_context,
+    };
+    mem.alloc_method_old(header, &literals, &spec.bytecodes)
+        .expect("old space exhausted allocating a method")
+}
+
+/// Creates the method and installs it under its selector in `class`'s
+/// method dictionary (creating the dictionary if the class has none).
+/// Returns the method oop.
+pub fn install_method(mem: &ObjectMemory, class_oop: Oop, spec: &CompiledMethodSpec) -> Oop {
+    let method = create_method(mem, spec, class_oop);
+    let selector = mem.intern(&spec.selector);
+    let mut dict = mem.fetch(class_oop, class::METHOD_DICT);
+    if dict == mem.nil() {
+        dict = method_dict_new(mem, 8);
+        mem.store(class_oop, class::METHOD_DICT, dict);
+    }
+    method_dict_put(mem, dict, selector, method);
+    method
+}
+
+/// Records `selector` under `category` in the class's organization
+/// (creating the ClassOrganizer if needed) — the structure the *read and
+/// write class organization* macro benchmark manipulates.
+pub fn organize_method(mem: &ObjectMemory, class_oop: Oop, category: &str, selector: &str) {
+    let mut org = mem.fetch(class_oop, class::ORGANIZATION);
+    if org == mem.nil() {
+        let organizer_class = crate::dicts::global_get(mem, "ClassOrganizer");
+        org = mem
+            .allocate_old(
+                organizer_class,
+                mst_objmem::ObjFormat::Pointers,
+                organizer::SIZE,
+                0,
+            )
+            .expect("old space exhausted");
+        let cats = mem.alloc_array_old(0).expect("old space exhausted");
+        let sels = mem.alloc_array_old(0).expect("old space exhausted");
+        mem.store(org, organizer::CATEGORIES, cats);
+        mem.store(org, organizer::SELECTORS, sels);
+        mem.store(class_oop, class::ORGANIZATION, org);
+    }
+    let cats = mem.fetch(org, organizer::CATEGORIES);
+    let ncats = mem.header(cats).body_words();
+    let mut cat_idx = None;
+    for i in 0..ncats {
+        if mem.str_value(mem.fetch(cats, i)) == category {
+            cat_idx = Some(i);
+            break;
+        }
+    }
+    let sel_sym = mem.intern(selector);
+    match cat_idx {
+        Some(i) => {
+            let sels = mem.fetch(org, organizer::SELECTORS);
+            let old_list = mem.fetch(sels, i);
+            let n = mem.header(old_list).body_words();
+            for j in 0..n {
+                if mem.fetch(old_list, j) == sel_sym {
+                    return; // already recorded
+                }
+            }
+            let new_list = mem.alloc_array_old(n + 1).expect("old space exhausted");
+            for j in 0..n {
+                let v = mem.fetch(old_list, j);
+                mem.store(new_list, j, v);
+            }
+            mem.store(new_list, n, sel_sym);
+            mem.store(sels, i, new_list);
+        }
+        None => {
+            // Append a new category (arrays are copied-on-grow).
+            let new_cats = mem.alloc_array_old(ncats + 1).expect("old space exhausted");
+            for i in 0..ncats {
+                let v = mem.fetch(cats, i);
+                mem.store(new_cats, i, v);
+            }
+            let cat_str = mem.alloc_string_old(category).expect("old space exhausted");
+            mem.store(new_cats, ncats, cat_str);
+            mem.store(org, organizer::CATEGORIES, new_cats);
+
+            let sels = mem.fetch(org, organizer::SELECTORS);
+            let new_sels = mem.alloc_array_old(ncats + 1).expect("old space exhausted");
+            for i in 0..ncats {
+                let v = mem.fetch(sels, i);
+                mem.store(new_sels, i, v);
+            }
+            let list = mem.alloc_array_old(1).expect("old space exhausted");
+            mem.store(list, 0, sel_sym);
+            mem.store(new_sels, ncats, list);
+            mem.store(org, organizer::SELECTORS, new_sels);
+        }
+    }
+}
+
+/// The instance-variable names of a class, inherited first (the compile
+/// context for methods of that class).
+pub fn all_instance_var_names(mem: &ObjectMemory, class_oop: Oop) -> Vec<String> {
+    let mut chain = Vec::new();
+    let mut c = class_oop;
+    while c != mem.nil() {
+        chain.push(c);
+        c = mem.fetch(c, class::SUPERCLASS);
+    }
+    let mut names = Vec::new();
+    for c in chain.into_iter().rev() {
+        let ivars = mem.fetch(c, class::INSTVAR_NAMES);
+        if ivars != mem.nil() {
+            for i in 0..mem.header(ivars).body_words() {
+                names.push(mem.str_value(mem.fetch(ivars, i)));
+            }
+        }
+    }
+    names
+}

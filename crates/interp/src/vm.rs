@@ -1,0 +1,255 @@
+//! Shared virtual-machine state.
+//!
+//! One [`Vm`] is shared (via `Arc`) by every interpreter thread. It owns the
+//! object memory, the stop-the-world rendezvous, the scheduler lock, the
+//! serialized devices, and the policy knobs corresponding to the paper's
+//! three adaptation strategies.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+use mst_objmem::{MemoryConfig, ObjectMemory};
+use mst_vkernel::io::{Display, InputQueue};
+use mst_vkernel::{Rendezvous, SpinLock, SpinMutex, SyncMode};
+
+use crate::cache::GlobalCache;
+
+/// How the method-lookup cache is shared (paper §3.2).
+///
+/// The paper first serialized the cache with "a two-level locking scheme to
+/// allow multiple readers", found that "contention for the lock was causing
+/// it to run much too slowly", and replicated it per processor. Both
+/// variants are kept so the ablation benchmark can reproduce the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// One global cache behind a readers/writer spin-lock.
+    Serialized,
+    /// One cache per interpreter (the paper's fix).
+    #[default]
+    Replicated,
+}
+
+/// How the free-context lists are shared (paper §3.2).
+///
+/// "Profiling of an earlier version of MS revealed that serialization of
+/// access to the free context list caused a bottleneck. … Replication of the
+/// free context list yielded a reduction in the worst-case overhead from
+/// 160% to 65%."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FreeListPolicy {
+    /// Context recycling disabled entirely (every activation allocates).
+    Disabled,
+    /// One shared free list behind a spin-lock.
+    Shared,
+    /// One free list per interpreter (the paper's fix).
+    #[default]
+    Replicated,
+}
+
+/// All the policy knobs for building a [`Vm`].
+#[derive(Debug, Clone, Copy)]
+pub struct VmOptions {
+    /// Baseline BS (no interlocking) or MS.
+    pub sync: SyncMode,
+    /// Object-memory sizing; its `sync` field should match `sync`.
+    pub memory: MemoryConfig,
+    /// Method-cache strategy.
+    pub cache_policy: CachePolicy,
+    /// Free-context-list strategy.
+    pub context_policy: FreeListPolicy,
+    /// Number of virtual processors (max concurrent interpreters).
+    pub processors: usize,
+    /// Bytecodes between safepoint polls.
+    pub quantum: u32,
+}
+
+impl Default for VmOptions {
+    fn default() -> Self {
+        VmOptions {
+            sync: SyncMode::Multiprocessor,
+            memory: MemoryConfig::default(),
+            cache_policy: CachePolicy::Replicated,
+            context_policy: FreeListPolicy::Replicated,
+            processors: 5, // the Firefly
+            quantum: 1024,
+        }
+    }
+}
+
+/// Aggregated execution counters (the instrumentation the paper lists as
+/// future work: "add sufficient instrumentation to MS to gather data").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmCounters {
+    /// Bytecodes executed.
+    pub bytecodes: u64,
+    /// Full message sends (special-selector fast paths excluded).
+    pub sends: u64,
+    /// Method-cache hits.
+    pub cache_hits: u64,
+    /// Method-cache misses (full lookups).
+    pub cache_misses: u64,
+    /// Primitive invocations that succeeded.
+    pub primitives: u64,
+    /// Method contexts recycled from a free list.
+    pub contexts_recycled: u64,
+    /// Contexts allocated fresh from the heap.
+    pub contexts_allocated: u64,
+    /// Process switches performed.
+    pub process_switches: u64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct AtomicCounters {
+    pub bytecodes: AtomicU64,
+    pub sends: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub primitives: AtomicU64,
+    pub contexts_recycled: AtomicU64,
+    pub contexts_allocated: AtomicU64,
+    pub process_switches: AtomicU64,
+}
+
+/// The shared virtual machine.
+pub struct Vm {
+    /// The object memory.
+    pub mem: ObjectMemory,
+    /// Stop-the-world rendezvous for scavenging.
+    pub rendezvous: Rendezvous,
+    /// The scheduler lock serializing the ready queue (paper §3.1).
+    pub sched_lock: SpinLock,
+    /// The display controller (serialized output queue).
+    pub display: Display,
+    /// The input event queue (serialized).
+    pub input: InputQueue,
+    /// Policy knobs.
+    pub options: VmOptions,
+    /// Set false to make every interpreter wind down at its next safepoint.
+    pub run_flag: AtomicBool,
+    /// Highest priority of a ready-but-unclaimed Process, or 0; interpreters
+    /// check it at safepoints to decide whether to preempt themselves.
+    pub preempt_hint: AtomicI64,
+    pub(crate) counters: AtomicCounters,
+    /// Error messages reported by `error:` (process-terminating failures).
+    pub error_log: SpinMutex<Vec<String>>,
+    /// Text written by the image's Transcript primitive.
+    pub transcript: SpinMutex<String>,
+    /// Bumped whenever method caches must be invalidated (GC or method
+    /// installation).
+    pub(crate) cache_epoch: AtomicU64,
+    /// VM start instant (the millisecond clock's zero).
+    pub(crate) start: std::time::Instant,
+    pub(crate) global_cache: GlobalCache,
+    /// Shared free-context lists (used under [`FreeListPolicy::Shared`]).
+    pub(crate) shared_free: SpinMutex<crate::contexts::FreeLists>,
+    /// A Process only its watcher may claim (measurement pinning; see
+    /// `scheduler::claim_next` and `Interpreter::run`).
+    pub(crate) reserved: SpinMutex<Option<mst_objmem::RootHandle>>,
+    /// Interpreter-id dispenser.
+    pub(crate) next_interp_id: AtomicU64,
+}
+
+impl std::fmt::Debug for Vm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("options", &self.options)
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+impl Vm {
+    /// Builds a VM with fresh object memory.
+    pub fn new(options: VmOptions) -> Vm {
+        let mut memory = options.memory;
+        memory.sync = options.sync;
+        let mem = ObjectMemory::new(memory);
+        Vm::with_memory(mem, options)
+    }
+
+    /// Builds a VM around existing object memory (e.g. a loaded snapshot).
+    pub fn with_memory(mem: ObjectMemory, options: VmOptions) -> Vm {
+        Vm {
+            mem,
+            rendezvous: Rendezvous::new(),
+            sched_lock: SpinLock::new(options.sync),
+            display: Display::new(options.sync, 640, 480),
+            input: InputQueue::new(options.sync, 256),
+            options,
+            run_flag: AtomicBool::new(true),
+            preempt_hint: AtomicI64::new(0),
+            counters: AtomicCounters::default(),
+            error_log: SpinMutex::new(options.sync, Vec::new()),
+            transcript: SpinMutex::new(options.sync, String::new()),
+            cache_epoch: AtomicU64::new(0),
+            start: std::time::Instant::now(),
+            global_cache: GlobalCache::new(options.sync),
+            shared_free: SpinMutex::new(options.sync, crate::contexts::FreeLists::default()),
+            reserved: SpinMutex::new(options.sync, None),
+            next_interp_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the aggregated execution counters.
+    pub fn counters(&self) -> VmCounters {
+        let c = &self.counters;
+        VmCounters {
+            bytecodes: c.bytecodes.load(Ordering::Relaxed),
+            sends: c.sends.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            primitives: c.primitives.load(Ordering::Relaxed),
+            contexts_recycled: c.contexts_recycled.load(Ordering::Relaxed),
+            contexts_allocated: c.contexts_allocated.load(Ordering::Relaxed),
+            process_switches: c.process_switches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the aggregated counters (between benchmark runs).
+    pub fn reset_counters(&self) {
+        let c = &self.counters;
+        for a in [
+            &c.bytecodes,
+            &c.sends,
+            &c.cache_hits,
+            &c.cache_misses,
+            &c.primitives,
+            &c.contexts_recycled,
+            &c.contexts_allocated,
+            &c.process_switches,
+        ] {
+            a.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Contention statistics of the scheduler lock.
+    pub fn sched_lock_stats(&self) -> mst_vkernel::LockStats {
+        self.sched_lock.stats()
+    }
+
+    /// Current cache-invalidation epoch.
+    pub fn cache_epoch(&self) -> u64 {
+        self.cache_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Invalidates every method cache (GC, method installation).
+    pub fn bump_cache_epoch(&self) {
+        self.cache_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reserves a Process so only the interpreter watching it will claim
+    /// it (pass `None` to clear). Used to pin measured doits to the
+    /// measuring thread.
+    pub fn set_reserved(&self, process: Option<mst_objmem::RootHandle>) {
+        *self.reserved.lock() = process;
+    }
+
+    /// Asks every interpreter to stop at its next safepoint.
+    pub fn shutdown(&self) {
+        self.run_flag.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether the system is still running.
+    pub fn running(&self) -> bool {
+        self.run_flag.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,334 @@
+//! Mark-compact full collection of old space.
+//!
+//! Generation Scavenging never reclaims tenured objects, so a long-running
+//! image eventually needs a full collection (BS performed an offline
+//! "mark-sweep" via snapshot; we do it online). The algorithm is a classic
+//! three-pass sliding compactor over old space:
+//!
+//! 1. **Mark** every object reachable from the roots (special objects, root
+//!    cells, interned symbols), tracing through both generations.
+//! 2. **Plan**: walk old space linearly, assigning each marked object its
+//!    slid-down address.
+//! 3. **Update** every reference in marked objects, roots, the symbol table
+//!    and the entry table; then **move** the bodies and clear marks.
+//!
+//! New-space objects are never moved by a full collection; unreachable ones
+//! are simply never scanned again (the next scavenge abandons them).
+//!
+//! **The world must be stopped by the caller**, and any free-context lists
+//! must be cleared first (they hold dead contexts by design).
+
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use crate::header::ObjFormat;
+use crate::heap::ObjectMemory;
+use crate::method::MethodHeader;
+use crate::oop::Oop;
+
+impl ObjectMemory {
+    /// Runs a full mark-compact collection. Returns reclaimed old-space words.
+    pub fn full_gc(&self) -> usize {
+        let start = Instant::now();
+        let old_used_before = self.old_used();
+
+        // --- Phase 1: mark ---------------------------------------------
+        let mut stack: Vec<Oop> = Vec::with_capacity(4096);
+        let mut marked: Vec<Oop> = Vec::with_capacity(4096);
+        let mark = |mem: &ObjectMemory, oop: Oop, stack: &mut Vec<Oop>, marked: &mut Vec<Oop>| {
+            if !oop.is_object() {
+                return;
+            }
+            let h = mem.header(oop);
+            if !h.is_marked() {
+                mem.set_header(oop, h.with_marked(true));
+                stack.push(oop);
+                marked.push(oop);
+            }
+        };
+        self.specials()
+            .update_all(|o| {
+                mark(self, o, &mut stack, &mut marked);
+                o
+            });
+        {
+            let roots = self.roots.lock();
+            for weak in roots.iter() {
+                if let Some(cell) = weak.upgrade() {
+                    mark(
+                        self,
+                        Oop::from_raw(cell.load(Ordering::Relaxed)),
+                        &mut stack,
+                        &mut marked,
+                    );
+                }
+            }
+        }
+        self.each_symbol(|sym| mark(self, sym, &mut stack, &mut marked));
+        while let Some(obj) = stack.pop() {
+            // The class word is a reference too — metaclasses in particular
+            // are reachable only through their instances' class pointers.
+            mark(self, self.class_of(obj), &mut stack, &mut marked);
+            for i in 0..self.pointer_slot_count(obj) {
+                mark(self, self.fetch(obj, i), &mut stack, &mut marked);
+            }
+        }
+
+        // --- Phase 2: plan new addresses --------------------------------
+        // Sorted by construction (linear walk), enabling binary search.
+        let mut map: Vec<(usize, usize)> = Vec::with_capacity(marked.len());
+        let mut dest = self.spaces().old_start;
+        let mut scan = self.spaces().old_start;
+        let old_next = self.old_next_value();
+        while scan < old_next {
+            let obj = Oop::from_index(scan);
+            let h = self.header(obj);
+            let total = 2 + h.body_words();
+            if h.is_marked() {
+                map.push((scan, dest));
+                dest += total;
+            }
+            scan += total;
+        }
+        let relocate = |oop: Oop| -> Oop {
+            if !oop.is_object() || !self.spaces().is_old(oop.index()) {
+                return oop;
+            }
+            match map.binary_search_by_key(&oop.index(), |&(from, _)| from) {
+                Ok(i) => Oop::from_index(map[i].1),
+                Err(_) => unreachable!("live reference to an unmarked old object: {oop:?}"),
+            }
+        };
+
+        // --- Phase 3: update references ----------------------------------
+        for &obj in &marked {
+            for i in 0..self.pointer_slot_count(obj) {
+                let v = self.fetch(obj, i);
+                self.store_nocheck(obj, i, relocate(v));
+            }
+            let class = self.class_of(obj);
+            self.set_class(obj, relocate(class));
+        }
+        self.specials().update_all(&relocate);
+        {
+            let roots = self.roots.lock();
+            for weak in roots.iter() {
+                if let Some(cell) = weak.upgrade() {
+                    let old = Oop::from_raw(cell.load(Ordering::Relaxed));
+                    cell.store(relocate(old).raw(), Ordering::Relaxed);
+                }
+            }
+        }
+        self.update_symbols(&relocate);
+        {
+            let mut table = self.entry_table.lock();
+            table.retain(|&obj| self.header(obj).is_marked());
+            for entry in table.iter_mut() {
+                *entry = relocate(*entry);
+            }
+        }
+        let relocated_marks: Vec<Oop> = marked.iter().map(|&o| relocate(o)).collect();
+
+        // --- Phase 4: move bodies ---------------------------------------
+        for &(from, to) in &map {
+            if from != to {
+                let total = 2 + self.header(Oop::from_index(from)).body_words();
+                for i in 0..total {
+                    self.set_word(to + i, self.word(from + i));
+                }
+            }
+        }
+        self.set_old_next(dest);
+
+        // --- Phase 5: clear marks ----------------------------------------
+        for obj in relocated_marks {
+            let h = self.header(obj);
+            self.set_header(obj, h.with_marked(false));
+        }
+
+        self.bump_epoch();
+        let reclaimed = old_used_before - (dest - self.spaces().old_start);
+        let mut stats = self.stats.lock();
+        stats.full_gcs += 1;
+        stats.full_gc_nanos += start.elapsed().as_nanos() as u64;
+        reclaimed
+    }
+
+    /// Number of leading pointer slots in an object's body.
+    pub(crate) fn pointer_slot_count(&self, obj: Oop) -> usize {
+        let h = self.header(obj);
+        match h.format() {
+            ObjFormat::Pointers => h.body_words(),
+            ObjFormat::Method => MethodHeader::decode(self.fetch(obj, 0)).pointer_slots(),
+            ObjFormat::Bytes => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::tests::bootstrap_minimal;
+    use crate::heap::{MemoryConfig, ObjectMemory};
+
+    fn mem() -> ObjectMemory {
+        let m = ObjectMemory::new(MemoryConfig {
+            old_words: 64 << 10,
+            eden_words: 16 << 10,
+            survivor_words: 8 << 10,
+            tenure_age: 2,
+            ..MemoryConfig::default()
+        });
+        bootstrap_minimal(&m);
+        m
+    }
+
+    #[test]
+    fn dead_old_objects_are_reclaimed() {
+        let m = mem();
+        let before = m.old_used();
+        for _ in 0..50 {
+            m.alloc_array_old(20).unwrap();
+        }
+        assert!(m.old_used() > before);
+        let reclaimed = m.full_gc();
+        assert!(reclaimed >= 50 * 22);
+        assert_eq!(m.old_used(), before);
+    }
+
+    #[test]
+    fn live_old_objects_slide_and_keep_contents() {
+        let m = mem();
+        let _garbage = m.alloc_array_old(100).unwrap();
+        let live = m.alloc_array_old(2).unwrap();
+        m.store_nocheck(live, 0, Oop::from_small_int(123));
+        let s = m.alloc_string_old("keepme").unwrap();
+        m.store_nocheck(live, 1, s);
+        let root = m.new_root(live);
+        m.full_gc();
+        let live2 = root.get();
+        assert!(live2.index() < live.index(), "should have slid down");
+        assert_eq!(m.fetch(live2, 0).as_small_int(), 123);
+        assert_eq!(m.str_value(m.fetch(live2, 1)), "keepme");
+    }
+
+    #[test]
+    fn symbols_survive_and_table_is_updated() {
+        let m = mem();
+        let _garbage = m.alloc_array_old(500).unwrap();
+        let sym = m.intern("someSelector:");
+        m.full_gc();
+        let sym2 = m.find_symbol("someSelector:").unwrap();
+        assert_ne!(sym, sym2, "symbol should have moved");
+        assert_eq!(m.str_value(sym2), "someSelector:");
+        // Interning again returns the relocated symbol, not a duplicate.
+        assert_eq!(m.intern("someSelector:"), sym2);
+    }
+
+    #[test]
+    fn new_space_slots_pointing_at_old_are_updated() {
+        let m = mem();
+        let tok = m.new_token();
+        let _garbage = m.alloc_array_old(300).unwrap();
+        let old_target = m.alloc_array_old(1).unwrap();
+        m.store_nocheck(old_target, 0, Oop::from_small_int(7));
+        let young = m.alloc_array(&tok, 1).unwrap();
+        m.store_nocheck(young, 0, old_target);
+        let root = m.new_root(young);
+        m.full_gc();
+        let young2 = root.get();
+        assert_eq!(young2, young, "full GC does not move new objects");
+        let target2 = m.fetch(young2, 0);
+        assert!(target2.index() < old_target.index());
+        assert_eq!(m.fetch(target2, 0).as_small_int(), 7);
+    }
+
+    #[test]
+    fn entry_table_survives_compaction() {
+        let m = mem();
+        let tok = m.new_token();
+        let _garbage = m.alloc_array_old(300).unwrap();
+        let old = m.alloc_array_old(1).unwrap();
+        let young = m.alloc_array(&tok, 1).unwrap();
+        m.store_nocheck(young, 0, Oop::from_small_int(9));
+        m.store(old, 0, young);
+        let root = m.new_root(old);
+        m.full_gc();
+        // A scavenge after the compaction must still see the entry.
+        m.scavenge();
+        let old2 = root.get();
+        let young2 = m.fetch(old2, 0);
+        assert!(m.is_new(young2));
+        assert_eq!(m.fetch(young2, 0).as_small_int(), 9);
+    }
+
+    #[test]
+    fn scavenge_triggers_full_gc_when_old_space_tight() {
+        let m = ObjectMemory::new(MemoryConfig {
+            old_words: 3 << 10,
+            eden_words: 2 << 10,
+            survivor_words: 1 << 10,
+            tenure_age: 2,
+            ..MemoryConfig::default()
+        });
+        bootstrap_minimal(&m);
+        let tok = m.new_token();
+        // Fill most of old space with garbage, then scavenge with a full
+        // eden: the up-front check must run a full GC rather than panic.
+        while m.old_free() > 200 {
+            m.alloc_array_old(64).unwrap();
+        }
+        for _ in 0..4 {
+            m.alloc_array(&tok, 64).unwrap();
+        }
+        let out = m.scavenge();
+        assert!(out.full_gc_ran);
+        assert_eq!(m.gc_stats().full_gcs, 1);
+    }
+
+    #[test]
+    fn idempotent_when_everything_is_live() {
+        let m = mem();
+        let a = m.alloc_array_old(3).unwrap();
+        let root = m.new_root(a);
+        let used = m.old_used();
+        m.full_gc();
+        assert_eq!(m.old_used(), used);
+        let pos = root.get();
+        m.full_gc();
+        assert_eq!(root.get(), pos, "second compaction moves nothing");
+    }
+
+    #[test]
+    fn classes_reachable_only_through_instances_survive() {
+        // Regression: the mark phase must trace class words — a class (e.g.
+        // a metaclass) may be reachable only through its instances.
+        let m = mem();
+        let _garbage = m.alloc_array_old(200).unwrap();
+        let private_class = m
+            .allocate_old(m.nil(), crate::ObjFormat::Pointers, 8, 0)
+            .unwrap();
+        m.store_nocheck(private_class, 3, Oop::from_small_int(77));
+        let instance = m.alloc_array_old(0).unwrap();
+        m.set_class(instance, private_class);
+        let root = m.new_root(instance);
+        m.full_gc();
+        let cls = m.class_of(root.get());
+        assert_eq!(m.fetch(cls, 3).as_small_int(), 77, "class must survive");
+        // And again, now that everything slid.
+        m.full_gc();
+        assert_eq!(m.fetch(m.class_of(root.get()), 3).as_small_int(), 77);
+    }
+
+    #[test]
+    fn marks_are_cleared_after_collection() {
+        let m = mem();
+        let a = m.alloc_array_old(1).unwrap();
+        let root = m.new_root(a);
+        m.full_gc();
+        assert!(!m.header(root.get()).is_marked());
+        // And a second collection still finds it live.
+        m.full_gc();
+        assert!(m.fetch(root.get(), 0) == m.nil());
+    }
+}

@@ -1,0 +1,242 @@
+//! Well-known instance layouts.
+//!
+//! The interpreter and the image bootstrapper must agree on the slot offsets
+//! of the objects they both manipulate — the paper calls this area "closely
+//! intertwined" (§3.3: the ProcessorScheduler "is manipulated by the basic
+//! Process primitives, the interpreter must manipulate it asynchronously,
+//! and it is completely exposed at the user level"). Keeping the offsets in
+//! one module is this reproduction's guard against the two sides drifting.
+//!
+//! All offsets are in body slots (the two header words are not counted).
+
+/// `Association` — key/value pair used by dictionaries and global bindings.
+pub mod assoc {
+    /// The key (usually a Symbol).
+    pub const KEY: usize = 0;
+    /// The value.
+    pub const VALUE: usize = 1;
+    /// Instance size.
+    pub const SIZE: usize = 2;
+}
+
+/// `Class` (and, structurally identical, `Metaclass`).
+pub mod class {
+    /// Superclass oop or nil.
+    pub const SUPERCLASS: usize = 0;
+    /// MethodDictionary oop.
+    pub const METHOD_DICT: usize = 1;
+    /// SmallInteger: encoded instance specification (see [`ClassFormat`]).
+    pub const FORMAT: usize = 2;
+    /// Symbol naming the class (for a metaclass: its sole instance's name).
+    pub const NAME: usize = 3;
+    /// Array of Strings naming the instance variables, or nil.
+    pub const INSTVAR_NAMES: usize = 4;
+    /// Array of subclass oops (kept sorted by name), or nil.
+    pub const SUBCLASSES: usize = 5;
+    /// ClassOrganizer oop (method categories), or nil.
+    pub const ORGANIZATION: usize = 6;
+    /// String naming the system category, or nil.
+    pub const CATEGORY: usize = 7;
+    /// Instance size.
+    pub const SIZE: usize = 8;
+
+    /// Decoded form of the [`FORMAT`] SmallInteger.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ClassFormat {
+        /// Number of named (fixed) instance slots.
+        pub inst_size: u16,
+        /// Instances carry indexable pointer slots after the fixed ones.
+        pub indexable: bool,
+        /// Instances are byte-indexable (`indexable` must also be set).
+        pub bytes: bool,
+    }
+
+    impl ClassFormat {
+        /// Encodes into the SmallInteger stored in the class.
+        pub fn encode(self) -> i64 {
+            self.inst_size as i64 | (self.indexable as i64) << 16 | (self.bytes as i64) << 17
+        }
+
+        /// Decodes from the SmallInteger stored in the class.
+        pub fn decode(v: i64) -> ClassFormat {
+            ClassFormat {
+                inst_size: (v & 0xFFFF) as u16,
+                indexable: v & (1 << 16) != 0,
+                bytes: v & (1 << 17) != 0,
+            }
+        }
+    }
+}
+
+/// `MethodDictionary` — open-addressed selector → method map.
+pub mod method_dict {
+    /// SmallInteger: number of installed selectors.
+    pub const TALLY: usize = 0;
+    /// Array of selector Symbols (nil = empty bucket); capacity power of 2.
+    pub const KEYS: usize = 1;
+    /// Array of CompiledMethods, parallel to KEYS.
+    pub const VALUES: usize = 2;
+    /// Instance size.
+    pub const SIZE: usize = 3;
+}
+
+/// `MethodContext` — activation record of a method.
+pub mod method_ctx {
+    /// Calling context or nil.
+    pub const SENDER: usize = 0;
+    /// SmallInteger byte offset into the method's bytecodes.
+    pub const PC: usize = 1;
+    /// SmallInteger depth of the evaluation stack within this context.
+    pub const STACKP: usize = 2;
+    /// CompiledMethod being executed.
+    pub const METHOD: usize = 3;
+    /// Receiver of the message.
+    pub const RECEIVER: usize = 4;
+    /// First stack slot: arguments, then temporaries, then operands.
+    pub const STACK_START: usize = 5;
+}
+
+/// `BlockContext` — activation record of a block.
+pub mod block_ctx {
+    /// Context that invoked the block (dynamic link), or nil.
+    pub const CALLER: usize = 0;
+    /// SmallInteger byte offset into the home method's bytecodes.
+    pub const PC: usize = 1;
+    /// SmallInteger depth of the evaluation stack within this context.
+    pub const STACKP: usize = 2;
+    /// SmallInteger argument count the block expects.
+    pub const NARGS: usize = 3;
+    /// SmallInteger pc at which the block's code begins.
+    pub const INITIAL_PC: usize = 4;
+    /// The MethodContext the block closes over (lexical link).
+    pub const HOME: usize = 5;
+    /// First stack slot.
+    pub const STACK_START: usize = 6;
+}
+
+/// Context sizing: like Smalltalk-80, contexts come in two sizes.
+pub mod ctx_size {
+    /// Stack slots in a small context.
+    pub const SMALL_STACK: usize = 16;
+    /// Stack slots in a large context.
+    pub const LARGE_STACK: usize = 40;
+    /// Total body slots of a small MethodContext.
+    pub const SMALL_METHOD_CTX: usize = super::method_ctx::STACK_START + SMALL_STACK;
+    /// Total body slots of a large MethodContext.
+    pub const LARGE_METHOD_CTX: usize = super::method_ctx::STACK_START + LARGE_STACK;
+    /// Total body slots of a small BlockContext.
+    pub const SMALL_BLOCK_CTX: usize = super::block_ctx::STACK_START + SMALL_STACK;
+    /// Total body slots of a large BlockContext.
+    pub const LARGE_BLOCK_CTX: usize = super::block_ctx::STACK_START + LARGE_STACK;
+}
+
+/// `Process` — a Smalltalk thread of execution.
+pub mod process {
+    /// Context to resume when the Process next runs.
+    pub const SUSPENDED_CONTEXT: usize = 0;
+    /// SmallInteger priority, 1 (lowest) ..= 7 (highest).
+    pub const PRIORITY: usize = 1;
+    /// The LinkedList (ready queue slot or semaphore) the Process is on.
+    pub const MY_LIST: usize = 2;
+    /// Next Process on that list, or nil.
+    pub const NEXT_LINK: usize = 3;
+    /// SmallInteger 1 while an interpreter is running this Process, else 0.
+    /// Part of the paper's *reorganization*: running Processes stay in the
+    /// ready queue, so a claim flag — not queue membership — says who runs.
+    pub const RUNNING: usize = 4;
+    /// Optional String name (diagnostics).
+    pub const NAME: usize = 5;
+    /// The value the Process terminated with (set by the interpreter when
+    /// the bottom context returns; read by Rust-side watchers).
+    pub const RESULT: usize = 6;
+    /// Instance size.
+    pub const SIZE: usize = 7;
+}
+
+/// `Semaphore` — counting semaphore holding a FIFO of waiting Processes.
+pub mod semaphore {
+    /// SmallInteger count of signals not yet consumed.
+    pub const EXCESS_SIGNALS: usize = 0;
+    /// First waiting Process, or nil.
+    pub const FIRST_LINK: usize = 1;
+    /// Last waiting Process, or nil.
+    pub const LAST_LINK: usize = 2;
+    /// Instance size.
+    pub const SIZE: usize = 3;
+}
+
+/// `LinkedList` — FIFO of Processes used by the scheduler's ready queue.
+pub mod linked_list {
+    /// First Process, or nil.
+    pub const FIRST_LINK: usize = 0;
+    /// Last Process, or nil.
+    pub const LAST_LINK: usize = 1;
+    /// Instance size.
+    pub const SIZE: usize = 2;
+}
+
+/// `ProcessorScheduler` — the image-visible scheduler (a single instance).
+pub mod scheduler {
+    /// Array of LinkedLists indexed by priority − 1.
+    pub const READY_QUEUES: usize = 0;
+    /// The pre-reorganization `activeProcess` slot. MS ignores it at run
+    /// time (paper §3.3) and only fills it in around snapshots.
+    pub const ACTIVE_PROCESS: usize = 1;
+    /// Instance size.
+    pub const SIZE: usize = 2;
+
+    /// Number of priority levels (Smalltalk-80 has 7).
+    pub const PRIORITIES: usize = 7;
+    /// Priority of the background idle Process.
+    pub const IDLE_PRIORITY: i64 = 1;
+    /// Default priority of user Processes.
+    pub const USER_PRIORITY: i64 = 5;
+    /// Highest priority (timing).
+    pub const TIMING_PRIORITY: i64 = 7;
+}
+
+/// `Message` — reified message for `doesNotUnderstand:`.
+pub mod message {
+    /// The selector Symbol.
+    pub const SELECTOR: usize = 0;
+    /// Array of arguments.
+    pub const ARGS: usize = 1;
+    /// Instance size.
+    pub const SIZE: usize = 2;
+}
+
+/// `ClassOrganizer` — method categories for a class.
+pub mod organizer {
+    /// Array of category name Strings.
+    pub const CATEGORIES: usize = 0;
+    /// Array (parallel to CATEGORIES) of Arrays of selector Symbols.
+    pub const SELECTORS: usize = 1;
+    /// Instance size.
+    pub const SIZE: usize = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::class::ClassFormat;
+
+    #[test]
+    fn class_format_round_trip() {
+        for (inst_size, indexable, bytes) in
+            [(0, false, false), (5, false, false), (0, true, false), (0, true, true), (3, true, false)]
+        {
+            let f = ClassFormat {
+                inst_size,
+                indexable,
+                bytes,
+            };
+            assert_eq!(ClassFormat::decode(f.encode()), f);
+        }
+    }
+
+    #[test]
+    fn context_sizes_are_consistent() {
+        use super::ctx_size::*;
+        assert!(SMALL_METHOD_CTX < LARGE_METHOD_CTX);
+        assert!(SMALL_BLOCK_CTX < LARGE_BLOCK_CTX);
+    }
+}

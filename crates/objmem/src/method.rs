@@ -1,0 +1,103 @@
+//! CompiledMethod representation.
+//!
+//! A CompiledMethod is a [`Method`](crate::header::ObjFormat::Method)-format
+//! object: body slot 0 holds the encoded [`MethodHeader`] SmallInteger,
+//! slots 1..=nlits hold the literal oops, and the remaining body words hold
+//! the bytecodes.
+
+use crate::oop::Oop;
+
+/// Decoded method header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MethodHeader {
+    /// Number of arguments the method takes (0..=15).
+    pub num_args: u8,
+    /// Total number of temporaries *including* arguments (0..=63).
+    pub num_temps: u8,
+    /// Number of literal slots.
+    pub num_literals: u16,
+    /// Primitive index, or 0 for none.
+    pub primitive: u16,
+    /// Whether activations need a large context.
+    pub large_context: bool,
+}
+
+impl MethodHeader {
+    /// Encodes into the SmallInteger stored in method body slot 0.
+    pub fn encode(self) -> Oop {
+        debug_assert!(self.num_args <= 15);
+        debug_assert!(self.num_temps <= 63);
+        debug_assert!(self.num_args as u8 <= self.num_temps || self.num_temps == 0 && self.num_args == 0 || self.num_args <= self.num_temps);
+        debug_assert!(self.num_literals < 1 << 12);
+        debug_assert!(self.primitive < 1 << 12);
+        let v = self.num_args as i64
+            | (self.num_temps as i64) << 4
+            | (self.num_literals as i64) << 10
+            | (self.primitive as i64) << 22
+            | (self.large_context as i64) << 34;
+        Oop::from_small_int(v)
+    }
+
+    /// Decodes from the SmallInteger in method body slot 0.
+    pub fn decode(oop: Oop) -> MethodHeader {
+        let v = oop.as_small_int();
+        MethodHeader {
+            num_args: (v & 0xF) as u8,
+            num_temps: (v >> 4 & 0x3F) as u8,
+            num_literals: (v >> 10 & 0xFFF) as u16,
+            primitive: (v >> 22 & 0xFFF) as u16,
+            large_context: v >> 34 & 1 != 0,
+        }
+    }
+
+    /// Body slot index of literal `i` (slot 0 is the header).
+    #[inline]
+    pub fn literal_slot(i: usize) -> usize {
+        1 + i
+    }
+
+    /// Number of leading pointer slots in the body (header + literals).
+    #[inline]
+    pub fn pointer_slots(self) -> usize {
+        1 + self.num_literals as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for h in [
+            MethodHeader::default(),
+            MethodHeader {
+                num_args: 3,
+                num_temps: 7,
+                num_literals: 40,
+                primitive: 99,
+                large_context: true,
+            },
+            MethodHeader {
+                num_args: 15,
+                num_temps: 63,
+                num_literals: 4000,
+                primitive: 4095,
+                large_context: false,
+            },
+        ] {
+            assert_eq!(MethodHeader::decode(h.encode()), h);
+        }
+    }
+
+    #[test]
+    fn pointer_slot_count() {
+        let h = MethodHeader {
+            num_literals: 5,
+            ..MethodHeader::default()
+        };
+        assert_eq!(h.pointer_slots(), 6);
+        assert_eq!(MethodHeader::literal_slot(0), 1);
+        assert_eq!(MethodHeader::literal_slot(4), 5);
+    }
+}

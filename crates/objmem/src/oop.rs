@@ -1,0 +1,183 @@
+//! Tagged object pointers.
+//!
+//! Berkeley Smalltalk "eliminates the object table, which otherwise would add
+//! a level of indirection to object references" (paper §2). Our [`Oop`] is
+//! therefore a *direct* reference: either an immediate SmallInteger (low bit
+//! set) or the word index of an object header within the single contiguous
+//! heap (low bit clear). Because oops are heap-relative indices rather than
+//! machine addresses, snapshots are trivially relocatable.
+
+use std::fmt;
+
+/// An object pointer: immediate SmallInteger or heap word index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
+pub struct Oop(u64);
+
+impl Oop {
+    /// The all-zero oop, used transiently for not-yet-initialized cells.
+    /// It is never a valid object reference (the heap origin is reserved).
+    pub const ZERO: Oop = Oop(0);
+
+    /// Smallest SmallInteger value (−2⁶²).
+    pub const MIN_SMALL_INT: i64 = -(1 << 62);
+    /// Largest SmallInteger value (2⁶² − 1).
+    pub const MAX_SMALL_INT: i64 = (1 << 62) - 1;
+
+    /// Creates an oop from its raw bits. Intended for snapshot I/O.
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Oop {
+        Oop(raw)
+    }
+
+    /// The raw bits. Intended for snapshot I/O and atomics.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Creates an immediate SmallInteger oop.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `v` is outside the 63-bit range; use
+    /// [`Oop::try_from_i64`] for fallible conversion.
+    #[inline]
+    pub fn from_small_int(v: i64) -> Oop {
+        debug_assert!(
+            (Oop::MIN_SMALL_INT..=Oop::MAX_SMALL_INT).contains(&v),
+            "SmallInteger out of range: {v}"
+        );
+        Oop(((v as u64) << 1) | 1)
+    }
+
+    /// Creates a SmallInteger oop, or `None` if `v` needs more than 63 bits.
+    #[inline]
+    pub fn try_from_i64(v: i64) -> Option<Oop> {
+        if (Oop::MIN_SMALL_INT..=Oop::MAX_SMALL_INT).contains(&v) {
+            Some(Oop::from_small_int(v))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a heap-object oop from a word index.
+    #[inline]
+    pub const fn from_index(word_index: usize) -> Oop {
+        Oop((word_index as u64) << 1)
+    }
+
+    /// Whether this oop is an immediate SmallInteger.
+    #[inline]
+    pub const fn is_small_int(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Whether this oop refers to a heap object.
+    #[inline]
+    pub const fn is_object(self) -> bool {
+        self.0 & 1 == 0 && self.0 != 0
+    }
+
+    /// The SmallInteger value.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the oop is not a SmallInteger.
+    #[inline]
+    pub fn as_small_int(self) -> i64 {
+        debug_assert!(self.is_small_int(), "not a SmallInteger: {self:?}");
+        (self.0 as i64) >> 1
+    }
+
+    /// The SmallInteger value, or `None` for heap objects.
+    #[inline]
+    pub fn to_i64(self) -> Option<i64> {
+        if self.is_small_int() {
+            Some(self.as_small_int())
+        } else {
+            None
+        }
+    }
+
+    /// The heap word index of the object header.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the oop is a SmallInteger.
+    #[inline]
+    pub fn index(self) -> usize {
+        debug_assert!(!self.is_small_int(), "SmallIntegers have no index");
+        (self.0 >> 1) as usize
+    }
+}
+
+impl Default for Oop {
+    fn default() -> Self {
+        Oop::ZERO
+    }
+}
+
+impl fmt::Debug for Oop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_small_int() {
+            write!(f, "SmallInt({})", self.as_small_int())
+        } else if self.0 == 0 {
+            f.write_str("Oop::ZERO")
+        } else {
+            write!(f, "Oop@{}", self.0 >> 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_int_round_trip() {
+        for v in [0, 1, -1, 42, -42, Oop::MAX_SMALL_INT, Oop::MIN_SMALL_INT] {
+            let oop = Oop::from_small_int(v);
+            assert!(oop.is_small_int());
+            assert!(!oop.is_object());
+            assert_eq!(oop.as_small_int(), v);
+            assert_eq!(oop.to_i64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn out_of_range_ints_rejected() {
+        assert!(Oop::try_from_i64(Oop::MAX_SMALL_INT + 1).is_none());
+        assert!(Oop::try_from_i64(Oop::MIN_SMALL_INT - 1).is_none());
+        assert!(Oop::try_from_i64(7).is_some());
+    }
+
+    #[test]
+    fn object_oop_round_trip() {
+        let oop = Oop::from_index(1234);
+        assert!(oop.is_object());
+        assert!(!oop.is_small_int());
+        assert_eq!(oop.index(), 1234);
+        assert_eq!(oop.to_i64(), None);
+    }
+
+    #[test]
+    fn zero_is_neither() {
+        assert!(!Oop::ZERO.is_object());
+        assert!(!Oop::ZERO.is_small_int());
+        assert_eq!(Oop::default(), Oop::ZERO);
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let oop = Oop::from_small_int(-7);
+        assert_eq!(Oop::from_raw(oop.raw()), oop);
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Oop::from_small_int(5)), "SmallInt(5)");
+        assert_eq!(format!("{:?}", Oop::from_index(9)), "Oop@9");
+        assert_eq!(format!("{:?}", Oop::ZERO), "Oop::ZERO");
+    }
+}

@@ -1,0 +1,451 @@
+//! Generation Scavenging.
+//!
+//! Paper §3.1: *"BS collects garbage using Generation Scavenging, a
+//! stop-and-copy scheme. Since scavenging requires all of the live new
+//! objects to move, and no indirection or forwarding is used except during
+//! the scavenging activity, the interpreter must suspend all other activity
+//! for the duration of the operation."*
+//!
+//! The caller is responsible for that suspension (see
+//! [`Rendezvous`](mst_vkernel::Rendezvous)); [`ObjectMemory::scavenge`]
+//! assumes the world is stopped. Live objects are copied from eden and the
+//! *past* survivor space to the *future* survivor space, with objects that
+//! have survived [`MemoryConfig::tenure_age`](crate::MemoryConfig) scavenges
+//! promoted to old space. Roots are the special objects, registered root
+//! cells, and the entry table (old objects known to reference new space).
+
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use crate::header::{ObjFormat, MAX_AGE};
+use crate::heap::ObjectMemory;
+use crate::method::MethodHeader;
+use crate::oop::Oop;
+
+/// Result of one scavenge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScavengeOutcome {
+    /// Words copied into the future survivor space.
+    pub words_survived: u64,
+    /// Words promoted to old space.
+    pub words_tenured: u64,
+    /// Objects promoted to old space.
+    pub objects_tenured: u64,
+    /// Wall time of the scavenge in nanoseconds.
+    pub nanos: u64,
+    /// Whether a full mark-compact collection was needed first.
+    pub full_gc_ran: bool,
+}
+
+struct Scavenger<'m> {
+    mem: &'m ObjectMemory,
+    to_start: usize,
+    to_end: usize,
+    queue: Vec<Oop>,
+    outcome: ScavengeOutcome,
+}
+
+impl ObjectMemory {
+    /// Scavenges new space. **The world must be stopped by the caller.**
+    ///
+    /// Replicated caches and allocation buffers become invalid: the GC epoch
+    /// ([`gc_epoch`](Self::gc_epoch)) is bumped so their owners notice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if old space cannot hold the worst-case tenured volume even
+    /// after a full collection (genuine out-of-memory).
+    pub fn scavenge(&self) -> ScavengeOutcome {
+        let start = Instant::now();
+        let mut full_gc_ran = false;
+        // Worst case every live new word tenures; make room up front so the
+        // copy phase cannot fail halfway through.
+        let new_used = self.eden_used() + self.past_survivor_used();
+        if self.old_free() < new_used {
+            self.full_gc();
+            full_gc_ran = true;
+            assert!(
+                self.old_free() >= new_used,
+                "out of memory: old space cannot absorb a worst-case scavenge"
+            );
+        }
+
+        let (to_start, to_end) = if self.past_is_a.load(Ordering::Relaxed) {
+            (self.spaces().surv_b_start, self.spaces().surv_b_end)
+        } else {
+            (self.spaces().surv_a_start, self.spaces().surv_b_start)
+        };
+        self.survivor_next.store(to_start, Ordering::Relaxed);
+
+        let mut sc = Scavenger {
+            mem: self,
+            to_start,
+            to_end,
+            queue: Vec::with_capacity(1024),
+            outcome: ScavengeOutcome {
+                full_gc_ran,
+                ..ScavengeOutcome::default()
+            },
+        };
+        sc.run();
+        let words_survived = (self.survivor_next.load(Ordering::Relaxed) - to_start) as u64;
+        sc.outcome.words_survived = words_survived;
+        let mut outcome = sc.outcome;
+
+        // Flip: the future survivor space becomes the past one.
+        let past_was_a = self.past_is_a.load(Ordering::Relaxed);
+        self.past_is_a.store(!past_was_a, Ordering::Relaxed);
+        self.past_fill
+            .store(self.survivor_next.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.eden_reset();
+        self.bump_epoch();
+
+        outcome.nanos = start.elapsed().as_nanos() as u64;
+        let mut stats = self.stats.lock();
+        stats.scavenges += 1;
+        stats.words_survived += outcome.words_survived;
+        stats.words_tenured += outcome.words_tenured;
+        stats.scavenge_nanos += outcome.nanos;
+        outcome
+    }
+}
+
+impl Scavenger<'_> {
+    fn run(&mut self) {
+        let mem = self.mem;
+        // Special objects.
+        mem.specials().update_all(|o| self.forward(o));
+        // Rust-side root cells (prune dropped handles as we go).
+        {
+            let mut roots = mem.roots.lock();
+            roots.retain(|weak| match weak.upgrade() {
+                Some(cell) => {
+                    let old = Oop::from_raw(cell.load(Ordering::Relaxed));
+                    let new = self.forward(old);
+                    cell.store(new.raw(), Ordering::Relaxed);
+                    true
+                }
+                None => false,
+            });
+        }
+        // The entry table: scan remembered old objects, dropping the ones
+        // that no longer reference new space.
+        let snapshot = std::mem::take(&mut *mem.entry_table.lock());
+        let mut retained = Vec::with_capacity(snapshot.len());
+        for obj in snapshot {
+            if self.scan_slots(obj) {
+                retained.push(obj);
+            } else {
+                let h = mem.header(obj);
+                mem.set_header(obj, h.with_remembered(false));
+            }
+        }
+        self.drain();
+        // Merge survivors back (tenured-object entries added during the
+        // drain are already in the live table; flags prevent duplicates).
+        mem.entry_table.lock().extend(retained);
+    }
+
+    fn drain(&mut self) {
+        while let Some(obj) = self.queue.pop() {
+            let is_old = self.mem.is_old(obj);
+            let has_new = self.scan_slots(obj);
+            if is_old && has_new {
+                self.mem.remember(obj);
+            }
+        }
+    }
+
+    /// Forwards every new-space pointer in `obj`'s slots; returns whether
+    /// any slot still points into new space afterwards.
+    fn scan_slots(&mut self, obj: Oop) -> bool {
+        let mem = self.mem;
+        let h = mem.header(obj);
+        let nslots = match h.format() {
+            ObjFormat::Pointers => h.body_words(),
+            ObjFormat::Method => MethodHeader::decode(mem.fetch(obj, 0)).pointer_slots(),
+            ObjFormat::Bytes => 0,
+        };
+        let mut has_new = false;
+        for i in 0..nslots {
+            let v = mem.fetch(obj, i);
+            if mem.is_new(v) {
+                let nv = self.forward(v);
+                mem.store_nocheck(obj, i, nv);
+                has_new |= mem.is_new(nv);
+            }
+        }
+        has_new
+    }
+
+    /// Copies a from-space object (or returns its forwarding pointer).
+    fn forward(&mut self, oop: Oop) -> Oop {
+        let mem = self.mem;
+        if !mem.is_new(oop) {
+            return oop;
+        }
+        let h = mem.header(oop);
+        if h.is_forwarded() {
+            return Oop::from_raw(mem.word(oop.index() + 1));
+        }
+        let total = 2 + h.body_words();
+        let age = (h.age() + 1).min(MAX_AGE);
+        let tenure = age >= mem.config().tenure_age;
+        let dest = if tenure {
+            None
+        } else {
+            let next = mem.survivor_next.load(Ordering::Relaxed);
+            if next + total <= self.to_end {
+                mem.survivor_next.store(next + total, Ordering::Relaxed);
+                Some(next)
+            } else {
+                None // survivor overflow: tenure instead
+            }
+        };
+        let dest = match dest {
+            Some(d) => d,
+            None => {
+                let obj = mem
+                    .allocate_old(Oop::ZERO, ObjFormat::Bytes, h.body_words(), 0)
+                    .expect("old space exhausted during tenure (checked up front)");
+                self.outcome.words_tenured += total as u64;
+                self.outcome.objects_tenured += 1;
+                obj.index()
+            }
+        };
+        // Copy header, class, and body; then stamp the age.
+        for i in 0..total {
+            mem.set_word(dest + i, mem.word(oop.index() + i));
+        }
+        let new_oop = Oop::from_index(dest);
+        mem.set_header(new_oop, mem.header(new_oop).with_age(age));
+        // Leave a forwarding pointer in the corpse.
+        mem.set_word(oop.index(), h.with_forwarded().0);
+        mem.set_word(oop.index() + 1, new_oop.raw());
+        self.queue.push(new_oop);
+        new_oop
+    }
+
+    #[allow(dead_code)]
+    fn to_space_used(&self) -> usize {
+        self.mem.survivor_next.load(Ordering::Relaxed) - self.to_start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::tests::bootstrap_minimal;
+    use crate::heap::{MemoryConfig, ObjectMemory};
+
+    fn mem() -> ObjectMemory {
+        let m = ObjectMemory::new(MemoryConfig {
+            old_words: 64 << 10,
+            eden_words: 16 << 10,
+            survivor_words: 8 << 10,
+            tenure_age: 3,
+            ..MemoryConfig::default()
+        });
+        bootstrap_minimal(&m);
+        m
+    }
+
+    #[test]
+    fn rooted_object_survives_with_contents() {
+        let m = mem();
+        let tok = m.new_token();
+        let arr = m.alloc_array(&tok, 3).unwrap();
+        m.store_nocheck(arr, 0, Oop::from_small_int(41));
+        let s = m.alloc_string(&tok, "payload").unwrap();
+        m.store_nocheck(arr, 1, s);
+        let root = m.new_root(arr);
+        let out = m.scavenge();
+        assert!(out.words_survived > 0);
+        let arr2 = root.get();
+        assert_ne!(arr2, arr, "object must have moved");
+        assert_eq!(m.fetch(arr2, 0).as_small_int(), 41);
+        assert_eq!(m.str_value(m.fetch(arr2, 1)), "payload");
+        assert_eq!(m.fetch(arr2, 2), m.nil());
+    }
+
+    #[test]
+    fn garbage_does_not_survive() {
+        let m = mem();
+        let tok = m.new_token();
+        for _ in 0..100 {
+            m.alloc_array(&tok, 10).unwrap();
+        }
+        let out = m.scavenge();
+        assert_eq!(out.words_survived, 0);
+        assert_eq!(out.words_tenured, 0);
+        assert_eq!(m.eden_used(), 0);
+    }
+
+    #[test]
+    fn shared_structure_is_preserved_not_duplicated() {
+        let m = mem();
+        let tok = m.new_token();
+        let shared = m.alloc_array(&tok, 1).unwrap();
+        let a = m.alloc_array(&tok, 1).unwrap();
+        let b = m.alloc_array(&tok, 1).unwrap();
+        m.store_nocheck(a, 0, shared);
+        m.store_nocheck(b, 0, shared);
+        let ra = m.new_root(a);
+        let rb = m.new_root(b);
+        m.scavenge();
+        assert_eq!(m.fetch(ra.get(), 0), m.fetch(rb.get(), 0));
+    }
+
+    #[test]
+    fn cycles_survive() {
+        let m = mem();
+        let tok = m.new_token();
+        let a = m.alloc_array(&tok, 1).unwrap();
+        let b = m.alloc_array(&tok, 1).unwrap();
+        m.store_nocheck(a, 0, b);
+        m.store_nocheck(b, 0, a);
+        let root = m.new_root(a);
+        m.scavenge();
+        let a2 = root.get();
+        let b2 = m.fetch(a2, 0);
+        assert_eq!(m.fetch(b2, 0), a2);
+    }
+
+    #[test]
+    fn identity_hash_stable_across_scavenges() {
+        let m = mem();
+        let tok = m.new_token();
+        let a = m.alloc_array(&tok, 1).unwrap();
+        let h = m.identity_hash(a);
+        let root = m.new_root(a);
+        m.scavenge();
+        m.scavenge();
+        assert_eq!(m.identity_hash(root.get()), h);
+    }
+
+    #[test]
+    fn objects_tenure_after_enough_scavenges() {
+        let m = mem();
+        let tok = m.new_token();
+        let a = m.alloc_array(&tok, 4).unwrap();
+        let root = m.new_root(a);
+        for _ in 0..2 {
+            m.scavenge();
+            assert!(m.is_new(root.get()), "too young to tenure");
+        }
+        let out = m.scavenge();
+        assert!(out.objects_tenured >= 1);
+        assert!(m.is_old(root.get()), "should be tenured by age 3");
+        // Further scavenges leave it alone.
+        let before = root.get();
+        m.scavenge();
+        assert_eq!(root.get(), before);
+    }
+
+    #[test]
+    fn remembered_set_keeps_new_targets_alive_and_updates_slots() {
+        let m = mem();
+        let tok = m.new_token();
+        let old = m.alloc_array_old(1).unwrap();
+        let young = m.alloc_array(&tok, 1).unwrap();
+        m.store_nocheck(young, 0, Oop::from_small_int(5));
+        m.store(old, 0, young);
+        assert_eq!(m.entry_table_len(), 1);
+        m.scavenge();
+        let young2 = m.fetch(old, 0);
+        assert_ne!(young2, young);
+        assert!(m.is_new(young2));
+        assert_eq!(m.fetch(young2, 0).as_small_int(), 5);
+        assert_eq!(m.entry_table_len(), 1, "still references new space");
+    }
+
+    #[test]
+    fn entry_table_entry_dropped_when_target_tenures() {
+        let m = mem();
+        let tok = m.new_token();
+        let old = m.alloc_array_old(1).unwrap();
+        let young = m.alloc_array(&tok, 1).unwrap();
+        m.store(old, 0, young);
+        for _ in 0..4 {
+            m.scavenge();
+        }
+        assert!(m.is_old(m.fetch(old, 0)), "target tenured");
+        assert_eq!(m.entry_table_len(), 0, "no longer references new space");
+        assert!(!m.header(old).is_remembered());
+    }
+
+    #[test]
+    fn tenured_object_referencing_new_gets_remembered() {
+        let m = mem();
+        let tok = m.new_token();
+        // `holder` will tenure at age 3 while `fresh` stays young: recreate
+        // fresh each cycle so it is always age 1.
+        let holder = m.alloc_array(&tok, 1).unwrap();
+        let root = m.new_root(holder);
+        for _ in 0..5 {
+            let fresh = m.alloc_array(&tok, 1).unwrap();
+            m.store(root.get(), 0, fresh);
+            m.scavenge();
+        }
+        assert!(m.is_old(root.get()));
+        assert!(m.is_new(m.fetch(root.get(), 0)));
+        assert!(m.header(root.get()).is_remembered());
+    }
+
+    #[test]
+    fn dropped_root_handles_are_pruned() {
+        let m = mem();
+        let tok = m.new_token();
+        let a = m.alloc_array(&tok, 1).unwrap();
+        let root = m.new_root(a);
+        drop(root);
+        let out = m.scavenge();
+        assert_eq!(out.words_survived, 0, "dropped root no longer pins");
+    }
+
+    #[test]
+    fn deep_list_survives() {
+        let m = mem();
+        let tok = m.new_token();
+        let mut head = m.nil();
+        for i in 0..200 {
+            let cell = m.alloc_array(&tok, 2).unwrap();
+            m.store_nocheck(cell, 0, Oop::from_small_int(i));
+            m.store_nocheck(cell, 1, head);
+            head = cell;
+        }
+        let root = m.new_root(head);
+        m.scavenge();
+        let mut cur = root.get();
+        for i in (0..200).rev() {
+            assert_eq!(m.fetch(cur, 0).as_small_int(), i);
+            cur = m.fetch(cur, 1);
+        }
+        assert_eq!(cur, m.nil());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let m = mem();
+        let tok = m.new_token();
+        let a = m.alloc_array(&tok, 1).unwrap();
+        let _root = m.new_root(a);
+        m.scavenge();
+        m.scavenge();
+        let st = m.gc_stats();
+        assert_eq!(st.scavenges, 2);
+        assert!(st.words_survived > 0);
+    }
+
+    #[test]
+    fn epoch_bumps_and_tokens_reset() {
+        let m = mem();
+        let tok = m.new_token();
+        m.alloc_array(&tok, 1).unwrap();
+        let e0 = m.gc_epoch();
+        m.scavenge();
+        assert_eq!(m.gc_epoch(), e0 + 1);
+        // Allocation after the scavenge still works (token revalidates).
+        assert!(m.alloc_array(&tok, 1).is_some());
+    }
+}

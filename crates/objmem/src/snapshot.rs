@@ -1,0 +1,365 @@
+//! Virtual-image snapshots.
+//!
+//! Smalltalk-80 systems persist as a *virtual image* — "a static
+//! representation or 'snapshot' of the compiled code, class descriptions,
+//! etc." (paper §1, footnote 2). Because our oops are heap-relative word
+//! indices, a snapshot is a straight dump of the used heap regions plus the
+//! special-objects table, the entry table and the symbol intern table; it
+//! reloads at any address.
+//!
+//! The paper's reorganization of `activeProcess` shows up here: MS "fill[s]
+//! in the activeProcess slot before taking a snapshot and … empt[ies] it
+//! afterwards" (§3.3). That slot manipulation is the scheduler layer's job
+//! (`mst-interp`); this module only moves bits.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::atomic::Ordering;
+
+use crate::header::ObjFormat;
+use crate::heap::{MemoryConfig, ObjectMemory};
+use crate::oop::Oop;
+use crate::special::SPECIAL_COUNT;
+
+const MAGIC: u64 = 0x4D53_5F49_4D41_4745; // "MS_IMAGE"
+const VERSION: u64 = 1;
+
+/// Errors produced while writing or reading a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failed.
+    Io(io::Error),
+    /// The stream does not start with the snapshot magic number.
+    BadMagic,
+    /// The snapshot was written by an incompatible version.
+    BadVersion(u64),
+    /// The loading memory's configured sizes are smaller than the snapshot.
+    SizeMismatch {
+        /// What the snapshot requires (old, eden, survivor words).
+        required: (usize, usize, usize),
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o failed: {e}"),
+            SnapshotError::BadMagic => f.write_str("not a Multiprocessor Smalltalk snapshot"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::SizeMismatch { required } => write!(
+                f,
+                "snapshot needs at least old={} eden={} survivor={} words",
+                required.0, required.1, required.2
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+fn put_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn get_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+impl ObjectMemory {
+    /// Writes a snapshot of the image. **The world must be stopped** and a
+    /// scavenge should normally precede the save so eden is empty.
+    pub fn save_snapshot(&self, w: &mut impl Write) -> Result<(), SnapshotError> {
+        put_u64(w, MAGIC)?;
+        put_u64(w, VERSION)?;
+        let sp = *self.spaces();
+        let c = self.config();
+        put_u64(w, c.old_words as u64)?;
+        put_u64(w, c.eden_words as u64)?;
+        put_u64(w, c.survivor_words as u64)?;
+        put_u64(w, c.tenure_age as u64)?;
+        put_u64(w, self.old_next_value() as u64)?;
+        // New space: normalized as offsets relative to the space starts.
+        put_u64(w, (self.eden_used()) as u64)?;
+        put_u64(w, self.past_is_a.load(Ordering::Relaxed) as u64)?;
+        put_u64(w, self.past_survivor_used() as u64)?;
+        // Specials.
+        let mut specials = [0u64; SPECIAL_COUNT];
+        let mut i = 0;
+        self.specials().update_all(|o| {
+            specials[i] = o.raw();
+            i += 1;
+            o
+        });
+        for s in specials {
+            put_u64(w, s)?;
+        }
+        // Entry table.
+        let entries: Vec<Oop> = self.entry_table.lock().clone();
+        put_u64(w, entries.len() as u64)?;
+        for e in &entries {
+            put_u64(w, e.raw())?;
+        }
+        // Symbols.
+        let mut symbols: Vec<(String, u64)> = Vec::new();
+        {
+            let table = self.symbol_entries();
+            symbols.extend(table);
+        }
+        put_u64(w, symbols.len() as u64)?;
+        for (name, raw) in &symbols {
+            put_u64(w, name.len() as u64)?;
+            w.write_all(name.as_bytes())?;
+            put_u64(w, *raw)?;
+        }
+        // Heap regions: old space, eden, past survivor.
+        self.write_region(w, sp.old_start, self.old_next_value())?;
+        self.write_region(w, sp.eden_start, sp.eden_start + self.eden_used())?;
+        let past_start = if self.past_is_a.load(Ordering::Relaxed) {
+            sp.surv_a_start
+        } else {
+            sp.surv_b_start
+        };
+        self.write_region(w, past_start, past_start + self.past_survivor_used())?;
+        Ok(())
+    }
+
+    fn write_region(&self, w: &mut impl Write, start: usize, end: usize) -> io::Result<()> {
+        put_u64(w, (end - start) as u64)?;
+        for idx in start..end {
+            put_u64(w, self.word(idx))?;
+        }
+        Ok(())
+    }
+
+    /// Loads a snapshot into a fresh memory using `config` for sync mode and
+    /// allocation policy (sizes are taken from `config` but must be at least
+    /// the snapshot's).
+    pub fn load_snapshot(
+        r: &mut impl Read,
+        config: MemoryConfig,
+    ) -> Result<ObjectMemory, SnapshotError> {
+        if get_u64(r)? != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = get_u64(r)?;
+        if version != VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let old_words = get_u64(r)? as usize;
+        let eden_words = get_u64(r)? as usize;
+        let survivor_words = get_u64(r)? as usize;
+        let _tenure_age = get_u64(r)?;
+        // Snapshots store space-relative layout, so sizes must match exactly
+        // for oops (absolute indices) to stay valid.
+        if config.old_words != old_words
+            || config.eden_words != eden_words
+            || config.survivor_words != survivor_words
+        {
+            return Err(SnapshotError::SizeMismatch {
+                required: (old_words, eden_words, survivor_words),
+            });
+        }
+        let mem = ObjectMemory::new(config);
+        let sp = *mem.spaces();
+        let old_next = get_u64(r)? as usize;
+        let eden_used = get_u64(r)? as usize;
+        let past_is_a = get_u64(r)? != 0;
+        let past_used = get_u64(r)? as usize;
+        mem.set_old_next(old_next);
+        mem.set_eden_used(eden_used);
+        mem.past_is_a.store(past_is_a, Ordering::Relaxed);
+        let past_start = if past_is_a {
+            sp.surv_a_start
+        } else {
+            sp.surv_b_start
+        };
+        mem.past_fill.store(past_start + past_used, Ordering::Relaxed);
+        let mut specials = [0u64; SPECIAL_COUNT];
+        for s in specials.iter_mut() {
+            *s = get_u64(r)?;
+        }
+        let mut i = 0;
+        mem.specials().update_all(|_| {
+            let v = Oop::from_raw(specials[i]);
+            i += 1;
+            v
+        });
+        let n_entries = get_u64(r)? as usize;
+        {
+            let mut table = mem.entry_table.lock();
+            for _ in 0..n_entries {
+                table.push(Oop::from_raw(get_u64(r)?));
+            }
+        }
+        let n_symbols = get_u64(r)? as usize;
+        for _ in 0..n_symbols {
+            let len = get_u64(r)? as usize;
+            let mut buf = vec![0u8; len];
+            r.read_exact(&mut buf)?;
+            let name = String::from_utf8_lossy(&buf).into_owned();
+            let raw = get_u64(r)?;
+            mem.insert_symbol(&name, Oop::from_raw(raw));
+        }
+        mem.read_region(r, sp.old_start)?;
+        mem.read_region(r, sp.eden_start)?;
+        mem.read_region(r, past_start)?;
+        Ok(mem)
+    }
+
+    fn read_region(&self, r: &mut impl Read, start: usize) -> io::Result<()> {
+        let len = get_u64(r)? as usize;
+        for i in 0..len {
+            self.set_word(start + i, get_u64(r)?);
+        }
+        Ok(())
+    }
+
+    /// Verifies basic heap invariants; used by tests and after snapshot
+    /// loads. Walks old space and the past survivor checking that headers
+    /// parse and class words are plausible oops. Returns the object count.
+    pub fn verify(&self) -> usize {
+        let mut count = 0;
+        let mut check_range = |start: usize, end: usize| {
+            let mut scan = start;
+            while scan < end {
+                let obj = Oop::from_index(scan);
+                let h = self.header(obj);
+                assert!(
+                    scan + 2 + h.body_words() <= end,
+                    "object at {scan} overruns its space"
+                );
+                assert!(!h.is_forwarded(), "forwarding pointer outside scavenge");
+                assert!(!h.is_marked(), "mark bit left set outside full GC");
+                if h.format() == ObjFormat::Pointers {
+                    for i in 0..h.body_words() {
+                        let v = self.fetch(obj, i);
+                        if v.is_object() {
+                            assert!(
+                                v.index() < self.spaces().surv_b_end,
+                                "slot points outside the heap"
+                            );
+                        }
+                    }
+                }
+                count += 1;
+                scan += 2 + h.body_words();
+            }
+        };
+        check_range(self.spaces().old_start, self.old_next_value());
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::tests::bootstrap_minimal;
+    use crate::special::So;
+
+    fn small_config() -> MemoryConfig {
+        MemoryConfig {
+            old_words: 32 << 10,
+            eden_words: 8 << 10,
+            survivor_words: 4 << 10,
+            ..MemoryConfig::default()
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mem = ObjectMemory::new(small_config());
+        bootstrap_minimal(&mem);
+        let sym = mem.intern("snapshotSelector");
+        let arr = mem.alloc_array_old(2).unwrap();
+        mem.store_nocheck(arr, 0, Oop::from_small_int(77));
+        mem.store_nocheck(arr, 1, sym);
+        let s = mem.alloc_string_old("persisted").unwrap();
+        mem.specials().set(So::SmalltalkDict, s); // abuse a slot as a root
+
+        let mut buf = Vec::new();
+        mem.save_snapshot(&mut buf).unwrap();
+        let loaded = ObjectMemory::load_snapshot(&mut buf.as_slice(), small_config()).unwrap();
+        assert_eq!(
+            loaded.str_value(loaded.specials().get(So::SmalltalkDict)),
+            "persisted"
+        );
+        let sym2 = loaded.find_symbol("snapshotSelector").unwrap();
+        assert_eq!(loaded.str_value(sym2), "snapshotSelector");
+        assert_eq!(loaded.fetch(arr, 0).as_small_int(), 77);
+        assert_eq!(loaded.fetch(arr, 1), sym2);
+        assert!(loaded.verify() > 0);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = vec![0u8; 64];
+        let err = ObjectMemory::load_snapshot(&mut buf.as_slice(), small_config()).unwrap_err();
+        assert!(matches!(err, SnapshotError::BadMagic));
+        assert!(err.to_string().contains("not a"));
+    }
+
+    #[test]
+    fn size_mismatch_is_rejected() {
+        let mem = ObjectMemory::new(small_config());
+        bootstrap_minimal(&mem);
+        let mut buf = Vec::new();
+        mem.save_snapshot(&mut buf).unwrap();
+        let bigger = MemoryConfig {
+            old_words: 64 << 10,
+            ..small_config()
+        };
+        let err = ObjectMemory::load_snapshot(&mut buf.as_slice(), bigger).unwrap_err();
+        assert!(matches!(err, SnapshotError::SizeMismatch { .. }));
+    }
+
+    #[test]
+    fn truncated_snapshot_reports_io_error() {
+        let mem = ObjectMemory::new(small_config());
+        bootstrap_minimal(&mem);
+        let mut buf = Vec::new();
+        mem.save_snapshot(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let err = ObjectMemory::load_snapshot(&mut buf.as_slice(), small_config()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)));
+    }
+
+    #[test]
+    fn new_space_contents_survive_snapshot() {
+        let mem = ObjectMemory::new(small_config());
+        bootstrap_minimal(&mem);
+        let tok = mem.new_token();
+        let young = mem.alloc_array(&tok, 1).unwrap();
+        mem.store_nocheck(young, 0, Oop::from_small_int(9));
+        let old = mem.alloc_array_old(1).unwrap();
+        mem.store(old, 0, young);
+        let mut buf = Vec::new();
+        mem.save_snapshot(&mut buf).unwrap();
+        let loaded = ObjectMemory::load_snapshot(&mut buf.as_slice(), small_config()).unwrap();
+        let young2 = loaded.fetch(old, 0);
+        assert_eq!(loaded.fetch(young2, 0).as_small_int(), 9);
+        assert_eq!(loaded.entry_table_len(), 1);
+        // And the loaded image scavenges correctly.
+        let root = loaded.new_root(old);
+        loaded.scavenge();
+        let old2 = root.get();
+        assert_eq!(
+            loaded.fetch(loaded.fetch(old2, 0), 0).as_small_int(),
+            9
+        );
+    }
+}

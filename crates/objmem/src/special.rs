@@ -1,0 +1,122 @@
+//! The special-objects table.
+//!
+//! A fixed array of oops the virtual machine needs constant-time access to:
+//! `nil`/`true`/`false`, the classes it instantiates directly, the selectors
+//! it sends itself (`doesNotUnderstand:` and friends), the character table,
+//! the `Smalltalk` system dictionary and the ProcessorScheduler instance.
+//! Filled in once by the image bootstrapper; read lock-free afterwards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::oop::Oop;
+
+/// Index of a well-known object in the special-objects table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+#[allow(missing_docs)] // names are self-describing
+pub enum So {
+    Nil = 0,
+    True,
+    False,
+    /// The sole ProcessorScheduler instance.
+    Scheduler,
+    /// The `Smalltalk` SystemDictionary.
+    SmalltalkDict,
+    /// Array of the 256 Character instances.
+    CharTable,
+    ClassSmallInteger,
+    ClassFloat,
+    ClassCharacter,
+    ClassString,
+    ClassSymbol,
+    ClassArray,
+    ClassByteArray,
+    ClassAssociation,
+    ClassMethodContext,
+    ClassBlockContext,
+    ClassCompiledMethod,
+    ClassProcess,
+    ClassSemaphore,
+    ClassLinkedList,
+    ClassMessage,
+    ClassMethodDictionary,
+    ClassMetaclass,
+    SelDoesNotUnderstand,
+    SelMustBeBoolean,
+    SelCannotReturn,
+    SelDoesNotUnderstandFallback,
+    /// Selector of the error raised on primitive failure without fallback code.
+    SelPrimitiveFailed,
+}
+
+/// Total number of special-object slots.
+pub const SPECIAL_COUNT: usize = So::SelPrimitiveFailed as usize + 1;
+
+/// The table itself. All slots start as [`Oop::ZERO`] until bootstrap.
+#[derive(Debug)]
+pub struct SpecialObjects {
+    slots: [AtomicU64; SPECIAL_COUNT],
+}
+
+impl Default for SpecialObjects {
+    fn default() -> Self {
+        SpecialObjects {
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl SpecialObjects {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SpecialObjects::default()
+    }
+
+    /// Reads a special object.
+    #[inline]
+    pub fn get(&self, which: So) -> Oop {
+        Oop::from_raw(self.slots[which as usize].load(Ordering::Relaxed))
+    }
+
+    /// Installs a special object (bootstrap, snapshot load, and GC only).
+    pub fn set(&self, which: So, oop: Oop) {
+        self.slots[which as usize].store(oop.raw(), Ordering::Release);
+    }
+
+    /// Applies `f` to every slot, storing back the returned oop (GC use).
+    pub fn update_all(&self, mut f: impl FnMut(Oop) -> Oop) {
+        for slot in &self.slots {
+            let old = Oop::from_raw(slot.load(Ordering::Relaxed));
+            slot.store(f(old).raw(), Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_zeroed_and_round_trips() {
+        let t = SpecialObjects::new();
+        assert_eq!(t.get(So::Nil), Oop::ZERO);
+        t.set(So::Nil, Oop::from_index(3));
+        assert_eq!(t.get(So::Nil), Oop::from_index(3));
+        assert_eq!(t.get(So::True), Oop::ZERO);
+    }
+
+    #[test]
+    fn update_all_visits_every_slot() {
+        let t = SpecialObjects::new();
+        t.set(So::True, Oop::from_index(1));
+        t.set(So::SelPrimitiveFailed, Oop::from_index(2));
+        let mut seen = 0;
+        t.update_all(|o| {
+            if o != Oop::ZERO {
+                seen += 1;
+            }
+            o
+        });
+        assert_eq!(seen, 2);
+    }
+}

@@ -1,0 +1,528 @@
+//! Serialized I/O devices.
+//!
+//! Paper §3.1, the first serialization example: *"The interpreter places
+//! input events on a queue which is shared (potentially) by several
+//! processes. There is also an output queue associated with the display
+//! controller, into which display commands are placed. In both of these
+//! cases, access to the shared resource is for very brief intervals."*
+//!
+//! This module rebuilds both devices: [`InputQueue`] for keyboard/mouse
+//! events and [`Display`] — a display controller with a serialized command
+//! queue feeding a small monochrome BitBlt framebuffer. The paper's *busy*
+//! background Process "contends for the display" by pushing commands here.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::spinlock::{LockStats, SpinMutex, SyncMode};
+
+/// One input event (keystroke, mouse motion, button).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InputEvent {
+    /// Device that produced the event (0 = keyboard, 1 = mouse, ...).
+    pub device: u8,
+    /// Device-specific event code (key number, coordinate, ...).
+    pub code: u32,
+    /// Millisecond timestamp.
+    pub time: u64,
+}
+
+/// The shared input-event queue, serialized by a spin-lock.
+#[derive(Debug)]
+pub struct InputQueue {
+    queue: SpinMutex<VecDeque<InputEvent>>,
+    capacity: usize,
+}
+
+impl InputQueue {
+    /// Creates an input queue holding at most `capacity` pending events.
+    pub fn new(mode: SyncMode, capacity: usize) -> Self {
+        InputQueue {
+            queue: SpinMutex::new(mode, VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// Enqueues an event, dropping the oldest one if the queue is full
+    /// (real keyboards lose keystrokes too).
+    pub fn post(&self, event: InputEvent) {
+        let mut q = self.queue.lock();
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back(event);
+    }
+
+    /// Dequeues the next pending event, if any.
+    pub fn next_event(&self) -> Option<InputEvent> {
+        self.queue.lock().pop_front()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Contention statistics of the queue lock.
+    pub fn lock_stats(&self) -> LockStats {
+        self.queue.stats()
+    }
+}
+
+/// Combination rules for [`DisplayCommand::CopyRect`], after BitBlt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CombinationRule {
+    /// destination := source
+    Over,
+    /// destination := destination AND source
+    And,
+    /// destination := destination OR source
+    Paint,
+    /// destination := destination XOR source
+    Reverse,
+    /// destination := destination AND NOT source
+    Erase,
+}
+
+/// A command for the display controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisplayCommand {
+    /// Set every pixel to white (0).
+    Clear,
+    /// Set a single pixel.
+    Plot {
+        /// X coordinate in pixels.
+        x: u16,
+        /// Y coordinate in pixels.
+        y: u16,
+        /// `true` for black.
+        on: bool,
+    },
+    /// Fill a rectangle with a solid color using a combination rule.
+    FillRect {
+        /// Left edge.
+        x: u16,
+        /// Top edge.
+        y: u16,
+        /// Width in pixels.
+        w: u16,
+        /// Height in pixels.
+        h: u16,
+        /// How the (all-ones) source combines with the destination.
+        rule: CombinationRule,
+    },
+    /// Copy a rectangle from one place on the screen to another.
+    CopyRect {
+        /// Source left edge.
+        sx: u16,
+        /// Source top edge.
+        sy: u16,
+        /// Destination left edge.
+        dx: u16,
+        /// Destination top edge.
+        dy: u16,
+        /// Width in pixels.
+        w: u16,
+        /// Height in pixels.
+        h: u16,
+        /// How source pixels combine with destination pixels.
+        rule: CombinationRule,
+    },
+}
+
+/// The monochrome framebuffer behind the display controller.
+#[derive(Debug, Clone)]
+pub struct Framebuffer {
+    width: u16,
+    height: u16,
+    /// Row-major, one `bool`-as-bit per pixel, packed 64 per word.
+    bits: Vec<u64>,
+}
+
+impl Framebuffer {
+    fn new(width: u16, height: u16) -> Self {
+        let words_per_row = (width as usize).div_ceil(64);
+        Framebuffer {
+            width,
+            height,
+            bits: vec![0; words_per_row * height as usize],
+        }
+    }
+
+    fn words_per_row(&self) -> usize {
+        (self.width as usize).div_ceil(64)
+    }
+
+    /// Reads one pixel; out-of-bounds pixels read as white.
+    pub fn pixel(&self, x: u16, y: u16) -> bool {
+        if x >= self.width || y >= self.height {
+            return false;
+        }
+        let idx = y as usize * self.words_per_row() + x as usize / 64;
+        self.bits[idx] >> (x % 64) & 1 == 1
+    }
+
+    fn set_pixel(&mut self, x: u16, y: u16, on: bool) {
+        if x >= self.width || y >= self.height {
+            return;
+        }
+        let wpr = self.words_per_row();
+        let idx = y as usize * wpr + x as usize / 64;
+        let bit = 1u64 << (x % 64);
+        if on {
+            self.bits[idx] |= bit;
+        } else {
+            self.bits[idx] &= !bit;
+        }
+    }
+
+    fn combine(dst: bool, src: bool, rule: CombinationRule) -> bool {
+        match rule {
+            CombinationRule::Over => src,
+            CombinationRule::And => dst & src,
+            CombinationRule::Paint => dst | src,
+            CombinationRule::Reverse => dst ^ src,
+            CombinationRule::Erase => dst & !src,
+        }
+    }
+
+    /// Number of black pixels (used by tests and the inspector benchmark).
+    pub fn population(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Display width in pixels.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Display height in pixels.
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    fn apply(&mut self, cmd: DisplayCommand) {
+        match cmd {
+            DisplayCommand::Clear => self.bits.fill(0),
+            DisplayCommand::Plot { x, y, on } => self.set_pixel(x, y, on),
+            DisplayCommand::FillRect { x, y, w, h, rule } => {
+                for yy in y..y.saturating_add(h).min(self.height) {
+                    for xx in x..x.saturating_add(w).min(self.width) {
+                        let dst = self.pixel(xx, yy);
+                        self.set_pixel(xx, yy, Self::combine(dst, true, rule));
+                    }
+                }
+            }
+            DisplayCommand::CopyRect {
+                sx,
+                sy,
+                dx,
+                dy,
+                w,
+                h,
+                rule,
+            } => {
+                // Copy through a staging buffer so overlapping rectangles
+                // behave like real BitBlt (source sampled before writes).
+                let mut staged = Vec::with_capacity(w as usize * h as usize);
+                for yy in 0..h {
+                    for xx in 0..w {
+                        staged.push(self.pixel(sx.saturating_add(xx), sy.saturating_add(yy)));
+                    }
+                }
+                for yy in 0..h {
+                    for xx in 0..w {
+                        let (px, py) = (dx.saturating_add(xx), dy.saturating_add(yy));
+                        if px < self.width && py < self.height {
+                            let dst = self.pixel(px, py);
+                            let src = staged[yy as usize * w as usize + xx as usize];
+                            self.set_pixel(px, py, Self::combine(dst, src, rule));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The display controller: a serialized command queue plus framebuffer.
+///
+/// Commands are queued under a brief spin-lock (the paper's serialization of
+/// output) and drained either eagerly ([`Display::flush`]) or whenever the
+/// queue exceeds its high-water mark.
+pub struct Display {
+    queue: SpinMutex<VecDeque<DisplayCommand>>,
+    frame: SpinMutex<Framebuffer>,
+    high_water: usize,
+    commands_applied: std::sync::atomic::AtomicU64,
+}
+
+impl fmt::Debug for Display {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let frame = self.frame.lock();
+        f.debug_struct("Display")
+            .field("width", &frame.width())
+            .field("height", &frame.height())
+            .field("population", &frame.population())
+            .finish()
+    }
+}
+
+impl Display {
+    /// Creates a display of the given size.
+    pub fn new(mode: SyncMode, width: u16, height: u16) -> Self {
+        Display {
+            queue: SpinMutex::new(mode, VecDeque::new()),
+            frame: SpinMutex::new(mode, Framebuffer::new(width, height)),
+            high_water: 256,
+            commands_applied: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Queues a display command; drains the queue past the high-water mark.
+    pub fn post(&self, cmd: DisplayCommand) {
+        let should_flush = {
+            let mut q = self.queue.lock();
+            q.push_back(cmd);
+            q.len() >= self.high_water
+        };
+        if should_flush {
+            self.flush();
+        }
+    }
+
+    /// Applies every queued command to the framebuffer.
+    pub fn flush(&self) {
+        loop {
+            // Take a batch under the queue lock, apply under the frame lock,
+            // keeping each critical section brief (the paper's requirement
+            // for serialized resources).
+            let batch: Vec<DisplayCommand> = {
+                let mut q = self.queue.lock();
+                if q.is_empty() {
+                    return;
+                }
+                q.drain(..).collect()
+            };
+            let mut frame = self.frame.lock();
+            let n = batch.len() as u64;
+            for cmd in batch {
+                frame.apply(cmd);
+            }
+            self.commands_applied
+                .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Runs `f` against the current framebuffer contents (after a flush).
+    pub fn with_frame<R>(&self, f: impl FnOnce(&Framebuffer) -> R) -> R {
+        self.flush();
+        f(&self.frame.lock())
+    }
+
+    /// Total number of commands applied since creation.
+    pub fn commands_applied(&self) -> u64 {
+        self.commands_applied
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Contention statistics of the command-queue lock.
+    pub fn queue_lock_stats(&self) -> LockStats {
+        self.queue.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mp() -> SyncMode {
+        SyncMode::Multiprocessor
+    }
+
+    #[test]
+    fn input_queue_fifo_order() {
+        let q = InputQueue::new(mp(), 8);
+        for code in 0..3 {
+            q.post(InputEvent {
+                device: 0,
+                code,
+                time: code as u64,
+            });
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.next_event().unwrap().code, 0);
+        assert_eq!(q.next_event().unwrap().code, 1);
+        assert_eq!(q.next_event().unwrap().code, 2);
+        assert!(q.next_event().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn input_queue_drops_oldest_when_full() {
+        let q = InputQueue::new(mp(), 2);
+        for code in 0..5 {
+            q.post(InputEvent {
+                device: 0,
+                code,
+                time: 0,
+            });
+        }
+        assert_eq!(q.next_event().unwrap().code, 3);
+        assert_eq!(q.next_event().unwrap().code, 4);
+    }
+
+    #[test]
+    fn plot_and_read_pixel() {
+        let d = Display::new(mp(), 128, 64);
+        d.post(DisplayCommand::Plot { x: 5, y: 6, on: true });
+        assert!(d.with_frame(|f| f.pixel(5, 6)));
+        assert!(!d.with_frame(|f| f.pixel(6, 5)));
+    }
+
+    #[test]
+    fn fill_and_clear() {
+        let d = Display::new(mp(), 64, 64);
+        d.post(DisplayCommand::FillRect {
+            x: 0,
+            y: 0,
+            w: 8,
+            h: 8,
+            rule: CombinationRule::Over,
+        });
+        assert_eq!(d.with_frame(|f| f.population()), 64);
+        d.post(DisplayCommand::Clear);
+        assert_eq!(d.with_frame(|f| f.population()), 0);
+    }
+
+    #[test]
+    fn xor_fill_twice_restores() {
+        let d = Display::new(mp(), 32, 32);
+        let fill = DisplayCommand::FillRect {
+            x: 2,
+            y: 2,
+            w: 5,
+            h: 5,
+            rule: CombinationRule::Reverse,
+        };
+        d.post(fill);
+        assert_eq!(d.with_frame(|f| f.population()), 25);
+        d.post(fill);
+        assert_eq!(d.with_frame(|f| f.population()), 0);
+    }
+
+    #[test]
+    fn copy_rect_moves_pixels() {
+        let d = Display::new(mp(), 64, 64);
+        d.post(DisplayCommand::Plot { x: 1, y: 1, on: true });
+        d.post(DisplayCommand::CopyRect {
+            sx: 0,
+            sy: 0,
+            dx: 10,
+            dy: 10,
+            w: 4,
+            h: 4,
+            rule: CombinationRule::Over,
+        });
+        assert!(d.with_frame(|f| f.pixel(11, 11)));
+    }
+
+    #[test]
+    fn overlapping_copy_uses_staged_source() {
+        let d = Display::new(mp(), 64, 8);
+        d.post(DisplayCommand::Plot { x: 0, y: 0, on: true });
+        // Shift right by one, overlapping; pixel must land only at x=1.
+        d.post(DisplayCommand::CopyRect {
+            sx: 0,
+            sy: 0,
+            dx: 1,
+            dy: 0,
+            w: 8,
+            h: 1,
+            rule: CombinationRule::Over,
+        });
+        d.with_frame(|f| {
+            assert!(f.pixel(1, 0));
+            assert!(!f.pixel(2, 0));
+        });
+    }
+
+    #[test]
+    fn out_of_bounds_ops_are_clipped() {
+        let d = Display::new(mp(), 16, 16);
+        d.post(DisplayCommand::Plot {
+            x: 200,
+            y: 200,
+            on: true,
+        });
+        d.post(DisplayCommand::FillRect {
+            x: 14,
+            y: 14,
+            w: 10,
+            h: 10,
+            rule: CombinationRule::Over,
+        });
+        assert_eq!(d.with_frame(|f| f.population()), 4);
+    }
+
+    #[test]
+    fn erase_rule_clears_only_source_bits() {
+        let d = Display::new(mp(), 16, 16);
+        d.post(DisplayCommand::FillRect {
+            x: 0,
+            y: 0,
+            w: 4,
+            h: 1,
+            rule: CombinationRule::Over,
+        });
+        d.post(DisplayCommand::FillRect {
+            x: 2,
+            y: 0,
+            w: 4,
+            h: 1,
+            rule: CombinationRule::Erase,
+        });
+        d.with_frame(|f| {
+            assert!(f.pixel(0, 0) && f.pixel(1, 0));
+            assert!(!f.pixel(2, 0) && !f.pixel(3, 0));
+        });
+    }
+
+    #[test]
+    fn command_counter_advances() {
+        let d = Display::new(mp(), 8, 8);
+        d.post(DisplayCommand::Clear);
+        d.flush();
+        assert_eq!(d.commands_applied(), 1);
+    }
+
+    #[test]
+    fn concurrent_posts_do_not_lose_commands() {
+        use std::sync::Arc;
+        let d = Arc::new(Display::new(mp(), 64, 64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                std::thread::spawn(move || {
+                    for i in 0..1000u16 {
+                        d.post(DisplayCommand::Plot {
+                            x: i % 64,
+                            y: (i / 64) % 64,
+                            on: true,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        d.flush();
+        assert_eq!(d.commands_applied(), 4000);
+    }
+}

@@ -1,0 +1,182 @@
+//! Lightweight processes and virtual processors.
+//!
+//! The V kernel supplied *lightweight processes* — threads of control sharing
+//! one address space — which MS replicated, one interpreter per processor
+//! (paper §3.2: "We create processes for as many interpreters as are desired,
+//! up to the maximum number of processors available"). We map each lightweight
+//! process onto an OS thread and tag it with the [`Processor`] it is
+//! (statically) assigned to, matching the V kernel's static assignment of
+//! V processes to processors.
+
+use std::fmt;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Identifier of a virtual processor of the simulated Firefly.
+///
+/// The Firefly had five microVAX processors; the reproduction allows any
+/// count but defaults to five.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Processor(pub usize);
+
+impl fmt::Display for Processor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// The set of virtual processors available to the system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessorSet {
+    count: usize,
+}
+
+impl ProcessorSet {
+    /// The Firefly configuration used throughout the paper: five processors.
+    pub const FIREFLY: ProcessorSet = ProcessorSet { count: 5 };
+
+    /// Creates a set of `count` virtual processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(count: usize) -> Self {
+        assert!(count > 0, "a machine needs at least one processor");
+        ProcessorSet { count }
+    }
+
+    /// Number of processors in the set.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the set is empty (never true; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over the processors in the set.
+    pub fn iter(&self) -> impl Iterator<Item = Processor> {
+        (0..self.count).map(Processor)
+    }
+}
+
+impl Default for ProcessorSet {
+    fn default() -> Self {
+        ProcessorSet::FIREFLY
+    }
+}
+
+/// Handle to a spawned lightweight process.
+///
+/// Joining returns whatever the process body returned.
+#[derive(Debug)]
+pub struct LightweightHandle<T> {
+    processor: Processor,
+    handle: JoinHandle<T>,
+}
+
+impl<T> LightweightHandle<T> {
+    /// The processor this lightweight process was assigned to.
+    pub fn processor(&self) -> Processor {
+        self.processor
+    }
+
+    /// Waits for the process to finish and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying thread panicked.
+    pub fn join(self) -> T {
+        self.handle
+            .join()
+            .expect("lightweight process panicked; the V kernel would have crashed too")
+    }
+
+    /// Whether the process has finished.
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+}
+
+/// Spawns a lightweight process assigned to `processor`.
+///
+/// The paper's V kernel statically assigned V processes to processors; we
+/// record the assignment in the thread name and the returned handle. (On the
+/// single-core host the assignment is advisory — the OS time-slices — which
+/// is documented as a substitution in DESIGN.md.)
+pub fn spawn_lightweight<T, F>(processor: Processor, name: &str, body: F) -> LightweightHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let handle = thread::Builder::new()
+        .name(format!("{processor}:{name}"))
+        .spawn(body)
+        .expect("failed to spawn lightweight process");
+    LightweightHandle { processor, handle }
+}
+
+/// The V kernel `Delay` operation used as spin-lock back-off.
+///
+/// `iteration` is how many times the caller has already delayed while waiting
+/// for the same condition. Early iterations merely hint the CPU; later ones
+/// yield to let another lightweight process run (the V kernel's "minimal
+/// timeout", which "allows V process switching to occur"); persistent waits
+/// sleep briefly so a descheduled lock holder can make progress even on a
+/// single hardware core.
+#[inline]
+pub fn delay(iteration: u32) {
+    if iteration < 16 {
+        std::hint::spin_loop();
+    } else if iteration < 64 {
+        thread::yield_now();
+    } else {
+        thread::sleep(Duration::from_micros(50));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processor_set_iterates_in_order() {
+        let set = ProcessorSet::new(3);
+        let ids: Vec<_> = set.iter().map(|p| p.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn firefly_has_five_processors() {
+        assert_eq!(ProcessorSet::FIREFLY.len(), 5);
+        assert_eq!(ProcessorSet::default(), ProcessorSet::FIREFLY);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let _ = ProcessorSet::new(0);
+    }
+
+    #[test]
+    fn spawn_and_join_returns_value() {
+        let h = spawn_lightweight(Processor(2), "worker", || 6 * 7);
+        assert_eq!(h.processor(), Processor(2));
+        assert_eq!(h.join(), 42);
+    }
+
+    #[test]
+    fn delay_all_phases_complete() {
+        for i in [0, 20, 70] {
+            delay(i);
+        }
+    }
+
+    #[test]
+    fn processor_displays_as_cpu_number() {
+        assert_eq!(Processor(4).to_string(), "cpu4");
+    }
+}

@@ -1,0 +1,251 @@
+//! Stop-the-world rendezvous.
+//!
+//! Paper §3.1: *"Since garbage collection takes a long time compared to other
+//! interpreter activities, we do not employ spin-locks in serializing
+//! scavenging. Instead, all of the processes are synchronized with a global
+//! flag and the V interprocess communication mechanism."*
+//!
+//! [`Rendezvous`] is that mechanism: interpreter threads register as
+//! participants and poll a global flag at safepoints; when one thread
+//! requests a stop ([`Rendezvous::stop_world`]) the others park until the
+//! requester drops the returned [`RendezvousGuard`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Whether a stop is requested (authoritative copy; `flag` mirrors it).
+    requested: bool,
+    /// Threads currently registered as mutators.
+    participants: usize,
+    /// Registered threads currently parked (or leading a stop).
+    parked: usize,
+}
+
+/// Global-flag-plus-IPC synchronization used to serialize scavenging.
+///
+/// # Example
+///
+/// ```
+/// use mst_vkernel::Rendezvous;
+///
+/// let rdv = Rendezvous::new();
+/// rdv.register();
+/// {
+///     let _world = rdv.stop_world(); // sole participant: returns at once
+///     // ... scavenge ...
+/// }
+/// rdv.unregister();
+/// ```
+#[derive(Debug, Default)]
+pub struct Rendezvous {
+    /// Fast-path mirror of `Inner::requested`, polled at safepoints.
+    flag: AtomicBool,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl Rendezvous {
+    /// Creates a rendezvous with no registered participants.
+    pub fn new() -> Self {
+        Rendezvous::default()
+    }
+
+    /// Registers the calling thread as a mutator that will reach safepoints.
+    pub fn register(&self) {
+        self.inner.lock().participants += 1;
+    }
+
+    /// Unregisters the calling thread (e.g. when an interpreter terminates
+    /// or blocks in the kernel where it cannot touch the heap).
+    pub fn unregister(&self) {
+        let mut inner = self.inner.lock();
+        debug_assert!(inner.participants > 0, "unregister without register");
+        inner.participants -= 1;
+        // A leader may be waiting for us; let it recount.
+        self.cv.notify_all();
+    }
+
+    /// Number of currently registered participants.
+    pub fn participants(&self) -> usize {
+        self.inner.lock().participants
+    }
+
+    /// The global flag: `true` when some thread wants the world stopped.
+    ///
+    /// This is the only thing mutators pay for at a safepoint.
+    #[inline]
+    pub fn poll(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Parks the calling (registered) thread until the pending stop — if any
+    /// — is released. Call upon observing [`poll`](Self::poll) return `true`.
+    pub fn park(&self) {
+        let mut inner = self.inner.lock();
+        if !inner.requested {
+            return; // raced with the release
+        }
+        inner.parked += 1;
+        self.cv.notify_all();
+        while inner.requested {
+            self.cv.wait(&mut inner);
+        }
+        inner.parked -= 1;
+    }
+
+    /// Stops the world: sets the global flag and waits until every other
+    /// registered participant is parked. If another thread is already
+    /// stopping the world, the caller parks first and retries once released.
+    ///
+    /// The world resumes when the returned guard is dropped.
+    pub fn stop_world(&self) -> RendezvousGuard<'_> {
+        let mut inner = self.inner.lock();
+        loop {
+            // If somebody else is leading a stop, behave as a parker.
+            while inner.requested {
+                inner.parked += 1;
+                self.cv.notify_all();
+                while inner.requested {
+                    self.cv.wait(&mut inner);
+                }
+                inner.parked -= 1;
+            }
+            inner.requested = true;
+            self.flag.store(true, Ordering::Relaxed);
+            // Wait for everyone else to park.
+            while inner.parked < inner.participants.saturating_sub(1) {
+                self.cv.wait(&mut inner);
+            }
+            return RendezvousGuard { rdv: self };
+        }
+    }
+}
+
+/// Exclusive ownership of the stopped world; dropping it resumes everyone.
+#[must_use = "the world resumes as soon as the guard is dropped"]
+#[derive(Debug)]
+pub struct RendezvousGuard<'a> {
+    rdv: &'a Rendezvous,
+}
+
+impl Drop for RendezvousGuard<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.rdv.inner.lock();
+        inner.requested = false;
+        self.rdv.flag.store(false, Ordering::Relaxed);
+        self.rdv.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn sole_participant_stops_immediately() {
+        let rdv = Rendezvous::new();
+        rdv.register();
+        let guard = rdv.stop_world();
+        assert!(rdv.poll());
+        drop(guard);
+        assert!(!rdv.poll());
+        rdv.unregister();
+        assert_eq!(rdv.participants(), 0);
+    }
+
+    #[test]
+    fn park_returns_immediately_when_no_request() {
+        let rdv = Rendezvous::new();
+        rdv.register();
+        rdv.park(); // must not block
+        rdv.unregister();
+    }
+
+    #[test]
+    fn world_stops_are_mutually_exclusive_with_mutation() {
+        let rdv = Arc::new(Rendezvous::new());
+        let value = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        // Mutators increment unless stopped; the stopper checks that the
+        // value does not change while it holds the world.
+        for _ in 0..3 {
+            let rdv = Arc::clone(&rdv);
+            let value = Arc::clone(&value);
+            rdv.register();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50_000 {
+                    if rdv.poll() {
+                        rdv.park();
+                    }
+                    value.fetch_add(1, Ordering::Relaxed);
+                }
+                rdv.unregister();
+            }));
+        }
+        rdv.register();
+        for _ in 0..20 {
+            let guard = rdv.stop_world();
+            let before = value.load(Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            let after = value.load(Ordering::Relaxed);
+            assert_eq!(
+                before, after,
+                "a mutator ran while the world was supposedly stopped"
+            );
+            drop(guard);
+            std::thread::yield_now();
+        }
+        rdv.unregister();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn competing_stoppers_serialize() {
+        let rdv = Arc::new(Rendezvous::new());
+        let in_gc = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rdv = Arc::clone(&rdv);
+            let in_gc = Arc::clone(&in_gc);
+            rdv.register();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    if rdv.poll() {
+                        rdv.park();
+                    }
+                    let guard = rdv.stop_world();
+                    let n = in_gc.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(n, 0, "two threads collected at once");
+                    in_gc.fetch_sub(1, Ordering::SeqCst);
+                    drop(guard);
+                }
+                rdv.unregister();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn unregister_unblocks_a_waiting_stopper() {
+        let rdv = Arc::new(Rendezvous::new());
+        rdv.register(); // the stopper
+        rdv.register(); // the thread that will exit instead of parking
+        let rdv2 = Arc::clone(&rdv);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            rdv2.unregister();
+        });
+        let guard = rdv.stop_world(); // must not hang
+        drop(guard);
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,364 @@
+//! Spin-locks in the style of the V kernel's on the Firefly.
+//!
+//! The paper (§3.1): *"For very brief periods of exclusion, we rely on a
+//! spin-lock mechanism based on the processor's interlocked test-and-set
+//! instruction. If the test fails, the locking code invokes the kernel's
+//! `Delay` operation with a minimal timeout, which allows V process switching
+//! to occur, if necessary, and also avoids monopolizing the memory bus."*
+//!
+//! [`SpinLock`] reproduces exactly that: an atomic swap for test-and-set and
+//! [`delay`](crate::delay) as the back-off. The [`SyncMode`] knob compiles
+//! the lock down to nothing for the *baseline BS* configuration, which the
+//! harness uses to measure the static cost of multiprocessor support.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::process::delay;
+
+/// Whether synchronization operations are real or compiled away.
+///
+/// `Uniprocessor` corresponds to the paper's "baseline BS" interpreter: the
+/// code paths are identical but every lock acquisition is a no-op, so the
+/// system is only safe with a single interpreter thread. `Multiprocessor`
+/// is the MS configuration with interlocked test-and-set locks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SyncMode {
+    /// Baseline BS: no interlocked operations; single interpreter only.
+    Uniprocessor,
+    /// MS: spin-locks on every serialized resource.
+    #[default]
+    Multiprocessor,
+}
+
+impl SyncMode {
+    /// Returns `true` in the multiprocessor (MS) configuration.
+    #[inline]
+    pub fn is_mp(self) -> bool {
+        matches!(self, SyncMode::Multiprocessor)
+    }
+}
+
+/// Counters describing how often a lock was taken and how often the
+/// test-and-set failed (i.e. the lock was contended).
+///
+/// Contention is only counted on the slow path so the uncontended fast path
+/// stays a single interlocked operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Number of acquisitions that found the lock already held.
+    pub contended: u64,
+    /// Total spin iterations across all contended acquisitions.
+    pub spins: u64,
+}
+
+/// A raw test-and-set spin-lock (no protected data).
+///
+/// Most callers want [`SpinMutex`], which pairs the lock with the data it
+/// guards. `SpinLock` exists for the cases in the VM where the guarded state
+/// lives in the Smalltalk heap rather than in a Rust value (for example the
+/// scheduler's ready queue, which is a Smalltalk object).
+pub struct SpinLock {
+    mode: SyncMode,
+    flag: AtomicBool,
+    contended: AtomicU64,
+    spins: AtomicU64,
+}
+
+impl fmt::Debug for SpinLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpinLock")
+            .field("mode", &self.mode)
+            .field("held", &self.flag.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SpinLock {
+    /// Creates a lock operating in the given [`SyncMode`].
+    pub const fn new(mode: SyncMode) -> Self {
+        SpinLock {
+            mode,
+            flag: AtomicBool::new(false),
+            contended: AtomicU64::new(0),
+            spins: AtomicU64::new(0),
+        }
+    }
+
+    /// The mode this lock was created with.
+    #[inline]
+    pub fn mode(&self) -> SyncMode {
+        self.mode
+    }
+
+    /// Acquires the lock, spinning with [`delay`] back-off until available.
+    ///
+    /// In [`SyncMode::Uniprocessor`] this is a no-op (the guard is still
+    /// returned so call sites are mode-independent).
+    #[inline]
+    pub fn acquire(&self) -> SpinGuard<'_> {
+        if self.mode.is_mp() && self.flag.swap(true, Ordering::Acquire) {
+            self.acquire_slow();
+        }
+        SpinGuard { lock: self }
+    }
+
+    #[cold]
+    fn acquire_slow(&self) {
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        let mut iter = 0u32;
+        let mut spins = 0u64;
+        // Test (plain load) then test-and-set, delaying between attempts,
+        // exactly as the V kernel locks did to keep off the memory bus.
+        loop {
+            while self.flag.load(Ordering::Relaxed) {
+                delay(iter);
+                iter += 1;
+                spins += 1;
+            }
+            if !self.flag.swap(true, Ordering::Acquire) {
+                break;
+            }
+        }
+        self.spins.fetch_add(spins, Ordering::Relaxed);
+    }
+
+    /// Attempts to acquire the lock without spinning.
+    ///
+    /// Returns `None` if the lock is held by somebody else. Always succeeds
+    /// in uniprocessor mode.
+    #[inline]
+    pub fn try_acquire(&self) -> Option<SpinGuard<'_>> {
+        if self.mode.is_mp() && self.flag.swap(true, Ordering::Acquire) {
+            None
+        } else {
+            Some(SpinGuard { lock: self })
+        }
+    }
+
+    /// Whether the lock is currently held (racy; for diagnostics only).
+    pub fn is_held(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the contention counters.
+    pub fn stats(&self) -> LockStats {
+        LockStats {
+            contended: self.contended.load(Ordering::Relaxed),
+            spins: self.spins.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the contention counters (between benchmark runs).
+    pub fn reset_stats(&self) {
+        self.contended.store(0, Ordering::Relaxed);
+        self.spins.store(0, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn release(&self) {
+        if self.mode.is_mp() {
+            self.flag.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// RAII guard returned by [`SpinLock::acquire`]; releases the lock on drop.
+#[must_use = "the lock is released as soon as the guard is dropped"]
+#[derive(Debug)]
+pub struct SpinGuard<'a> {
+    lock: &'a SpinLock,
+}
+
+impl Drop for SpinGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        self.lock.release();
+    }
+}
+
+/// A value protected by a [`SpinLock`].
+///
+/// # Example
+///
+/// ```
+/// use mst_vkernel::{SpinMutex, SyncMode};
+///
+/// let q = SpinMutex::new(SyncMode::Multiprocessor, Vec::new());
+/// q.lock().push(7);
+/// assert_eq!(q.lock().pop(), Some(7));
+/// ```
+pub struct SpinMutex<T> {
+    lock: SpinLock,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: access to `value` is mediated by the spin-lock in multiprocessor
+// mode. In uniprocessor mode the lock is a no-op, but that mode is only used
+// with a single interpreter thread; sharing a uniprocessor-mode SpinMutex
+// across threads that lock concurrently is a usage error of the VM
+// configuration, mirroring the fact that baseline BS was not thread-safe.
+unsafe impl<T: Send> Send for SpinMutex<T> {}
+unsafe impl<T: Send> Sync for SpinMutex<T> {}
+
+impl<T: fmt::Debug> fmt::Debug for SpinMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(v) => f.debug_tuple("SpinMutex").field(&&*v).finish(),
+            None => f.write_str("SpinMutex(<locked>)"),
+        }
+    }
+}
+
+impl<T> SpinMutex<T> {
+    /// Creates a new mutex guarding `value` in the given [`SyncMode`].
+    pub const fn new(mode: SyncMode, value: T) -> Self {
+        SpinMutex {
+            lock: SpinLock::new(mode),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires the lock and returns a guard dereferencing to the value.
+    #[inline]
+    pub fn lock(&self) -> SpinMutexGuard<'_, T> {
+        SpinMutexGuard {
+            _guard: self.lock.acquire(),
+            value: self.value.get(),
+        }
+    }
+
+    /// Attempts to acquire the lock without spinning.
+    #[inline]
+    pub fn try_lock(&self) -> Option<SpinMutexGuard<'_, T>> {
+        self.lock.try_acquire().map(|g| SpinMutexGuard {
+            _guard: g,
+            value: self.value.get(),
+        })
+    }
+
+    /// Contention statistics of the underlying lock.
+    pub fn stats(&self) -> LockStats {
+        self.lock.stats()
+    }
+
+    /// Resets the contention statistics.
+    pub fn reset_stats(&self) {
+        self.lock.reset_stats();
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+
+    /// Gets mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+}
+
+/// RAII guard for [`SpinMutex`]; dereferences to the protected value.
+#[must_use = "the lock is released as soon as the guard is dropped"]
+pub struct SpinMutexGuard<'a, T> {
+    _guard: SpinGuard<'a>,
+    value: *mut T,
+}
+
+impl<T> Deref for SpinMutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the lock, giving exclusive access.
+        unsafe { &*self.value }
+    }
+}
+
+impl<T> DerefMut for SpinMutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard holds the lock, giving exclusive access.
+        unsafe { &mut *self.value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn uncontended_acquire_release() {
+        let lock = SpinLock::new(SyncMode::Multiprocessor);
+        {
+            let _g = lock.acquire();
+            assert!(lock.is_held());
+            assert!(lock.try_acquire().is_none());
+        }
+        assert!(!lock.is_held());
+        assert!(lock.try_acquire().is_some());
+        assert_eq!(lock.stats(), LockStats::default());
+    }
+
+    #[test]
+    fn uniprocessor_mode_is_noop() {
+        let lock = SpinLock::new(SyncMode::Uniprocessor);
+        let _a = lock.acquire();
+        // A second acquire must not deadlock: baseline BS has no locking.
+        let _b = lock.acquire();
+        assert!(!lock.is_held());
+    }
+
+    #[test]
+    fn mutex_guards_data_across_threads() {
+        let m = Arc::new(SpinMutex::new(SyncMode::Multiprocessor, 0u64));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 40_000);
+    }
+
+    #[test]
+    fn contention_is_counted() {
+        let m = Arc::new(SpinMutex::new(SyncMode::Multiprocessor, ()));
+        let m2 = Arc::clone(&m);
+        let g = m.lock();
+        let t = std::thread::spawn(move || {
+            let _g = m2.lock();
+        });
+        // Give the other thread time to hit the contended path.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(g);
+        t.join().unwrap();
+        assert!(m.stats().contended >= 1);
+        m.reset_stats();
+        assert_eq!(m.stats(), LockStats::default());
+    }
+
+    #[test]
+    fn mutex_into_inner_and_get_mut() {
+        let mut m = SpinMutex::new(SyncMode::Multiprocessor, String::from("a"));
+        m.get_mut().push('b');
+        assert_eq!(m.into_inner(), "ab");
+    }
+
+    #[test]
+    fn debug_formatting_is_nonempty() {
+        let m = SpinMutex::new(SyncMode::Multiprocessor, 3);
+        assert!(format!("{m:?}").contains('3'));
+        let _g = m.lock();
+        assert!(format!("{m:?}").contains("locked"));
+    }
+}

@@ -1,0 +1,53 @@
+//! A tour of the paper's macro benchmarks and system states.
+//!
+//! ```sh
+//! cargo run --release --example benchmark_tour
+//! ```
+//!
+//! Runs each of the eight Table 2 macro benchmarks once in the plain MS
+//! state and once with four busy competitor Processes, printing the values
+//! they compute and the VM instrumentation around them — a small-scale
+//! version of what `cargo run -p mst-bench --bin table2` measures properly.
+
+use mst_core::{MsConfig, MsSystem, SystemState};
+
+const MACROS: [&str; 8] = [
+    "readWriteClassOrganization",
+    "printClassDefinition",
+    "printClassHierarchy",
+    "findAllCalls",
+    "findAllImplementors",
+    "createInspectorView",
+    "compileDummyMethod",
+    "decompileClass",
+];
+
+fn tour(state: SystemState) {
+    println!("== {}", state.label());
+    let mut ms = MsSystem::new(MsConfig::for_state(state));
+    ms.enter_state(state);
+    for sel in MACROS {
+        let t0 = std::time::Instant::now();
+        let v = ms
+            .evaluate(&format!("Benchmark {sel}"))
+            .unwrap_or_else(|e| panic!("{sel}: {e}"));
+        println!(
+            "  {sel:<30} => {:<8} ({:6.2} ms wall)",
+            format!("{v}"),
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+    }
+    let c = ms.vm().counters();
+    let gc = ms.mem().gc_stats();
+    println!(
+        "  [{} bytecodes, {} sends, {} contexts recycled, {} scavenges]\n",
+        c.bytecodes, c.sends, c.contexts_recycled, gc.scavenges
+    );
+    ms.shutdown();
+}
+
+fn main() {
+    tour(SystemState::Ms);
+    tour(SystemState::MsBusy4);
+    println!("for calibrated numbers run: cargo run --release -p mst-bench --bin table2");
+}

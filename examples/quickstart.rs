@@ -1,0 +1,53 @@
+//! Quickstart: boot Multiprocessor Smalltalk and evaluate expressions.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the object memory, bootstraps the Smalltalk-80 image from the
+//! bundled sources, starts one interpreter per virtual processor (the
+//! Firefly had five), and evaluates a few expressions — including ones that
+//! exercise the class library, blocks, and the reflective system.
+
+use mst_core::{MsConfig, MsSystem};
+
+fn main() {
+    println!("Booting Multiprocessor Smalltalk (5 virtual processors)...");
+    let mut ms = MsSystem::new(MsConfig::default());
+    println!(
+        "image ready: {} old-space words, {} interned symbols\n",
+        ms.mem().old_used(),
+        ms.mem().symbol_count()
+    );
+
+    let examples = [
+        "3 + 4 * 2",
+        "(1 to: 100) inject: 0 into: [:sum :each | sum + each]",
+        "'multiprocessor' size",
+        "#(3 1 4 1 5 9) inject: 0 into: [:a :b | a max: b]",
+        "100 factorialIsh",        // a doesNotUnderstand:, reported politely
+        "(3 @ 4) + (10 @ 20)",
+        "OrderedCollection new add: 'a'; add: 'b'; yourself",
+        "Object definition",
+        "Smalltalk classCount",
+        "[:x | x * x] value: 12",
+        "Processor canRun: Processor thisProcess",
+    ];
+    for src in examples {
+        print!("{src:55} => ");
+        match ms.evaluate(src) {
+            Ok(v) => println!("{v}"),
+            Err(e) => println!("(error: {e})"),
+        }
+    }
+
+    let c = ms.vm().counters();
+    println!(
+        "\nexecuted {} bytecodes, {} sends ({:.1}% method-cache hits), {} primitives",
+        c.bytecodes,
+        c.sends,
+        100.0 * c.cache_hits as f64 / (c.cache_hits + c.cache_misses).max(1) as f64,
+        c.primitives
+    );
+    ms.shutdown();
+}

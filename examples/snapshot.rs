@@ -1,0 +1,55 @@
+//! Virtual-image snapshots: save a running image, reload it, carry on.
+//!
+//! ```sh
+//! cargo run --release --example snapshot
+//! ```
+//!
+//! Smalltalk-80 systems persist as a snapshot of the object memory (the
+//! "virtual image"); the paper's reorganization section describes filling
+//! the scheduler's `activeProcess` slot before snapshotting for
+//! compatibility with pre-MS images. This example mutates the image (a
+//! freshly compiled method and a global), snapshots it to a byte buffer,
+//! boots a second system from those bytes, and shows the state survived.
+
+use mst_core::{MsConfig, MsSystem, Value};
+
+fn main() {
+    let config = MsConfig {
+        processors: 2,
+        ..MsConfig::default()
+    };
+    let mut ms = MsSystem::new(config);
+
+    // Mutate the image: install a method at run time.
+    ms.evaluate("Benchmark class compile: 'answer ^6 * 7'")
+        .expect("compile failed");
+    assert_eq!(ms.evaluate("Benchmark answer").unwrap(), Value::Int(42));
+
+    let mut bytes = Vec::new();
+    ms.save_snapshot(&mut bytes).expect("snapshot failed");
+    println!(
+        "snapshot taken: {} KB ({} old-space words)",
+        bytes.len() / 1024,
+        ms.mem().old_used()
+    );
+    ms.shutdown();
+
+    // A new system boots from the snapshot — no bootstrap, and the
+    // runtime-compiled method is still there.
+    let mut restored =
+        MsSystem::from_snapshot(&mut bytes.as_slice(), config).expect("restore failed");
+    let v = restored.evaluate("Benchmark answer").unwrap();
+    println!("restored image answers: {v}");
+    assert_eq!(v, Value::Int(42));
+
+    // The restored image is fully alive: GC, processes, compilation.
+    restored
+        .evaluate("[Transcript show: 'hello from a restored image'] fork. 1")
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    println!("transcript: {}", &*restored.vm().transcript.lock());
+    restored.collect_garbage();
+    assert_eq!(restored.evaluate("3 + 4").unwrap(), Value::Int(7));
+    restored.shutdown();
+    println!("done");
+}

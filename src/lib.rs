@@ -1,0 +1,13 @@
+//! Umbrella crate for the Multiprocessor Smalltalk reproduction.
+//!
+//! Re-exports the public API of every workspace crate so examples and
+//! integration tests can reach the whole system through one dependency.
+//! Start with [`mst_core::MsSystem`] — see the repository README for a
+//! quickstart.
+
+pub use mst_compiler as compiler;
+pub use mst_core as core;
+pub use mst_image as image;
+pub use mst_interp as interp;
+pub use mst_objmem as objmem;
+pub use mst_vkernel as vkernel;

@@ -1,0 +1,217 @@
+//! Integration: Processes, Semaphores, the scheduler reorganization, and
+//! GC under parallel mutators — the paper's core subject matter.
+
+use mst_core::{MsConfig, MsSystem, SystemState, Value};
+
+fn system() -> MsSystem {
+    MsSystem::new(MsConfig::default())
+}
+
+fn eval(ms: &mut MsSystem, src: &str) -> Value {
+    ms.evaluate(src).unwrap_or_else(|e| panic!("{src}: {e}"))
+}
+
+#[test]
+fn forked_processes_run_and_signal_back() {
+    let mut ms = system();
+    // Two pieces of ST-80 authenticity live here: (1) synchronization of
+    // user-visible data is user code's job (an unsynchronized counter loses
+    // updates), and (2) blocks are NOT closures — a forked block inside
+    // `1 to: 3 do: [:k | ...]` would read the *final* k, because block
+    // variables live in the home frame. The idiomatic fix, then and now: a
+    // helper method, so each fork closes over a fresh activation.
+    eval(
+        &mut ms,
+        "Benchmark class compile: 'forkInto: arr at: k signal: sem
+            [arr at: k put: (Benchmark callHeavy: 50). sem signal] fork'",
+    );
+    assert_eq!(
+        eval(
+            &mut ms,
+            "| done totals |
+             done := Semaphore new.
+             totals := Array new: 3.
+             1 to: 3 do: [:k | Benchmark forkInto: totals at: k signal: done].
+             done wait. done wait. done wait.
+             totals inject: 0 into: [:a :b | a + b]"
+        ),
+        Value::Int(3 * 200) // callHeavy: n answers 4n
+    );
+}
+
+#[test]
+fn semaphore_mutual_exclusion_across_interpreters() {
+    let mut ms = system();
+    // Without the mutex this would lose updates across the five
+    // interpreters; with it the count is exact.
+    assert_eq!(
+        eval(
+            &mut ms,
+            "| counter mutex done |
+             counter := Array with: 0.
+             mutex := Semaphore new. mutex signal.
+             done := Semaphore new.
+             1 to: 4 do: [:k |
+                 [1 to: 500 do: [:i |
+                      mutex wait.
+                      counter at: 1 put: (counter at: 1) + 1.
+                      mutex signal].
+                  done signal] fork].
+             done wait. done wait. done wait. done wait.
+             counter at: 1"
+        ),
+        Value::Int(2000)
+    );
+}
+
+#[test]
+fn this_process_and_can_run_reorganization() {
+    let mut ms = system();
+    // §3.3: thisProcess answers the asking execution path; canRun: is true
+    // for a running process (it stays in the ready queue).
+    assert_eq!(
+        eval(&mut ms, "Processor canRun: Processor thisProcess"),
+        Value::Bool(true)
+    );
+    // activeProcess compatibility wrapper re-routes to thisProcess.
+    assert_eq!(
+        eval(&mut ms, "Processor activeProcess == Processor thisProcess"),
+        Value::Bool(true)
+    );
+    // A freshly created, never-resumed process cannot run.
+    assert_eq!(
+        eval(&mut ms, "Processor canRun: [1] newProcess"),
+        Value::Bool(false)
+    );
+    // A resumed one can (it sits in the ready queue until claimed).
+    assert_eq!(
+        eval(
+            &mut ms,
+            "| p | p := [[true] whileTrue] newProcess.
+             p priority: 1.
+             p resume.
+             Processor canRun: p"
+        ),
+        Value::Bool(true)
+    );
+}
+
+#[test]
+fn suspend_and_terminate() {
+    let mut ms = system();
+    assert_eq!(
+        eval(
+            &mut ms,
+            "| p | p := [[true] whileTrue] newProcess.
+             p priority: 1.
+             p resume.
+             p suspend.
+             Processor canRun: p"
+        ),
+        Value::Bool(false)
+    );
+}
+
+#[test]
+fn priorities_order_execution() {
+    let mut ms = system();
+    // A higher-priority process forked from a doit runs before a
+    // lower-priority one when both become ready (single claim order).
+    let v = eval(
+        &mut ms,
+        "| log done |
+         log := OrderedCollection new.
+         done := Semaphore new.
+         [log add: 2. done signal] forkAt: 2.
+         [log add: 6. done signal] forkAt: 6.
+         done wait. done wait.
+         log first",
+    );
+    // With five interpreters both may run concurrently; all we can assert
+    // deterministically is that both ran.
+    assert!(matches!(v, Value::Int(2) | Value::Int(6)));
+}
+
+#[test]
+fn gc_under_parallel_mutators() {
+    let mut ms = MsSystem::new(MsConfig {
+        memory: mst_objmem::MemoryConfig {
+            eden_words: 64 << 10, // small eden: force frequent scavenges
+            survivor_words: 24 << 10,
+            ..mst_objmem::MemoryConfig::default()
+        },
+        ..MsConfig::default()
+    });
+    ms.enter_state(SystemState::MsBusy4);
+    for _ in 0..5 {
+        assert_eq!(
+            eval(
+                &mut ms,
+                "| o | o := OrderedCollection new.
+                 1 to: 3000 do: [:i | o add: (Array with: i with: i * i)].
+                 (o at: 2999) at: 2"
+            ),
+            Value::Int(2999 * 2999)
+        );
+    }
+    let gc = ms.mem().gc_stats();
+    assert!(gc.scavenges > 0, "the small eden must have forced scavenges");
+    // Deterministic benchmark results survive all that collection.
+    assert_eq!(
+        eval(&mut ms, "Benchmark printClassHierarchy"),
+        eval(&mut ms, "Benchmark printClassHierarchy"),
+    );
+}
+
+#[test]
+fn competitor_errors_do_not_poison_the_benchmark() {
+    let mut ms = system();
+    // A background process that dies with an error...
+    eval(&mut ms, "[nil fooBarBaz] fork. 1");
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    // ...leaves the rest of the system fully operational.
+    assert_eq!(eval(&mut ms, "6 * 7"), Value::Int(42));
+    assert!(ms
+        .vm()
+        .error_log
+        .lock()
+        .iter()
+        .any(|e| e.contains("fooBarBaz")));
+}
+
+#[test]
+fn transcript_is_serialized_across_processes() {
+    let mut ms = system();
+    eval(
+        &mut ms,
+        "| done |
+         done := Semaphore new.
+         1 to: 4 do: [:k |
+             [1 to: 50 do: [:i | Transcript show: 'x'].
+              done signal] fork].
+         done wait. done wait. done wait. done wait.
+         1",
+    );
+    assert_eq!(ms.vm().transcript.lock().len(), 200);
+}
+
+#[test]
+fn display_contention_from_busy_processes() {
+    let mut ms = system();
+    ms.enter_state(SystemState::MsBusy4);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    ms.vm().display.flush();
+    assert!(
+        ms.vm().display.commands_applied() > 0,
+        "busy processes must have drawn to the display"
+    );
+    ms.shutdown();
+}
+
+#[test]
+fn shutdown_stops_competitors_cleanly() {
+    let mut ms = system();
+    ms.enter_state(SystemState::MsBusy4);
+    assert_eq!(eval(&mut ms, "2 + 2"), Value::Int(4));
+    ms.shutdown(); // must join all workers without hanging
+}

@@ -1,0 +1,219 @@
+//! Integration: edge cases and failure injection — dead-context returns,
+//! escaped contexts, overflow, deep recursion across collections,
+//! snapshots, and primitive-failure fallbacks.
+
+use mst_core::{MsConfig, MsSystem, Value};
+
+fn system() -> MsSystem {
+    MsSystem::new(MsConfig {
+        processors: 2,
+        ..MsConfig::default()
+    })
+}
+
+fn eval(ms: &mut MsSystem, src: &str) -> Value {
+    ms.evaluate(src).unwrap_or_else(|e| panic!("{src}: {e}"))
+}
+
+#[test]
+fn nonlocal_return_from_dead_context_is_reported() {
+    let mut ms = system();
+    // Install a method that answers a block; evaluating the block after the
+    // method returned makes its home context dead — ^ must raise.
+    eval(
+        &mut ms,
+        "Benchmark class compile: 'escaper ^[^99]'",
+    );
+    let err = ms.evaluate("Benchmark escaper value").unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("dead context") || msg.contains("cannotReturn"), "{msg}");
+    // System is healthy afterwards.
+    assert_eq!(eval(&mut ms, "1 + 1"), Value::Int(2));
+}
+
+#[test]
+fn this_context_is_a_method_context() {
+    let mut ms = system();
+    assert_eq!(
+        eval(&mut ms, "thisContext class name asString"),
+        Value::Str("MethodContext".into())
+    );
+}
+
+#[test]
+fn block_home_sharing_after_method_return() {
+    let mut ms = system();
+    // A block keeps (non-closure) access to its home temps while the home
+    // frame is alive — the ST-80 semantics the paper's VM had.
+    assert_eq!(
+        eval(
+            &mut ms,
+            "| acc blk |
+             acc := 0.
+             blk := [:x | acc := acc + x. acc].
+             blk value: 5.
+             blk value: 7.
+             acc"
+        ),
+        Value::Int(12)
+    );
+}
+
+#[test]
+fn small_integer_overflow_is_an_error_not_wraparound() {
+    let mut ms = system();
+    let big = (1i64 << 61).to_string();
+    let err = ms.evaluate(&format!("{big} * 4")).unwrap_err();
+    assert!(format!("{err}").contains("multiply"), "{err}");
+    // But in-range products work at the boundary.
+    // Left-to-right: (big - 1) + big stays just inside the 63-bit range.
+    assert_eq!(
+        eval(&mut ms, &format!("{big} - 1 + {big}")),
+        Value::Int((1i64 << 62) - 1)
+    );
+}
+
+#[test]
+fn large_contexts_handle_deep_expressions() {
+    let mut ms = system();
+    // 20+ live operands forces a large context.
+    let src = format!("{}1{}", "(1 + ".repeat(20), ")".repeat(20));
+    assert_eq!(eval(&mut ms, &src), Value::Int(21));
+}
+
+#[test]
+fn deep_recursion_across_scavenges() {
+    let mut ms = MsSystem::new(MsConfig {
+        memory: mst_objmem::MemoryConfig {
+            eden_words: 48 << 10,
+            survivor_words: 16 << 10,
+            ..mst_objmem::MemoryConfig::default()
+        },
+        processors: 2,
+        ..MsConfig::default()
+    });
+    eval(
+        &mut ms,
+        "Benchmark class compile: 'sumTo: n
+            n = 0 ifTrue: [^0].
+            ^n + (Benchmark sumTo: n - 1)'",
+    );
+    // Thousands of context allocations; contexts tenure and the chain must
+    // survive scavenges and stay walkable for the returns.
+    assert_eq!(
+        eval(&mut ms, "Benchmark sumTo: 4000"),
+        Value::Int(4000 * 4001 / 2)
+    );
+    assert!(ms.mem().gc_stats().scavenges > 0);
+}
+
+#[test]
+fn explicit_scavenge_primitive_from_smalltalk() {
+    let mut ms = system();
+    let before = ms.mem().gc_stats().scavenges;
+    assert_eq!(
+        eval(&mut ms, "Object new scavenge. Object new scavengeCount"),
+        Value::Int(before as i64 + 1)
+    );
+}
+
+#[test]
+fn perform_with_wrong_arity_fails_cleanly() {
+    let mut ms = system();
+    let err = ms.evaluate("3 perform: #between:and: with: 1").unwrap_err();
+    assert!(format!("{err}").contains("understand"), "{err}");
+    assert_eq!(eval(&mut ms, "3 perform: #negated"), Value::Int(-3));
+}
+
+#[test]
+fn byte_array_and_string_element_rules() {
+    let mut ms = system();
+    assert_eq!(
+        eval(&mut ms, "| b | b := ByteArray new: 3. b at: 2 put: 200. b at: 2"),
+        Value::Int(200)
+    );
+    // Bytes must be 0..255.
+    assert!(ms.evaluate("(ByteArray new: 1) at: 1 put: 300").is_err());
+    // Strings take Characters, not integers.
+    assert!(ms.evaluate("(String new: 1) at: 1 put: 65").is_err());
+    assert_eq!(
+        eval(&mut ms, "| s | s := String new: 1. s at: 1 put: $Z. s"),
+        Value::Str("Z".into())
+    );
+}
+
+#[test]
+fn non_boolean_loop_condition_is_reported() {
+    let mut ms = system();
+    let err = ms.evaluate("[3] whileTrue: [1]").unwrap_err();
+    assert!(format!("{err}").contains("non-boolean"), "{err}");
+}
+
+#[test]
+fn snapshot_round_trip_preserves_runtime_state() {
+    let config = MsConfig {
+        processors: 2,
+        ..MsConfig::default()
+    };
+    let mut ms = MsSystem::new(config);
+    eval(&mut ms, "Benchmark class compile: 'snapTest ^123'");
+    let mut bytes = Vec::new();
+    ms.save_snapshot(&mut bytes).unwrap();
+    ms.shutdown();
+
+    let mut restored = MsSystem::from_snapshot(&mut bytes.as_slice(), config).unwrap();
+    assert_eq!(restored.evaluate("Benchmark snapTest").unwrap(), Value::Int(123));
+    // Restored image still compiles, collects, and runs processes.
+    eval(&mut restored, "Benchmark class compile: 'snapTest2 ^Benchmark snapTest + 1'");
+    restored.collect_garbage();
+    assert_eq!(
+        restored.evaluate("Benchmark snapTest2").unwrap(),
+        Value::Int(124)
+    );
+    assert_eq!(
+        eval(
+            &mut restored,
+            "| done | done := Semaphore new. [done signal] fork. done wait. 7"
+        ),
+        Value::Int(7)
+    );
+}
+
+#[test]
+fn heavy_symbol_and_method_churn() {
+    let mut ms = system();
+    // Install many distinct methods; lookups and caches must stay coherent
+    // through repeated installation (cache-epoch invalidation).
+    for i in 0..40 {
+        eval(
+            &mut ms,
+            &format!("Benchmark class compile: 'gen{i} ^{i} * 2'"),
+        );
+    }
+    for i in (0..40).step_by(7) {
+        assert_eq!(
+            eval(&mut ms, &format!("Benchmark gen{i}")),
+            Value::Int(i * 2)
+        );
+    }
+    // Full GC compacts the churned old space and everything still runs.
+    ms.mem();
+    eval(&mut ms, "Benchmark gen0 + Benchmark gen35");
+}
+
+#[test]
+fn display_and_input_queues_from_smalltalk() {
+    let mut ms = system();
+    ms.vm().input.post(mst_vkernel::io::InputEvent {
+        device: 0,
+        code: 42,
+        time: 0,
+    });
+    // Primitive 102 drains the serialized input queue.
+    eval(
+        &mut ms,
+        "Benchmark class compile: 'nextEvent <primitive: 102> ^nil'",
+    );
+    assert_eq!(eval(&mut ms, "Benchmark nextEvent"), Value::Int(42));
+    assert_eq!(eval(&mut ms, "Benchmark nextEvent"), Value::Nil);
+}

@@ -1,0 +1,341 @@
+//! Integration: Smalltalk-80 language semantics end to end (source →
+//! compiler → image → interpreter → value).
+
+use mst_core::{MsConfig, MsSystem, Value};
+
+fn system() -> MsSystem {
+    MsSystem::new(MsConfig {
+        processors: 1,
+        ..MsConfig::default()
+    })
+}
+
+fn eval(ms: &mut MsSystem, src: &str) -> Value {
+    ms.evaluate(src).unwrap_or_else(|e| panic!("{src}: {e}"))
+}
+
+#[test]
+fn integer_arithmetic_semantics() {
+    let mut ms = system();
+    for (src, expected) in [
+        ("7 // 2", 3),
+        ("-7 // 2", -4),            // floored division
+        ("7 \\\\ 2", 1),
+        ("-7 \\\\ 2", 1),           // modulo takes the divisor's sign
+        ("7 \\\\ -2", -1),
+        ("2 bitShift: 10", 2048),
+        ("2048 bitShift: -10", 2),
+        ("12 bitAnd: 10", 8),
+        ("12 bitOr: 10", 14),
+        ("12 bitXor: 10", 6),
+        ("(3 max: 9) + (3 min: 9)", 12),
+        ("10 rem: 3", 1),
+        ("5 between: 1 and: 10", 1), // via ifTrue:
+    ] {
+        let src2 = if src.contains("between") {
+            "(5 between: 1 and: 10) ifTrue: [1] ifFalse: [0]".to_string()
+        } else {
+            src.to_string()
+        };
+        assert_eq!(eval(&mut ms, &src2), Value::Int(expected), "{src}");
+    }
+    assert_eq!(eval(&mut ms, "3 < 4"), Value::Bool(true));
+    assert_eq!(eval(&mut ms, "4 even"), Value::Bool(true));
+    assert_eq!(eval(&mut ms, "-5 abs"), Value::Int(5));
+    assert_eq!(eval(&mut ms, "-5 negated"), Value::Int(5));
+    assert_eq!(eval(&mut ms, "7 squared"), Value::Int(49));
+}
+
+#[test]
+fn float_semantics() {
+    let mut ms = system();
+    assert_eq!(eval(&mut ms, "1.5 + 2.25"), Value::Float(3.75));
+    assert_eq!(eval(&mut ms, "3 asFloat * 0.5"), Value::Float(1.5));
+    assert_eq!(eval(&mut ms, "7.9 truncated"), Value::Int(7));
+    assert_eq!(eval(&mut ms, "7.5 rounded"), Value::Int(8));
+    assert_eq!(eval(&mut ms, "1.5 < 2.0"), Value::Bool(true));
+    assert_eq!(eval(&mut ms, "2 + 1.5"), Value::Float(3.5)); // coercion
+    assert_eq!(eval(&mut ms, "1.5e2 printString"), Value::Str("150.0".into()));
+}
+
+#[test]
+fn character_semantics() {
+    let mut ms = system();
+    assert_eq!(eval(&mut ms, "$a value"), Value::Int(97));
+    assert_eq!(eval(&mut ms, "65 asCharacter"), Value::Char('A'));
+    assert_eq!(eval(&mut ms, "$a < $b"), Value::Bool(true));
+    assert_eq!(eval(&mut ms, "$e isVowel"), Value::Bool(true));
+    assert_eq!(eval(&mut ms, "$z isVowel"), Value::Bool(false));
+    assert_eq!(eval(&mut ms, "$7 digitValue"), Value::Int(7));
+}
+
+#[test]
+fn block_semantics() {
+    let mut ms = system();
+    assert_eq!(eval(&mut ms, "[42] value"), Value::Int(42));
+    assert_eq!(eval(&mut ms, "[:x | x + 1] value: 41"), Value::Int(42));
+    assert_eq!(
+        eval(&mut ms, "[:a :b :c | a + b + c] value: 1 value: 2 value: 3"),
+        Value::Int(6)
+    );
+    assert_eq!(
+        eval(&mut ms, "[:a :b | a * b] valueWithArguments: (Array with: 6 with: 7)"),
+        Value::Int(42)
+    );
+    // Blocks share the home frame (ST-80 semantics, not closures).
+    assert_eq!(
+        eval(
+            &mut ms,
+            "[:acc | #(1 2 3) do: [:e | acc at: 1 put: (acc at: 1) + e]. acc at: 1]
+                 value: (Array with: 100)"
+        ),
+        Value::Int(106)
+    );
+    // numArgs mismatch raises.
+    assert!(ms.evaluate("[:x | x] value").is_err());
+}
+
+#[test]
+fn nonlocal_return_and_ensure_shapes() {
+    let mut ms = system();
+    // ^ inside a block returns from the enclosing method (the doit).
+    assert_eq!(
+        eval(&mut ms, "#(1 2 3 4) do: [:e | e > 2 ifTrue: [^e]]. 99"),
+        Value::Int(3)
+    );
+    assert_eq!(
+        eval(
+            &mut ms,
+            "(#(5 8 13) detect: [:e | e even] ifNone: [0]) + 1"
+        ),
+        Value::Int(9)
+    );
+}
+
+#[test]
+fn string_and_symbol_semantics() {
+    let mut ms = system();
+    assert_eq!(eval(&mut ms, "'abc' size"), Value::Int(3));
+    assert_eq!(eval(&mut ms, "('abc' at: 2) value"), Value::Int(98));
+    assert_eq!(eval(&mut ms, "'abc' = 'abc'"), Value::Bool(true));
+    // NB: equal literals within one method share an object (the compiler
+    // dedupes its literal frame), so compare against a copy for identity.
+    assert_eq!(eval(&mut ms, "'abc' == 'abc' copy"), Value::Bool(false));
+    assert_eq!(eval(&mut ms, "'abc' = 'abc' copy"), Value::Bool(true));
+    assert_eq!(eval(&mut ms, "#abc == 'abc' asSymbol"), Value::Bool(true));
+    assert_eq!(eval(&mut ms, "#abc asString"), Value::Str("abc".into()));
+    assert_eq!(eval(&mut ms, "'ab' < 'b'"), Value::Bool(true));
+    assert_eq!(
+        eval(&mut ms, "'it''s' printString"),
+        Value::Str("'it''s'".into())
+    );
+    assert_eq!(
+        eval(&mut ms, "('one two  three' substrings at: 3)"),
+        Value::Str("three".into())
+    );
+}
+
+#[test]
+fn collection_semantics() {
+    let mut ms = system();
+    assert_eq!(eval(&mut ms, "(Array new: 3) size"), Value::Int(3));
+    assert_eq!(eval(&mut ms, "(Array new: 3) at: 2"), Value::Nil);
+    assert_eq!(
+        eval(&mut ms, "#(1 2 3) inject: 0 into: [:a :b | a + b]"),
+        Value::Int(6)
+    );
+    assert_eq!(eval(&mut ms, "#(1 2 3) includes: 2"), Value::Bool(true));
+    assert_eq!(eval(&mut ms, "#(1 2 3) includes: 9"), Value::Bool(false));
+    assert_eq!(eval(&mut ms, "(#(1 2) , #(3 4)) size"), Value::Int(4));
+    assert_eq!(eval(&mut ms, "(#(9 8 7) copyFrom: 2 to: 3) first"), Value::Int(8));
+    assert_eq!(eval(&mut ms, "#(4 5 6) indexOf: 6"), Value::Int(3));
+    assert_eq!(eval(&mut ms, "#(1 2 3) reverseDo: [:e | e]. 1"), Value::Int(1));
+    // OrderedCollection
+    assert_eq!(
+        eval(
+            &mut ms,
+            "| o | o := OrderedCollection new.
+             1 to: 20 do: [:i | o add: i * i].
+             o removeFirst + o removeLast + o size"
+        ),
+        Value::Int(1 + 400 + 18)
+    );
+    // Set deduplicates
+    assert_eq!(
+        eval(
+            &mut ms,
+            "| s | s := Set new.
+             #(1 2 2 3 3 3) do: [:e | s add: e].
+             s size"
+        ),
+        Value::Int(3)
+    );
+    // Dictionary
+    assert_eq!(
+        eval(
+            &mut ms,
+            "| d | d := Dictionary new.
+             1 to: 50 do: [:i | d at: i put: i * i].
+             (d at: 7) + (d at: 50 ifAbsent: [0]) + d size"
+        ),
+        Value::Int(49 + 2500 + 50)
+    );
+    // Interval
+    assert_eq!(eval(&mut ms, "(2 to: 10) size"), Value::Int(9));
+    assert_eq!(eval(&mut ms, "(1 to: 0) size"), Value::Int(0));
+}
+
+#[test]
+fn stream_semantics() {
+    let mut ms = system();
+    assert_eq!(
+        eval(
+            &mut ms,
+            "| ws | ws := WriteStream on: (String new: 2).
+             ws nextPutAll: 'hello'; space; print: 42.
+             ws contents"
+        ),
+        Value::Str("hello 42".into())
+    );
+    assert_eq!(
+        eval(
+            &mut ms,
+            "| rs | rs := ReadStream on: 'alpha beta'.
+             rs upTo: $ "
+        ),
+        Value::Str("alpha".into())
+    );
+    assert_eq!(
+        eval(&mut ms, "(ReadStream on: #(1 2 3)) next + 1"),
+        Value::Int(2)
+    );
+}
+
+#[test]
+fn printing_semantics() {
+    let mut ms = system();
+    for (src, expected) in [
+        ("42 printString", "42"),
+        ("-42 printString", "-42"),
+        ("0 printString", "0"),
+        ("nil printString", "nil"),
+        ("true printString", "true"),
+        ("#(1 2) printString", "(1 2)"),
+        ("(1 -> 2) printString", "1->2"),
+        ("$x printString", "$x"),
+        ("#foo printString", "#foo"),
+        ("Object printString", "Object"),
+        ("Object class printString", "Object class"),
+        ("(OrderedCollection new add: 3; yourself) printString",
+         "OrderedCollection (3 )"),
+    ] {
+        assert_eq!(eval(&mut ms, src), Value::Str(expected.into()), "{src}");
+    }
+    // The default article-based printOn:.
+    assert_eq!(
+        eval(&mut ms, "Inspector new printString"),
+        Value::Str("an Inspector".into())
+    );
+    assert_eq!(
+        eval(&mut ms, "Point new printString"),
+        Value::Str("nil@nil".into())
+    );
+}
+
+#[test]
+fn reflection_semantics() {
+    let mut ms = system();
+    assert_eq!(eval(&mut ms, "3 class printString"), Value::Str("SmallInteger".into()));
+    assert_eq!(eval(&mut ms, "3 isKindOf: Number"), Value::Bool(true));
+    assert_eq!(eval(&mut ms, "3 isKindOf: Collection"), Value::Bool(false));
+    assert_eq!(eval(&mut ms, "3 isMemberOf: SmallInteger"), Value::Bool(true));
+    assert_eq!(eval(&mut ms, "3 respondsTo: #printString"), Value::Bool(true));
+    assert_eq!(eval(&mut ms, "3 respondsTo: #launchMissiles"), Value::Bool(false));
+    assert_eq!(
+        eval(&mut ms, "SmallInteger inheritsFrom: Magnitude"),
+        Value::Bool(true)
+    );
+    assert_eq!(eval(&mut ms, "3 perform: #+ with: 4"), Value::Int(7));
+    assert_eq!(
+        eval(&mut ms, "#(9 9 9) perform: #size"),
+        Value::Int(3)
+    );
+    assert_eq!(
+        eval(
+            &mut ms,
+            "3 perform: #between:and: withArguments: (Array with: 1 with: 5)"
+        ),
+        Value::Bool(true)
+    );
+    // instVarAt: reflection
+    assert_eq!(
+        eval(&mut ms, "(3 @ 4) instVarAt: 2"),
+        Value::Int(4)
+    );
+}
+
+#[test]
+fn cascade_and_yourself() {
+    let mut ms = system();
+    assert_eq!(
+        eval(
+            &mut ms,
+            "| o | o := OrderedCollection new.
+             o add: 1; add: 2; add: 3.
+             o size"
+        ),
+        Value::Int(3)
+    );
+}
+
+#[test]
+fn deep_recursion_within_large_contexts() {
+    let mut ms = system();
+    // Recursive Smalltalk method via runtime compilation.
+    eval(
+        &mut ms,
+        "Benchmark class compile: 'fib: n
+            n < 2 ifTrue: [^n].
+            ^(Benchmark fib: n - 1) + (Benchmark fib: n - 2)'",
+    );
+    assert_eq!(eval(&mut ms, "Benchmark fib: 15"), Value::Int(610));
+}
+
+#[test]
+fn runtime_compilation_and_decompilation() {
+    let mut ms = system();
+    let sel = eval(
+        &mut ms,
+        "Benchmark class compile: 'triple: x ^x * 3'",
+    );
+    assert_eq!(sel, Value::Symbol("triple:".into()));
+    assert_eq!(eval(&mut ms, "Benchmark triple: 14"), Value::Int(42));
+    // Decompile what we just compiled; the source must recompile.
+    let src = eval(&mut ms, "Benchmark class decompile: #triple:");
+    let Value::Str(text) = src else { panic!("expected source text") };
+    assert!(text.contains("t1 * 3"), "decompiled: {text}");
+    // Replacing a method takes effect (caches invalidated).
+    eval(&mut ms, "Benchmark class compile: 'triple: x ^x * 30'");
+    assert_eq!(eval(&mut ms, "Benchmark triple: 14"), Value::Int(420));
+}
+
+#[test]
+fn transcript_and_display() {
+    let mut ms = system();
+    eval(&mut ms, "Transcript show: 'hello'; space; display: 42. 1");
+    assert_eq!(&*ms.vm().transcript.lock(), "hello 42");
+    eval(&mut ms, "Display clear; fillX: 1 y: 1 width: 3 height: 3 rule: 0; flush. 1");
+    assert_eq!(ms.vm().display.with_frame(|f| f.population()), 9);
+}
+
+#[test]
+fn error_reporting_via_image() {
+    let mut ms = system();
+    assert!(ms.evaluate("#(1 2) at: 5").is_err(), "bounds check");
+    assert!(ms.evaluate("3 foo").is_err(), "doesNotUnderstand:");
+    assert!(ms.evaluate("Dictionary new at: #missing").is_err());
+    assert!(ms.evaluate("3 ifTrue: [1]").is_err(), "mustBeBoolean");
+    // Each error terminated only its own process; the system is healthy.
+    assert_eq!(eval(&mut ms, "2 + 2"), Value::Int(4));
+    assert_eq!(ms.vm().error_log.lock().len(), 4);
+}

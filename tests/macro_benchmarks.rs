@@ -1,0 +1,74 @@
+//! Integration: the eight macro benchmarks (paper Table 2) run correctly
+//! in every system state and with every strategy combination.
+
+use mst_core::{MsConfig, MsSystem, SystemState, Value};
+
+/// The benchmark selectors in the paper's column order.
+pub const MACROS: [&str; 8] = [
+    "readWriteClassOrganization",
+    "printClassDefinition",
+    "printClassHierarchy",
+    "findAllCalls",
+    "findAllImplementors",
+    "createInspectorView",
+    "compileDummyMethod",
+    "decompileClass",
+];
+
+fn run_all(ms: &mut MsSystem) {
+    for sel in MACROS {
+        let v = ms
+            .evaluate(&format!("Benchmark {sel}"))
+            .unwrap_or_else(|e| panic!("{sel} failed: {e}"));
+        match v {
+            Value::Int(n) => assert!(n > 0, "{sel} returned {n}"),
+            other => panic!("{sel} returned {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn macros_run_on_ms() {
+    let mut ms = MsSystem::new(MsConfig::for_state(SystemState::Ms));
+    run_all(&mut ms);
+    ms.shutdown();
+}
+
+#[test]
+fn macros_run_on_baseline_bs() {
+    let mut ms = MsSystem::new(MsConfig::for_state(SystemState::BaselineBs));
+    run_all(&mut ms);
+    ms.shutdown();
+}
+
+#[test]
+fn macros_run_with_idle_competitors() {
+    let mut ms = MsSystem::new(MsConfig::for_state(SystemState::MsIdle4));
+    ms.enter_state(SystemState::MsIdle4);
+    run_all(&mut ms);
+    ms.shutdown();
+}
+
+#[test]
+fn macros_run_with_busy_competitors() {
+    let mut ms = MsSystem::new(MsConfig::for_state(SystemState::MsBusy4));
+    ms.enter_state(SystemState::MsBusy4);
+    run_all(&mut ms);
+    ms.shutdown();
+}
+
+#[test]
+fn benchmark_values_agree_across_states() {
+    // The benchmarks are deterministic: whatever competitors run, the
+    // computed values must match between baseline and MS.
+    let mut baseline = MsSystem::new(MsConfig::for_state(SystemState::BaselineBs));
+    let mut busy = MsSystem::new(MsConfig::for_state(SystemState::MsBusy4));
+    busy.enter_state(SystemState::MsBusy4);
+    for sel in ["printClassHierarchy", "findAllImplementors", "decompileClass"] {
+        let a = baseline.evaluate(&format!("Benchmark {sel}")).unwrap();
+        let b = busy.evaluate(&format!("Benchmark {sel}")).unwrap();
+        assert_eq!(a, b, "{sel} diverged between states");
+    }
+    baseline.shutdown();
+    busy.shutdown();
+}

