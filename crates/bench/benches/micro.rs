@@ -1,8 +1,13 @@
-//! Criterion micro-benchmarks (experiment M1 in DESIGN.md): the rates that
+//! Micro-benchmarks (experiment M1 in DESIGN.md): the rates that
 //! contextualize the macro results — bytecode dispatch, full sends,
 //! allocation, context activation, spin-lock acquisition, scavenging.
+//!
+//! Runs on the in-tree [`mst_bench::harness::MicroGroup`] runner instead
+//! of `criterion`, per the hermetic-build policy. Invoke with
+//! `cargo bench -p mst-bench`; tune the per-benchmark budget with
+//! `MST_MICRO_MS` (milliseconds, default 100).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mst_bench::harness::MicroGroup;
 use mst_core::{MsConfig, MsSystem};
 use mst_vkernel::{SpinLock, SyncMode};
 
@@ -13,26 +18,24 @@ fn system() -> MsSystem {
     })
 }
 
-fn bench_dispatch(c: &mut Criterion) {
+fn bench_dispatch() {
     let mut ms = system();
-    let mut g = c.benchmark_group("interpreter");
+    let mut g = MicroGroup::new("interpreter");
     // ~6 bytecodes per loop iteration, 100k iterations.
     let loop_100k = ms
         .prepare("| i | i := 0. [i < 100000] whileTrue: [i := i + 1]. i")
         .unwrap();
-    g.throughput(Throughput::Elements(600_000));
-    g.bench_function("bytecode_dispatch_loop", |b| {
-        b.iter(|| ms.run_prepared(&loop_100k).unwrap())
+    g.throughput(600_000).bench("bytecode_dispatch_loop", || {
+        ms.run_prepared(&loop_100k).unwrap();
     });
     let sends = ms.prepare("Benchmark callHeavy: 10000").unwrap();
-    g.throughput(Throughput::Elements(70_000)); // 7 activations per iter
-    g.bench_function("method_activation", |b| {
-        b.iter(|| ms.run_prepared(&sends).unwrap())
-    });
+    g.throughput(70_000) // 7 activations per iter
+        .bench("method_activation", || {
+            ms.run_prepared(&sends).unwrap();
+        });
     let alloc = ms.prepare("Benchmark allocHeavy: 10000").unwrap();
-    g.throughput(Throughput::Elements(20_000));
-    g.bench_function("allocation", |b| {
-        b.iter(|| ms.run_prepared(&alloc).unwrap())
+    g.throughput(20_000).bench("allocation", || {
+        ms.run_prepared(&alloc).unwrap();
     });
     let dict = ms
         .prepare(
@@ -41,68 +44,59 @@ fn bench_dispatch(c: &mut Criterion) {
              d at: 100",
         )
         .unwrap();
-    g.bench_function("image_dictionary", |b| {
-        b.iter(|| ms.run_prepared(&dict).unwrap())
+    g.bench("image_dictionary", || {
+        ms.run_prepared(&dict).unwrap();
     });
-    g.finish();
 }
 
-fn bench_compiler(c: &mut Criterion) {
+fn bench_compiler() {
     let mut ms = system();
-    let mut g = c.benchmark_group("compiler");
+    let mut g = MicroGroup::new("compiler");
     let compile = ms
         .prepare("Benchmark compile: 'microBenchDummy ^3 + 4 * (5 - 2)'")
         .unwrap();
-    g.bench_function("compile_method_primitive", |b| {
-        b.iter(|| ms.run_prepared(&compile).unwrap())
+    g.bench("compile_method_primitive", || {
+        ms.run_prepared(&compile).unwrap();
     });
     let decompile = ms.prepare("Object decompile: #printString").unwrap();
-    g.bench_function("decompile_method_primitive", |b| {
-        b.iter(|| ms.run_prepared(&decompile).unwrap())
+    g.bench("decompile_method_primitive", || {
+        ms.run_prepared(&decompile).unwrap();
     });
-    g.finish();
 
     let ctx = mst_compiler::CompileContext::default();
-    c.bench_function("compiler/rust_compile_direct", |b| {
-        b.iter(|| {
-            mst_compiler::compile(
-                "at: i put: v | t | t := v. self check: i. ^t",
-                &ctx,
-            )
-            .unwrap()
-        })
+    g.bench("rust_compile_direct", || {
+        mst_compiler::compile("at: i put: v | t | t := v. self check: i. ^t", &ctx).unwrap();
     });
 }
 
-fn bench_gc(c: &mut Criterion) {
+fn bench_gc() {
     let mut ms = system();
-    let mut g = c.benchmark_group("gc");
-    g.sample_size(20);
+    let mut g = MicroGroup::new("gc");
     let churn = ms
         .prepare("1 to: 3000 do: [:i | Array new: 16]. Object new scavenge")
         .unwrap();
-    g.bench_function("scavenge_after_churn", |b| {
-        b.iter(|| ms.run_prepared(&churn).unwrap())
+    g.bench("scavenge_after_churn", || {
+        ms.run_prepared(&churn).unwrap();
     });
-    g.finish();
 }
 
-fn bench_locks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vkernel");
+fn bench_locks() {
+    let mut g = MicroGroup::new("vkernel");
     let mp = SpinLock::new(SyncMode::Multiprocessor);
-    g.bench_function("spinlock_uncontended", |b| {
-        b.iter(|| {
-            let _guard = mp.acquire();
-        })
+    g.bench("spinlock_uncontended", || {
+        let guard = mp.acquire();
+        std::hint::black_box(&guard);
     });
     let uni = SpinLock::new(SyncMode::Uniprocessor);
-    g.bench_function("spinlock_baseline_noop", |b| {
-        b.iter(|| {
-            let _guard = uni.acquire();
-        })
+    g.bench("spinlock_baseline_noop", || {
+        let guard = uni.acquire();
+        std::hint::black_box(&guard);
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_dispatch, bench_compiler, bench_gc, bench_locks);
-criterion_main!(benches);
+fn main() {
+    bench_dispatch();
+    bench_compiler();
+    bench_gc();
+    bench_locks();
+}

@@ -99,7 +99,10 @@ fn contexts_ablation() {
     let workload = "Benchmark callHeavy: 20000";
     let competitor = "Benchmark callHeavy: 500";
     for (name, policy) in [
-        ("no recycling (allocate every frame)", FreeListPolicy::Disabled),
+        (
+            "no recycling (allocate every frame)",
+            FreeListPolicy::Disabled,
+        ),
         ("shared free list under one lock", FreeListPolicy::Shared),
         ("replicated per-processor lists", FreeListPolicy::Replicated),
     ] {

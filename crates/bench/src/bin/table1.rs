@@ -57,7 +57,7 @@ fn main() {
             "host OS scheduler (V kernel in the original)",
         ),
     ];
-    println!("{:<28} | {:<46} | {}", "", "Virtual image", "Interpreter");
+    println!("{:<28} | {:<46} | Interpreter", "", "Virtual image");
     println!("{}", "-".repeat(130));
     for (what, image, interp) in rows {
         println!("{what:<28} | {image:<46} | {interp}");

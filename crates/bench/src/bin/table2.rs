@@ -10,7 +10,9 @@
 //! shown for reference. The paper's numbers are printed alongside for
 //! shape comparison.
 
-use mst_bench::harness::{bar, ms_str, system_for_state, time_prepared, warm_process, Timing, TABLE2};
+use mst_bench::harness::{
+    bar, ms_str, system_for_state, time_prepared, warm_process, Timing, TABLE2,
+};
 use mst_core::SystemState;
 
 fn main() {
@@ -110,10 +112,7 @@ fn main() {
     }
 
     println!("\nFigure 2 chart (normalized, ours):\n");
-    let max = ours_norm
-        .iter()
-        .flatten()
-        .fold(1.0f64, |m, &v| m.max(v));
+    let max = ours_norm.iter().flatten().fold(1.0f64, |m, &v| m.max(v));
     for (bi, b) in TABLE2.iter().enumerate() {
         println!("{}", b.label);
         for (si, state) in SystemState::ALL.iter().enumerate() {

@@ -31,8 +31,10 @@ fn main() {
         "  allocation          eden bump-pointer lock        ({} contended acquisitions)",
         alloc.contended
     );
-    println!("  garbage collection  stop-the-world rendezvous     ({} scavenges)",
-        ms.mem().gc_stats().scavenges);
+    println!(
+        "  garbage collection  stop-the-world rendezvous     ({} scavenges)",
+        ms.mem().gc_stats().scavenges
+    );
     println!(
         "  entry tables        remembered-set lock           ({} contended acquisitions)",
         entry.contended

@@ -152,7 +152,9 @@ pub fn time_prepared(
 pub fn warm_process(selectors: &[&str]) {
     let mut ms = MsSystem::new(MsConfig::for_state(SystemState::Ms));
     for sel in selectors {
-        let p = ms.prepare(&format!("Benchmark {sel}")).expect("warmup compile");
+        let p = ms
+            .prepare(&format!("Benchmark {sel}"))
+            .expect("warmup compile");
         for _ in 0..3 {
             ms.run_prepared(&p).expect("warmup run");
         }
@@ -169,6 +171,131 @@ pub fn system_for_state(state: SystemState) -> MsSystem {
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     ms
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmark runner (criterion replacement)
+// ---------------------------------------------------------------------
+
+/// A group of related micro-benchmarks (hermetic replacement for
+/// `criterion`'s `BenchmarkGroup`): calibrates a batch size, runs each
+/// closure for a wall-clock budget, and prints per-iteration wall and CPU
+/// time plus optional throughput.
+///
+/// The budget per benchmark defaults to 100 ms and can be changed with
+/// `MST_MICRO_MS` (e.g. `MST_MICRO_MS=500 cargo bench -p mst-bench`).
+pub struct MicroGroup {
+    name: &'static str,
+    budget: std::time::Duration,
+    /// Elements processed per iteration for the *next* `bench` call.
+    throughput: Option<u64>,
+}
+
+impl MicroGroup {
+    /// Starts a group and prints its header.
+    pub fn new(name: &'static str) -> Self {
+        let ms = std::env::var("MST_MICRO_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100u64);
+        println!("\n{name}");
+        MicroGroup {
+            name,
+            budget: std::time::Duration::from_millis(ms),
+            throughput: None,
+        }
+    }
+
+    /// Declares elements-per-iteration for the next benchmark, so it also
+    /// reports a rate.
+    pub fn throughput(&mut self, elements: u64) -> &mut Self {
+        self.throughput = Some(elements);
+        self
+    }
+
+    /// Measures `f`, printing `group/name  time: … /iter  cpu: …` and — if
+    /// a throughput was declared — `thrpt: … elem/s`.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) -> MicroResult {
+        // Warm up and calibrate: grow the batch until one batch is long
+        // enough to dwarf timer overhead (or a single run already is).
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            if t.elapsed() >= std::time::Duration::from_millis(1) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Timed region: whole batches until the budget elapses.
+        let wall0 = Instant::now();
+        let cpu0 = thread_cpu_ns();
+        let mut iters = 0u64;
+        while wall0.elapsed() < self.budget {
+            for _ in 0..batch {
+                f();
+            }
+            iters += batch;
+        }
+        let cpu_total = thread_cpu_ns() - cpu0;
+        let result = MicroResult {
+            wall_ns: wall0.elapsed().as_nanos() as f64 / iters as f64,
+            cpu_ns: cpu_total as f64 / iters as f64,
+            iters,
+        };
+        let mut line = format!(
+            "  {:<32} time: {:>10}/iter  cpu: {:>10}/iter  ({} iters)",
+            format!("{}/{name}", self.name),
+            ns_human(result.wall_ns),
+            ns_human(result.cpu_ns),
+            result.iters,
+        );
+        if let Some(elements) = self.throughput.take() {
+            let rate = elements as f64 / (result.wall_ns / 1.0e9);
+            line.push_str(&format!("  thrpt: {}/s", si_human(rate)));
+        }
+        println!("{line}");
+        result
+    }
+}
+
+/// Per-iteration measurement from [`MicroGroup::bench`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroResult {
+    /// Wall nanoseconds per iteration.
+    pub wall_ns: f64,
+    /// CPU nanoseconds per iteration (benchmark thread only).
+    pub cpu_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+/// Formats nanoseconds with an adaptive unit (ns/µs/ms/s).
+pub fn ns_human(ns: f64) -> String {
+    if ns < 1.0e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1.0e6 {
+        format!("{:.2} µs", ns / 1.0e3)
+    } else if ns < 1.0e9 {
+        format!("{:.2} ms", ns / 1.0e6)
+    } else {
+        format!("{:.2} s", ns / 1.0e9)
+    }
+}
+
+/// Formats a rate with an SI prefix (k/M/G).
+pub fn si_human(rate: f64) -> String {
+    if rate < 1.0e3 {
+        format!("{rate:.1}")
+    } else if rate < 1.0e6 {
+        format!("{:.1}k", rate / 1.0e3)
+    } else if rate < 1.0e9 {
+        format!("{:.1}M", rate / 1.0e6)
+    } else {
+        format!("{:.2}G", rate / 1.0e9)
+    }
 }
 
 /// Renders a bar of up to `width` cells for `value` on a `max`-scaled axis.

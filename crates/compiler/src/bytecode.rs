@@ -364,9 +364,12 @@ mod tests {
     #[test]
     fn decode_extended_forms() {
         let code = [
-            EXT_PUSH, 0b01_100000, // temp 32
-            EXT_STORE, 0b00_000101, // rcvr var 5, no pop
-            EXT_STORE_POP, 0b01_001000, // temp 8, pop
+            EXT_PUSH,
+            0b01_100000, // temp 32
+            EXT_STORE,
+            0b00_000101, // rcvr var 5, no pop
+            EXT_STORE_POP,
+            0b01_001000, // temp 8, pop
         ];
         let (i0, pc1) = decode(&code, 0);
         assert_eq!(i0, Instr::PushTemp(32));
@@ -424,7 +427,9 @@ mod tests {
 
     #[test]
     fn decode_jumps() {
-        let code = [0x90, 0x97, 0x9B, 0xA3, 0x10, 0xA4, 0x80, 0xA9, 0x05, 0xAE, 0x01];
+        let code = [
+            0x90, 0x97, 0x9B, 0xA3, 0x10, 0xA4, 0x80, 0xA9, 0x05, 0xAE, 0x01,
+        ];
         assert_eq!(decode(&code, 0).0, Instr::Jump(1));
         assert_eq!(decode(&code, 1).0, Instr::Jump(8));
         assert_eq!(decode(&code, 2).0, Instr::JumpFalse(4));

@@ -99,11 +99,7 @@ fn parse_methods_header(chunk: &str) -> Option<(String, bool, String)> {
     let rest: String = words.collect::<Vec<_>>().join(" ");
     let rest = rest.trim();
     if rest.starts_with('\'') && rest.ends_with('\'') && rest.len() >= 2 {
-        Some((
-            class_name,
-            meta,
-            rest[1..rest.len() - 1].replace("''", "'"),
-        ))
+        Some((class_name, meta, rest[1..rest.len() - 1].replace("''", "'")))
     } else {
         None
     }

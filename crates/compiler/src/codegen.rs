@@ -395,7 +395,12 @@ impl<'a> Gen<'a> {
         self.emit_send_op(selector, args.len() as u8, is_super)
     }
 
-    fn emit_send_op(&mut self, selector: &str, nargs: u8, is_super: bool) -> Result<(), CompileError> {
+    fn emit_send_op(
+        &mut self,
+        selector: &str,
+        nargs: u8,
+        is_super: bool,
+    ) -> Result<(), CompileError> {
         if !is_super {
             if let Some(i) = special_selector_index(selector) {
                 debug_assert_eq!(SPECIAL_SELECTORS[i as usize].1, nargs, "{selector}");
@@ -576,9 +581,7 @@ impl<'a> Gen<'a> {
 
     fn as_inlinable_block(e: &Expr) -> Option<(&[String], &[String], &[Stmt])> {
         match e {
-            Expr::Block { args, temps, body } if args.is_empty() => {
-                Some((args, temps, body))
-            }
+            Expr::Block { args, temps, body } if args.is_empty() => Some((args, temps, body)),
             _ => None,
         }
     }
@@ -654,7 +657,11 @@ impl<'a> Gen<'a> {
             return Ok(false);
         };
         self.gen_expr(lhs)?;
-        let j = self.emit_jump_placeholder(if is_and { LONG_JUMP_FALSE } else { LONG_JUMP_TRUE });
+        let j = self.emit_jump_placeholder(if is_and {
+            LONG_JUMP_FALSE
+        } else {
+            LONG_JUMP_TRUE
+        });
         self.note_pop(1);
         self.gen_inline_block_value(a, t, b)?;
         let jend = self.emit_jump_placeholder(LONG_JUMP);
@@ -752,9 +759,12 @@ mod tests {
 
     fn compile_with_ivars(src: &str, ivars: &[&str]) -> CompiledMethodSpec {
         let ivars: Vec<String> = ivars.iter().map(|s| s.to_string()).collect();
-        compile(src, &CompileContext {
-            instance_vars: &ivars,
-        })
+        compile(
+            src,
+            &CompileContext {
+                instance_vars: &ivars,
+            },
+        )
         .unwrap()
     }
 
@@ -947,9 +957,13 @@ mod tests {
     fn non_literal_blocks_are_real_sends() {
         let m = compile_src("m ^x ifTrue: aBlock");
         let is = instrs(&m);
-        assert!(is
-            .iter()
-            .any(|i| matches!(i, Instr::Send { is_super: false, .. })));
+        assert!(is.iter().any(|i| matches!(
+            i,
+            Instr::Send {
+                is_super: false,
+                ..
+            }
+        )));
         assert!(m
             .literals
             .contains(&LitEntry::Value(Literal::Symbol("ifTrue:".into()))));
@@ -1009,9 +1023,7 @@ mod tests {
 
     #[test]
     fn large_context_when_many_temps() {
-        let m = compile_src(
-            "m | t1 t2 t3 t4 t5 t6 t7 t8 t9 t10 t11 t12 t13 t14 t15 t16 | t1 := 1",
-        );
+        let m = compile_src("m | t1 t2 t3 t4 t5 t6 t7 t8 t9 t10 t11 t12 t13 t14 t15 t16 | t1 := 1");
         assert!(m.large_context);
     }
 

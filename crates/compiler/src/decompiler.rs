@@ -48,7 +48,7 @@ pub fn decompile(
     debug_assert!(value.is_none(), "method region leaves no value");
     // Drop a trailing explicit `^self` only if it was the implicit one
     // (RETURN_SELF); region() already encodes that by not emitting it.
-    let args: Vec<String> = (0..num_args).map(|i| temp_name(i)).collect();
+    let args: Vec<String> = (0..num_args).map(temp_name).collect();
     let temps: Vec<String> = (num_args..num_temps)
         .filter(|s| !d.block_arg_slots.contains(s))
         .map(temp_name)
@@ -118,7 +118,10 @@ impl Decomp<'_> {
     fn selector_at(&self, pc: usize, idx: u8) -> Result<String, CompileError> {
         match self.literal_value(pc, idx)? {
             Literal::Symbol(s) => Ok(s),
-            other => self.err(pc, format!("literal {idx} is {other:?}, expected a selector")),
+            other => self.err(
+                pc,
+                format!("literal {idx} is {other:?}, expected a selector"),
+            ),
         }
     }
 
@@ -164,7 +167,8 @@ impl Decomp<'_> {
                     let name = match self.literals.get(n as usize) {
                         Some(LitEntry::GlobalBinding(name)) => name.clone(),
                         other => {
-                            return self.err(at, format!("literal {n} is {other:?}, expected a binding"))
+                            return self
+                                .err(at, format!("literal {n} is {other:?}, expected a binding"))
                         }
                     };
                     stack.push(Entry {
@@ -209,7 +213,11 @@ impl Decomp<'_> {
                     let name = temp_name(n);
                     self.apply_store(&mut stack, &mut stmts, name, pop, at)?;
                 }
-                Instr::Send { lit, nargs, is_super } => {
+                Instr::Send {
+                    lit,
+                    nargs,
+                    is_super,
+                } => {
                     let selector = self.selector_at(at, lit)?;
                     pc = self.apply_send(&mut stack, selector, nargs, is_super, at, pc)?;
                 }
@@ -547,12 +555,7 @@ impl Decomp<'_> {
     }
 
     /// Decodes a real (non-inlined) block body.
-    fn decode_block(
-        &mut self,
-        nargs: u8,
-        start: usize,
-        end: usize,
-    ) -> Result<Expr, CompileError> {
+    fn decode_block(&mut self, nargs: u8, start: usize, end: usize) -> Result<Expr, CompileError> {
         // Prologue: nargs store-pops, last argument first.
         let mut pc = start;
         let mut slots = Vec::new();
@@ -612,7 +615,13 @@ mod tests {
     }
 
     fn compile_ivars(src: &str, ivars: &[String]) -> CompiledMethodSpec {
-        compile(src, &CompileContext { instance_vars: ivars }).unwrap()
+        compile(
+            src,
+            &CompileContext {
+                instance_vars: ivars,
+            },
+        )
+        .unwrap()
     }
 
     fn decompile_spec(spec: &CompiledMethodSpec, ivars: &[String]) -> MethodNode {
@@ -742,7 +751,10 @@ mod tests {
 
     #[test]
     fn nonlocal_return_in_block() {
-        assert_round_trip("detect: aBlock self do: [:e | (aBlock value: e) ifTrue: [^e]]. ^nil", &[]);
+        assert_round_trip(
+            "detect: aBlock self do: [:e | (aBlock value: e) ifTrue: [^e]]. ^nil",
+            &[],
+        );
     }
 
     #[test]

@@ -22,7 +22,11 @@ impl CompileError {
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "compile error at offset {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "compile error at offset {}: {}",
+            self.offset, self.message
+        )
     }
 }
 

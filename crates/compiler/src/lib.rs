@@ -36,8 +36,7 @@ mod token;
 
 pub use chunk::{parse_chunks, ChunkError, ChunkEvent};
 pub use codegen::{
-    compile, compile_method, CompileContext, CompiledMethodSpec, LitEntry, LARGE_FRAME,
-    SMALL_FRAME,
+    compile, compile_method, CompileContext, CompiledMethodSpec, LitEntry, LARGE_FRAME, SMALL_FRAME,
 };
 pub use decompiler::decompile;
 pub use error::CompileError;

@@ -119,7 +119,8 @@ impl Parser {
 
     fn pragma(&mut self) -> Result<u16, CompileError> {
         // <primitive: 75>
-        if *self.peek() == Tok::BinOp("<".into()) && *self.peek2() == Tok::Keyword("primitive:".into())
+        if *self.peek() == Tok::BinOp("<".into())
+            && *self.peek2() == Tok::Keyword("primitive:".into())
         {
             self.bump();
             self.bump();

@@ -128,10 +128,14 @@ fn print_expr(e: &Expr, out: &mut String, ctx: Prec, indent: usize) {
                 };
                 print_expr(receiver, recv_str, recv_ctx, indent);
             }
-            print_message_tail(&Message {
-                selector: selector.clone(),
-                args: args.clone(),
-            }, out, indent);
+            print_message_tail(
+                &Message {
+                    selector: selector.clone(),
+                    args: args.clone(),
+                },
+                out,
+                indent,
+            );
         }
         Expr::Cascade { receiver, messages } => {
             print_expr(receiver, out, Prec::Binary, indent);

@@ -101,7 +101,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, CompileError> {
             }
             b'$' => {
                 if i + 1 >= b.len() {
-                    return Err(CompileError::new(start, "character literal at end of input"));
+                    return Err(CompileError::new(
+                        start,
+                        "character literal at end of input",
+                    ));
                 }
                 out.push(SpannedTok {
                     tok: Tok::CharLit(b[i + 1]),
@@ -394,10 +397,7 @@ pub(crate) fn lex_number(
             .map_err(|_| CompileError::new(start, "malformed float literal"))?;
         Ok((Tok::FloatLit(if negative { -v } else { v }), i))
     } else {
-        Ok((
-            Tok::IntLit(if negative { -int_part } else { int_part }),
-            i,
-        ))
+        Ok((Tok::IntLit(if negative { -int_part } else { int_part }), i))
     }
 }
 
@@ -456,10 +456,7 @@ mod tests {
 
     #[test]
     fn strings_with_doubled_quotes() {
-        assert_eq!(
-            toks("'it''s'"),
-            vec![Tok::StrLit("it's".into()), Tok::Eof]
-        );
+        assert_eq!(toks("'it''s'"), vec![Tok::StrLit("it's".into()), Tok::Eof]);
     }
 
     #[test]

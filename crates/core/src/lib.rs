@@ -26,6 +26,8 @@ use mst_interp::{
 use mst_objmem::{AllocPolicy, MemoryConfig, ObjectMemory, Oop, RootHandle, So};
 use mst_vkernel::{spawn_lightweight, LightweightHandle, Processor, SyncMode};
 
+pub mod testing;
+
 /// The four system states measured in the paper's Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SystemState {
@@ -378,8 +380,7 @@ impl MsSystem {
         let process = self.with_world(|vm| {
             let token = vm.mem.new_token();
             loop {
-                match spawn_method_process(vm, &token, prepared.method.get(), vm.mem.nil(), 5)
-                {
+                match spawn_method_process(vm, &token, prepared.method.get(), vm.mem.nil(), 5) {
                     Some(p) => {
                         scheduler::add_ready(vm, p);
                         break vm.mem.new_root(p);
@@ -404,8 +405,10 @@ impl MsSystem {
         // The terminating interpreter (possibly a worker) left the value in
         // the Process's result slot.
         let result = self.with_world(|vm| {
-            vm.mem
-                .new_root(vm.mem.fetch(process.get(), mst_objmem::layout::process::RESULT))
+            vm.mem.new_root(
+                vm.mem
+                    .fetch(process.get(), mst_objmem::layout::process::RESULT),
+            )
         });
         let errors = self.vm.error_log.lock();
         if errors.len() > errors_before {

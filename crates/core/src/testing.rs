@@ -1,0 +1,397 @@
+//! `proptest`-lite: an in-tree property-testing harness.
+//!
+//! Part of the hermetic-build policy (no external crates anywhere in the
+//! workspace): `tests/properties.rs` checks the Smalltalk system against
+//! Rust oracles on randomized inputs, and this module supplies what it
+//! needs — generator combinators, an iteration budget, failure shrinking,
+//! and seed reporting — in ~300 lines we own, deterministic by default.
+//!
+//! ## Generators
+//!
+//! A [`Gen<T>`] is a sampling function `(rng, size) -> T`. The `size`
+//! budget (default [`DEFAULT_SIZE`]) scales every dimension a generator
+//! has — integer spans, vector lengths, recursion depth — which is what
+//! makes shrinking possible: re-running the same seed with a halved budget
+//! yields a structurally smaller input from the same random choices.
+//!
+//! ## Shrinking
+//!
+//! When a property fails, the runner replays the failing case's seed at
+//! size/2, size/4, … 1 and reports the smallest input that still fails.
+//! This is coarser than `proptest`'s integrated shrinking but needs no
+//! per-type shrinker and composes through [`Gen::map`] for free.
+//!
+//! ## Determinism and reproduction
+//!
+//! The master seed defaults to a hash of the property name, so a test run
+//! is reproducible by construction. Failures report the per-case seed and
+//! size; set `MST_PROP_SEED` (u64, decimal or `0x`-hex) to replay or to
+//! explore a different part of the input space, and `MST_PROP_CASES` to
+//! change the iteration budget without recompiling.
+//!
+//! ## Example
+//!
+//! ```
+//! use mst_core::testing::{int_range, vec_of, Runner};
+//!
+//! let sums = vec_of(int_range(0, 10), 8);
+//! Runner::with_cases(64).run("sum_is_bounded", &sums, |xs| {
+//!     let s: i64 = xs.iter().sum();
+//!     mst_core::prop_assert!(s <= 10 * xs.len() as i64, "sum {s} too big");
+//!     Ok(())
+//! });
+//! ```
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+use mst_vkernel::SplitMix64;
+
+/// The default size budget: generators produce their full configured
+/// ranges at this size, and proportionally less when shrinking.
+pub const DEFAULT_SIZE: usize = 64;
+
+/// The sampling function inside a [`Gen`]: draws one `T` from a PRNG
+/// under a size budget.
+type SampleFn<T> = dyn Fn(&mut SplitMix64, usize) -> T;
+
+/// A composable random generator: a sampling function over a PRNG and a
+/// size budget.
+pub struct Gen<T> {
+    run: Rc<SampleFn<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            run: Rc::clone(&self.run),
+        }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Wraps a raw sampling function.
+    pub fn from_fn(f: impl Fn(&mut SplitMix64, usize) -> T + 'static) -> Self {
+        Gen { run: Rc::new(f) }
+    }
+
+    /// Samples one value.
+    pub fn generate(&self, rng: &mut SplitMix64, size: usize) -> T {
+        (self.run)(rng, size)
+    }
+
+    /// Post-processes every sample with `f`.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::from_fn(move |rng, size| f(self.generate(rng, size)))
+    }
+}
+
+/// Always yields a clone of `value`.
+pub fn constant<T: Clone + 'static>(value: T) -> Gen<T> {
+    Gen::from_fn(move |_, _| value.clone())
+}
+
+/// Uniform integer in the half-open range `lo..hi`.
+///
+/// Shrinking contracts the span toward `lo`: at size budget `s` the
+/// effective range is `lo .. lo + max(1, span * s / DEFAULT_SIZE)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn int_range(lo: i64, hi: i64) -> Gen<i64> {
+    assert!(lo < hi, "int_range: empty range {lo}..{hi}");
+    Gen::from_fn(move |rng, size| {
+        let span = (hi - lo) as u64;
+        let scaled = (span * size as u64 / DEFAULT_SIZE as u64).clamp(1, span);
+        rng.gen_range_i64(lo, lo + scaled as i64)
+    })
+}
+
+/// Picks one of the given generators uniformly, then samples it.
+///
+/// # Panics
+///
+/// Panics if `choices` is empty.
+pub fn one_of<T: 'static>(choices: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!choices.is_empty(), "one_of: no choices");
+    Gen::from_fn(move |rng, size| {
+        let i = rng.gen_range(0, choices.len() as u64) as usize;
+        choices[i].generate(rng, size)
+    })
+}
+
+/// Samples a pair, left element first.
+pub fn tuple2<A: 'static, B: 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    Gen::from_fn(move |rng, size| (a.generate(rng, size), b.generate(rng, size)))
+}
+
+/// A vector of `0..=max_len` elements; the length bound scales with the
+/// size budget, so shrinking halves the vector.
+pub fn vec_of<T: 'static>(elem: Gen<T>, max_len: usize) -> Gen<Vec<T>> {
+    Gen::from_fn(move |rng, size| {
+        let cap = (max_len * size / DEFAULT_SIZE).min(max_len);
+        let len = rng.gen_range(0, cap as u64 + 1) as usize;
+        (0..len).map(|_| elem.generate(rng, size)).collect()
+    })
+}
+
+/// An ASCII-lowercase string of `0..=max_len` characters (the shape the
+/// oracle properties embed in Smalltalk string literals).
+pub fn lowercase_string(max_len: usize) -> Gen<String> {
+    vec_of(int_range(0, 26), max_len).map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| (b'a' + c as u8) as char)
+            .collect()
+    })
+}
+
+/// A recursive generator: at each of up to `levels` nesting levels, either
+/// stops at `leaf` or descends through `branch` (which receives the
+/// generator for the next level down).
+///
+/// The descent probability is ⅔ at full size and scales down with the
+/// size budget, so shrinking flattens the tree.
+pub fn recursive<T: 'static>(
+    leaf: Gen<T>,
+    levels: usize,
+    branch: impl Fn(Gen<T>) -> Gen<T>,
+) -> Gen<T> {
+    let mut gen = leaf.clone();
+    for _ in 0..levels {
+        let inner = branch(gen);
+        let leaf = leaf.clone();
+        gen = Gen::from_fn(move |rng, size| {
+            // 2*size in 3*DEFAULT_SIZE ≈ ⅔ at full size, → 0 as size → 1.
+            if rng.gen_range(0, 3 * DEFAULT_SIZE as u64) < 2 * size as u64 {
+                inner.generate(rng, size)
+            } else {
+                leaf.generate(rng, size)
+            }
+        });
+    }
+    gen
+}
+
+/// Returns `Err` from the enclosing property when the condition is false,
+/// with a formatted message. The property-closure analog of `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+}
+
+/// Returns `Err` from the enclosing property when the two sides differ.
+/// The property-closure analog of `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{} != {}: {:?} vs {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Runs a property over many generated cases, shrinking and reporting on
+/// failure.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    cases: u32,
+    size: usize,
+    seed: Option<u64>,
+}
+
+impl Runner {
+    /// A runner with the given iteration budget (overridable at run time
+    /// via `MST_PROP_CASES`) and the default size budget.
+    pub fn with_cases(cases: u32) -> Self {
+        Runner {
+            cases,
+            size: DEFAULT_SIZE,
+            seed: None,
+        }
+    }
+
+    /// Fixes the master seed (otherwise derived from the property name,
+    /// overridable via `MST_PROP_SEED`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Runs `prop` on `cases` generated inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case, after shrinking, with the failing
+    /// input, its per-case seed and size, and the master seed needed to
+    /// reproduce the whole run.
+    pub fn run<T: Debug + 'static>(
+        &self,
+        name: &str,
+        gen: &Gen<T>,
+        mut prop: impl FnMut(&T) -> Result<(), String>,
+    ) {
+        let master_seed = self
+            .seed
+            .or_else(|| env_u64("MST_PROP_SEED"))
+            .unwrap_or_else(|| fnv1a(name.as_bytes()));
+        let cases = env_u64("MST_PROP_CASES").map_or(self.cases, |c| c as u32);
+        let mut master = SplitMix64::new(master_seed);
+        for case in 0..cases {
+            let case_seed = master.next_u64();
+            let value = gen.generate(&mut SplitMix64::new(case_seed), self.size);
+            if let Err(err) = prop(&value) {
+                let (value, size, err) = self.shrink(gen, &mut prop, case_seed, value, err);
+                panic!(
+                    "property '{name}' failed (case {case}/{cases}, \
+                     case seed {case_seed:#x}, size {size}):\n  \
+                     input: {value:?}\n  error: {err}\n  \
+                     reproduce with MST_PROP_SEED={master_seed}"
+                );
+            }
+        }
+    }
+
+    /// Replays `case_seed` at halved size budgets, keeping the smallest
+    /// input that still fails.
+    fn shrink<T: Debug + 'static>(
+        &self,
+        gen: &Gen<T>,
+        prop: &mut impl FnMut(&T) -> Result<(), String>,
+        case_seed: u64,
+        mut value: T,
+        mut err: String,
+    ) -> (T, usize, String) {
+        let mut reported_size = self.size;
+        let mut size = self.size / 2;
+        while size >= 1 {
+            let candidate = gen.generate(&mut SplitMix64::new(case_seed), size);
+            if let Err(e) = prop(&candidate) {
+                value = candidate;
+                err = e;
+                reported_size = size;
+            }
+            size /= 2;
+        }
+        (value, reported_size, err)
+    }
+}
+
+/// Reads a `u64` environment variable, accepting decimal or `0x`-hex.
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let parsed = raw
+        .strip_prefix("0x")
+        .map_or_else(|| raw.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok());
+    assert!(parsed.is_some(), "{name}={raw} is not a u64");
+    parsed
+}
+
+/// FNV-1a, used to derive a stable default seed from the property name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0u32;
+        let g = int_range(0, 100);
+        Runner::with_cases(40).run("all_in_range", &g, |v| {
+            ran += 1;
+            prop_assert!((0..100).contains(v));
+            Ok(())
+        });
+        assert_eq!(ran, 40);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let g = vec_of(int_range(0, 1000), 40);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Runner::with_cases(100).run("has_no_long_vecs", &g, |v| {
+                prop_assert!(v.len() < 3, "len {} >= 3", v.len());
+                Ok(())
+            });
+        }))
+        .expect_err("property should fail");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        assert!(msg.contains("case seed"), "no seed in: {msg}");
+        assert!(msg.contains("MST_PROP_SEED="), "no repro hint in: {msg}");
+        // Shrinking halves the size budget, so the reported counterexample
+        // must be close to the len == 3 boundary, not a full 40-vector.
+        assert!(msg.contains("size"), "no size in: {msg}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let g = vec_of(tuple2(int_range(-50, 50), lowercase_string(6)), 10);
+        let sample = |seed| {
+            let mut out = Vec::new();
+            Runner::with_cases(20).seed(seed).run("collect", &g, |v| {
+                out.push(format!("{v:?}"));
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(sample(7), sample(7));
+        assert_ne!(sample(7), sample(8));
+    }
+
+    #[test]
+    fn recursive_generator_terminates_and_shrinks_flat() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!((0..10).contains(v), "leaf {v} out of range");
+                    0
+                }
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = int_range(0, 10).map(Tree::Leaf);
+        let tree = recursive(leaf, 4, |inner| {
+            tuple2(inner.clone(), inner).map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = SplitMix64::new(1);
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = tree.generate(&mut rng, DEFAULT_SIZE);
+            assert!(depth(&t) <= 4);
+            saw_node |= matches!(t, Tree::Node(..));
+            // At size 1 the descent probability is ~1%, so trees are flat.
+            assert!(depth(&tree.generate(&mut rng, 1)) <= 1);
+        }
+        assert!(saw_node, "200 samples produced no interior node");
+    }
+}

@@ -121,9 +121,10 @@ pub fn build_image(mem: &ObjectMemory) -> Result<usize, BootstrapError> {
     let d = |name: &str, superclass: Oop, ivars: &[&str], spec: InstanceSpec, cat: &str| {
         define_class_reusing(mem, None, name, superclass, ivars, spec, cat)
     };
-    let dr = |husk: Oop, name: &str, superclass: Oop, ivars: &[&str], spec: InstanceSpec, cat: &str| {
-        define_class_reusing(mem, Some(husk), name, superclass, ivars, spec, cat)
-    };
+    let dr =
+        |husk: Oop, name: &str, superclass: Oop, ivars: &[&str], spec: InstanceSpec, cat: &str| {
+            define_class_reusing(mem, Some(husk), name, superclass, ivars, spec, cat)
+        };
 
     let object = d("Object", nil, &[], InstanceSpec::Named, "Kernel-Objects");
     let behavior = d(
@@ -142,7 +143,13 @@ pub fn build_image(mem: &ObjectMemory) -> Result<usize, BootstrapError> {
         InstanceSpec::Named,
         "Kernel-Classes",
     );
-    let class_class = d("Class", behavior, &[], InstanceSpec::Named, "Kernel-Classes");
+    let class_class = d(
+        "Class",
+        behavior,
+        &[],
+        InstanceSpec::Named,
+        "Kernel-Classes",
+    );
     dr(
         sp.get(So::ClassMetaclass),
         "Metaclass",
@@ -163,7 +170,13 @@ pub fn build_image(mem: &ObjectMemory) -> Result<usize, BootstrapError> {
         InstanceSpec::Named,
         "Kernel-Objects",
     );
-    let boolean = d("Boolean", object, &[], InstanceSpec::Named, "Kernel-Objects");
+    let boolean = d(
+        "Boolean",
+        object,
+        &[],
+        InstanceSpec::Named,
+        "Kernel-Objects",
+    );
     let true_class = d("True", boolean, &[], InstanceSpec::Named, "Kernel-Objects");
     let false_class = d("False", boolean, &[], InstanceSpec::Named, "Kernel-Objects");
 
@@ -508,8 +521,7 @@ pub fn build_image(mem: &ObjectMemory) -> Result<usize, BootstrapError> {
 
 /// Compiles a chunk-format source into the image. Returns methods compiled.
 pub fn file_in(mem: &ObjectMemory, file: &str, text: &str) -> Result<usize, BootstrapError> {
-    let events =
-        parse_chunks(text).map_err(|e| BootstrapError::Chunk(format!("{file}: {e}")))?;
+    let events = parse_chunks(text).map_err(|e| BootstrapError::Chunk(format!("{file}: {e}")))?;
     let mut count = 0;
     for event in events {
         match event {
@@ -533,7 +545,9 @@ pub fn file_in(mem: &ObjectMemory, file: &str, text: &str) -> Result<usize, Boot
             } => {
                 let class_oop = global_get(mem, &class_name);
                 if class_oop == mem.nil() {
-                    return Err(BootstrapError::UnknownClass(format!("{file}: {class_name}")));
+                    return Err(BootstrapError::UnknownClass(format!(
+                        "{file}: {class_name}"
+                    )));
                 }
                 let target = if meta {
                     mem.class_of(class_oop)

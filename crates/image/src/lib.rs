@@ -142,7 +142,10 @@ mod tests {
         let mem = image();
         let m = compile_doit(&mem, "3 + 4").unwrap();
         assert!(mem.is_old(m));
-        assert!(compile_doit(&mem, "| x | x := 9. x").is_ok(), "doit temps allowed");
+        assert!(
+            compile_doit(&mem, "| x | x := 9. x").is_ok(),
+            "doit temps allowed"
+        );
         assert!(compile_doit(&mem, "3 +").is_err());
     }
 

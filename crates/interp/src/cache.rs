@@ -204,7 +204,8 @@ impl GlobalCache {
         let _g = self.write_enter();
         // SAFETY: writer side is exclusive.
         unsafe { (*self.entries.get()).fill(CacheEntry::EMPTY) };
-        self.epoch.store(epoch, std::sync::atomic::Ordering::Relaxed);
+        self.epoch
+            .store(epoch, std::sync::atomic::Ordering::Relaxed);
     }
 }
 

@@ -146,9 +146,12 @@ pub fn compile_and_install(
     source: &str,
 ) -> Result<Oop, CompileError> {
     let ivars = all_instance_var_names(mem, class_oop);
-    let spec = compile(source, &CompileContext {
-        instance_vars: &ivars,
-    })?;
+    let spec = compile(
+        source,
+        &CompileContext {
+            instance_vars: &ivars,
+        },
+    )?;
     let method = install_method(mem, class_oop, &spec);
     organize_method(mem, class_oop, category, &spec.selector);
     Ok(method)

@@ -152,13 +152,7 @@ pub fn reinit_method_ctx(
 }
 
 /// Re-initializes a block context's fixed slots.
-pub fn reinit_block_ctx(
-    mem: &ObjectMemory,
-    ctx: Oop,
-    nargs: usize,
-    initial_pc: usize,
-    home: Oop,
-) {
+pub fn reinit_block_ctx(mem: &ObjectMemory, ctx: Oop, nargs: usize, initial_pc: usize, home: Oop) {
     let nil = mem.nil();
     mem.store_nocheck(ctx, block_ctx::CALLER, nil);
     mem.store_nocheck(ctx, block_ctx::PC, Oop::from_small_int(initial_pc as i64));
@@ -245,7 +239,11 @@ mod tests {
     fn clear_resets_epoch_and_contents() {
         let mem = mem_with_ctx_classes();
         let mut fl = FreeLists::default();
-        fl.push(&mem, CtxKind::BlockLarge, new_ctx(&mem, CtxKind::BlockLarge));
+        fl.push(
+            &mem,
+            CtxKind::BlockLarge,
+            new_ctx(&mem, CtxKind::BlockLarge),
+        );
         fl.clear(5);
         assert!(fl.is_empty());
         assert_eq!(fl.epoch, 5);

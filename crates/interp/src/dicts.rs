@@ -91,7 +91,11 @@ pub fn method_dict_put(mem: &ObjectMemory, dict: Oop, selector: Oop, method: Oop
             }
             mem.store(keys, i, selector);
             mem.store(values, i, method);
-            mem.store_nocheck(dict, method_dict::TALLY, Oop::from_small_int(tally as i64 + 1));
+            mem.store_nocheck(
+                dict,
+                method_dict::TALLY,
+                Oop::from_small_int(tally as i64 + 1),
+            );
             return;
         }
         i = (i + 1) & (capacity - 1);
@@ -102,8 +106,12 @@ fn grow_method_dict(mem: &ObjectMemory, dict: Oop, new_capacity: usize) {
     let old_keys = mem.fetch(dict, method_dict::KEYS);
     let old_values = mem.fetch(dict, method_dict::VALUES);
     let old_capacity = mem.header(old_keys).body_words();
-    let keys = mem.alloc_array_old(new_capacity).expect("old space exhausted");
-    let values = mem.alloc_array_old(new_capacity).expect("old space exhausted");
+    let keys = mem
+        .alloc_array_old(new_capacity)
+        .expect("old space exhausted");
+    let values = mem
+        .alloc_array_old(new_capacity)
+        .expect("old space exhausted");
     mem.store(dict, method_dict::KEYS, keys);
     mem.store(dict, method_dict::VALUES, values);
     mem.store_nocheck(dict, method_dict::TALLY, Oop::from_small_int(0));
@@ -150,7 +158,12 @@ pub fn system_dict_create(mem: &ObjectMemory, capacity: usize) -> Oop {
     assert!(capacity.is_power_of_two());
     // Its class slot is patched by the bootstrap once classes exist.
     let dict = mem
-        .allocate_old(Oop::ZERO, mst_objmem::ObjFormat::Pointers, system_dict::SIZE, 0)
+        .allocate_old(
+            Oop::ZERO,
+            mst_objmem::ObjFormat::Pointers,
+            system_dict::SIZE,
+            0,
+        )
         .expect("old space exhausted allocating Smalltalk");
     let array = mem.alloc_array_old(capacity).expect("old space exhausted");
     mem.store_nocheck(dict, system_dict::TALLY, Oop::from_small_int(0));
@@ -244,7 +257,11 @@ fn system_dict_insert(mem: &ObjectMemory, association: Oop) {
     loop {
         if mem.fetch(array, i) == nil {
             mem.store(array, i, association);
-            mem.store_nocheck(dict, system_dict::TALLY, Oop::from_small_int(tally as i64 + 1));
+            mem.store_nocheck(
+                dict,
+                system_dict::TALLY,
+                Oop::from_small_int(tally as i64 + 1),
+            );
             return;
         }
         i = (i + 1) & (capacity - 1);
@@ -364,10 +381,7 @@ mod tests {
             global_put(&mem, &format!("Global{i}"), Oop::from_small_int(i));
         }
         for i in 0..50 {
-            assert_eq!(
-                global_get(&mem, &format!("Global{i}")).as_small_int(),
-                i
-            );
+            assert_eq!(global_get(&mem, &format!("Global{i}")).as_small_int(), i);
         }
         let mut n = 0;
         global_each(&mem, |_| n += 1);

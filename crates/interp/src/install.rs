@@ -50,11 +50,7 @@ pub fn install_literal(mem: &ObjectMemory, lit: &Literal) -> Oop {
 /// Creates the CompiledMethod object for a spec, resolving literals.
 ///
 /// `defining_class` replaces any `MethodClass` placeholder (super sends).
-pub fn create_method(
-    mem: &ObjectMemory,
-    spec: &CompiledMethodSpec,
-    defining_class: Oop,
-) -> Oop {
+pub fn create_method(mem: &ObjectMemory, spec: &CompiledMethodSpec, defining_class: Oop) -> Oop {
     let literals: Vec<Oop> = spec
         .literals
         .iter()

@@ -252,12 +252,7 @@ impl Interpreter {
 
     /// Runs a send on behalf of a primitive (perform:). See the caveat on
     /// restartability at the call sites.
-    pub(crate) fn send_for_prim(
-        &mut self,
-        pc0: usize,
-        selector: Oop,
-        nargs: usize,
-    ) -> PrimOutcome {
+    pub(crate) fn send_for_prim(&mut self, pc0: usize, selector: Oop, nargs: usize) -> PrimOutcome {
         match self.send(pc0, selector, nargs, false) {
             Step::Continue => PrimOutcome::Done,
             Step::NeedGc => PrimOutcome::NeedGc,
@@ -410,7 +405,11 @@ impl Interpreter {
 
     fn flush_registers(&mut self) {
         let mem = self.mem();
-        mem.store_nocheck(self.ctx, method_ctx::PC, Oop::from_small_int(self.pc as i64));
+        mem.store_nocheck(
+            self.ctx,
+            method_ctx::PC,
+            Oop::from_small_int(self.pc as i64),
+        );
         mem.store_nocheck(
             self.ctx,
             method_ctx::STACKP,
@@ -433,9 +432,12 @@ impl Interpreter {
         c.cache_hits.fetch_add(self.n_hits, Ordering::Relaxed);
         c.cache_misses.fetch_add(self.n_misses, Ordering::Relaxed);
         c.primitives.fetch_add(self.n_prims, Ordering::Relaxed);
-        c.contexts_recycled.fetch_add(self.n_recycled, Ordering::Relaxed);
-        c.contexts_allocated.fetch_add(self.n_ctx_alloc, Ordering::Relaxed);
-        c.process_switches.fetch_add(self.n_switches, Ordering::Relaxed);
+        c.contexts_recycled
+            .fetch_add(self.n_recycled, Ordering::Relaxed);
+        c.contexts_allocated
+            .fetch_add(self.n_ctx_alloc, Ordering::Relaxed);
+        c.process_switches
+            .fetch_add(self.n_switches, Ordering::Relaxed);
         self.n_bytecodes = 0;
         self.n_sends = 0;
         self.n_hits = 0;
@@ -813,9 +815,7 @@ impl Interpreter {
     fn send(&mut self, pc0: usize, selector: Oop, nargs: usize, is_super: bool) -> Step {
         self.n_sends += 1;
         let mem = self.mem();
-        if !selector.is_object()
-            || mem.class_of(selector) != mem.specials().get(So::ClassSymbol)
-        {
+        if !selector.is_object() || mem.class_of(selector) != mem.specials().get(So::ClassSymbol) {
             // Tripwire: a non-Symbol selector means heap corruption; fail
             // loudly at the site rather than as a confusing DNU.
             panic!(
@@ -931,8 +931,13 @@ impl Interpreter {
             return Step::NeedGc;
         };
         let msg_class = mem.specials().get(So::ClassMessage);
-        let Some(msg) = mem.allocate(&self.token, msg_class, ObjFormat::Pointers, message::SIZE, 0)
-        else {
+        let Some(msg) = mem.allocate(
+            &self.token,
+            msg_class,
+            ObjFormat::Pointers,
+            message::SIZE,
+            0,
+        ) else {
             return Step::NeedGc;
         };
         for i in 0..nargs {
@@ -998,8 +1003,13 @@ impl Interpreter {
         }
         self.n_ctx_alloc += 1;
         let class = self.mem().specials().get(So::ClassMethodContext);
-        self.mem()
-            .allocate(&self.token, class, ObjFormat::Pointers, kind.body_slots(), 0)
+        self.mem().allocate(
+            &self.token,
+            class,
+            ObjFormat::Pointers,
+            kind.body_slots(),
+            0,
+        )
     }
 
     fn recycle_ctx(&mut self, ctx: Oop, large: bool) {
@@ -1137,9 +1147,13 @@ impl Interpreter {
             CtxKind::BlockSmall
         };
         let class = mem.specials().get(So::ClassBlockContext);
-        let Some(block) =
-            mem.allocate(&self.token, class, ObjFormat::Pointers, kind.body_slots(), 0)
-        else {
+        let Some(block) = mem.allocate(
+            &self.token,
+            class,
+            ObjFormat::Pointers,
+            kind.body_slots(),
+            0,
+        ) else {
             return Step::NeedGc;
         };
         let initial_pc = self.pc;
@@ -1203,8 +1217,7 @@ impl Interpreter {
             let a = self.stack_at(self.sp - 1);
             let b = self.stack_at(self.sp);
             if a.is_small_int() && b.is_small_int() {
-                if let Some(result) = small_int_op(mem, index, a.as_small_int(), b.as_small_int())
-                {
+                if let Some(result) = small_int_op(mem, index, a.as_small_int(), b.as_small_int()) {
                     self.sp -= 1;
                     self.stack_at_put(self.sp, result);
                     return Step::Continue;

@@ -343,8 +343,7 @@ impl Interpreter {
                 }
                 let body = mem.header(rcvr).body_words();
                 let class = mem.specials().get(So::ClassBlockContext);
-                let Some(fresh) =
-                    mem.allocate(self.token(), class, ObjFormat::Pointers, body, 0)
+                let Some(fresh) = mem.allocate(self.token(), class, ObjFormat::Pointers, body, 0)
                 else {
                     return PrimOutcome::NeedGc;
                 };
@@ -357,7 +356,8 @@ impl Interpreter {
                     Oop::from_small_int(block_ctx::STACK_START as i64 - 1),
                 );
                 let name = mem.nil();
-                let Some(p) = sched::create_process(mem, self.token(), fresh, self.priority(), name)
+                let Some(p) =
+                    sched::create_process(mem, self.token(), fresh, self.priority(), name)
                 else {
                     return PrimOutcome::NeedGc;
                 };
@@ -511,8 +511,7 @@ impl Interpreter {
     fn is_stringlike(&self, obj: Oop) -> bool {
         let mem = self.mem();
         let class = mem.class_of(obj);
-        class == mem.specials().get(So::ClassString)
-            || class == mem.specials().get(So::ClassSymbol)
+        class == mem.specials().get(So::ClassString) || class == mem.specials().get(So::ClassSymbol)
     }
 
     fn prim_at(&mut self, nargs: usize) -> PrimOutcome {
@@ -594,10 +593,9 @@ impl Interpreter {
             return PrimOutcome::Fail;
         };
         let replacement = self.arg(nargs, 2);
-        let (Some((dfmt, dlen)), Some((sfmt, slen))) = (
-            self.indexable_info(rcvr),
-            self.indexable_info(replacement),
-        ) else {
+        let (Some((dfmt, dlen)), Some((sfmt, slen))) =
+            (self.indexable_info(rcvr), self.indexable_info(replacement))
+        else {
             return PrimOutcome::Fail;
         };
         if dfmt.bytes != sfmt.bytes {
@@ -668,8 +666,7 @@ impl Interpreter {
             return PrimOutcome::NeedGc;
         }
         let selector = self.arg(nargs, 0);
-        if !selector.is_object() || mem.class_of(selector) != mem.specials().get(So::ClassSymbol)
-        {
+        if !selector.is_object() || mem.class_of(selector) != mem.specials().get(So::ClassSymbol) {
             return PrimOutcome::Fail;
         }
         // Shift the remaining args down over the selector slot.
@@ -885,4 +882,3 @@ impl Interpreter {
         }
     }
 }
-

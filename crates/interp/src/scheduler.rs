@@ -14,7 +14,7 @@
 //! ProcessorScheduler is ignored at run time.
 
 use mst_objmem::layout::{linked_list, process, scheduler, semaphore};
-use mst_objmem::{AllocToken, ObjectMemory, ObjFormat, Oop, So};
+use mst_objmem::{AllocToken, ObjFormat, ObjectMemory, Oop, So};
 use std::sync::atomic::Ordering;
 
 use crate::vm::Vm;
@@ -259,7 +259,11 @@ pub fn semaphore_wait(vm: &Vm, sem: Oop, proc_oop: Oop) -> WaitOutcome {
     let mem = &vm.mem;
     let excess = mem.fetch(sem, semaphore::EXCESS_SIGNALS).as_small_int();
     if excess > 0 {
-        mem.store_nocheck(sem, semaphore::EXCESS_SIGNALS, Oop::from_small_int(excess - 1));
+        mem.store_nocheck(
+            sem,
+            semaphore::EXCESS_SIGNALS,
+            Oop::from_small_int(excess - 1),
+        );
         return WaitOutcome::Acquired;
     }
     let pri = mem.fetch(proc_oop, process::PRIORITY).as_small_int();

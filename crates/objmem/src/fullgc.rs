@@ -46,11 +46,10 @@ impl ObjectMemory {
                 marked.push(oop);
             }
         };
-        self.specials()
-            .update_all(|o| {
-                mark(self, o, &mut stack, &mut marked);
-                o
-            });
+        self.specials().update_all(|o| {
+            mark(self, o, &mut stack, &mut marked);
+            o
+        });
         {
             let roots = self.roots.lock();
             for weak in roots.iter() {

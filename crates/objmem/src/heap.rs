@@ -71,8 +71,8 @@ pub struct MemoryConfig {
 impl Default for MemoryConfig {
     fn default() -> Self {
         MemoryConfig {
-            old_words: 6 << 20,      // 48 MB
-            eden_words: 512 << 10,   // 4 MB
+            old_words: 6 << 20,    // 48 MB
+            eden_words: 512 << 10, // 4 MB
             survivor_words: 192 << 10,
             sync: SyncMode::Multiprocessor,
             alloc_policy: AllocPolicy::SharedEden,
@@ -440,7 +440,12 @@ impl ObjectMemory {
     #[inline]
     fn byte_base(&self, obj: Oop, pointer_words: usize) -> *mut u8 {
         // SAFETY: stays within the object's body.
-        unsafe { self.store.base().add(obj.index() + 2 + pointer_words).cast::<u8>() }
+        unsafe {
+            self.store
+                .base()
+                .add(obj.index() + 2 + pointer_words)
+                .cast::<u8>()
+        }
     }
 
     /// Reads byte `i` of a byte-format object.
@@ -629,12 +634,7 @@ impl ObjectMemory {
     /// indexable slots/bytes. Returns `None` on eden exhaustion, or
     /// `Err`-like `None` also if the class forbids indexing and `extra > 0`
     /// (callers validate beforehand via [`ClassFormat`]).
-    pub fn instantiate(
-        &self,
-        token: &AllocToken,
-        class: Oop,
-        extra: usize,
-    ) -> Option<Oop> {
+    pub fn instantiate(&self, token: &AllocToken, class: Oop, extra: usize) -> Option<Oop> {
         let fmt = ClassFormat::decode(self.fetch(class, layout::class::FORMAT).as_small_int());
         if fmt.bytes {
             let words = extra.div_ceil(8);
@@ -664,12 +664,7 @@ impl ObjectMemory {
 
     /// Allocates an Array of `n` nils in old space.
     pub fn alloc_array_old(&self, n: usize) -> Option<Oop> {
-        self.allocate_old(
-            self.specials.get(So::ClassArray),
-            ObjFormat::Pointers,
-            n,
-            0,
-        )
+        self.allocate_old(self.specials.get(So::ClassArray), ObjFormat::Pointers, n, 0)
     }
 
     /// Allocates a String with the given contents in new space.
@@ -1079,7 +1074,9 @@ pub(crate) mod tests {
             primitive: 0,
             large_context: false,
         };
-        let m = mem.alloc_method_old(mh, &[lit], &[0x70, 0x7C, 0xFF]).unwrap();
+        let m = mem
+            .alloc_method_old(mh, &[lit], &[0x70, 0x7C, 0xFF])
+            .unwrap();
         assert_eq!(mem.method_bytecodes(m), &[0x70, 0x7C, 0xFF]);
         assert_eq!(MethodHeader::decode(mem.fetch(m, 0)), mh);
         assert_eq!(mem.fetch(m, 1), lit);

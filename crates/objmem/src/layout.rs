@@ -221,9 +221,13 @@ mod tests {
 
     #[test]
     fn class_format_round_trip() {
-        for (inst_size, indexable, bytes) in
-            [(0, false, false), (5, false, false), (0, true, false), (0, true, true), (3, true, false)]
-        {
+        for (inst_size, indexable, bytes) in [
+            (0, false, false),
+            (5, false, false),
+            (0, true, false),
+            (0, true, true),
+            (3, true, false),
+        ] {
             let f = ClassFormat {
                 inst_size,
                 indexable,
@@ -236,7 +240,7 @@ mod tests {
     #[test]
     fn context_sizes_are_consistent() {
         use super::ctx_size::*;
-        assert!(SMALL_METHOD_CTX < LARGE_METHOD_CTX);
-        assert!(SMALL_BLOCK_CTX < LARGE_BLOCK_CTX);
+        const { assert!(SMALL_METHOD_CTX < LARGE_METHOD_CTX) };
+        const { assert!(SMALL_BLOCK_CTX < LARGE_BLOCK_CTX) };
     }
 }

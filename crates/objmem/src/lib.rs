@@ -40,9 +40,7 @@ mod snapshot;
 mod special;
 
 pub use header::{Header, ObjFormat, MAX_AGE, MAX_BODY_WORDS};
-pub use heap::{
-    AllocPolicy, AllocToken, GcStats, MemoryConfig, ObjectMemory, RootHandle, Spaces,
-};
+pub use heap::{AllocPolicy, AllocToken, GcStats, MemoryConfig, ObjectMemory, RootHandle, Spaces};
 pub use method::MethodHeader;
 pub use oop::Oop;
 pub use scavenge::ScavengeOutcome;

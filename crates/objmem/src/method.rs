@@ -27,7 +27,7 @@ impl MethodHeader {
     pub fn encode(self) -> Oop {
         debug_assert!(self.num_args <= 15);
         debug_assert!(self.num_temps <= 63);
-        debug_assert!(self.num_args as u8 <= self.num_temps || self.num_temps == 0 && self.num_args == 0 || self.num_args <= self.num_temps);
+        debug_assert!(self.num_args <= self.num_temps || self.num_temps == 0 && self.num_args == 0);
         debug_assert!(self.num_literals < 1 << 12);
         debug_assert!(self.primitive < 1 << 12);
         let v = self.num_args as i64

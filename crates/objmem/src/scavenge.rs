@@ -95,8 +95,10 @@ impl ObjectMemory {
         // Flip: the future survivor space becomes the past one.
         let past_was_a = self.past_is_a.load(Ordering::Relaxed);
         self.past_is_a.store(!past_was_a, Ordering::Relaxed);
-        self.past_fill
-            .store(self.survivor_next.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.past_fill.store(
+            self.survivor_next.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
         self.eden_reset();
         self.bump_epoch();
 

@@ -188,7 +188,8 @@ impl ObjectMemory {
         } else {
             sp.surv_b_start
         };
-        mem.past_fill.store(past_start + past_used, Ordering::Relaxed);
+        mem.past_fill
+            .store(past_start + past_used, Ordering::Relaxed);
         let mut specials = [0u64; SPECIAL_COUNT];
         for s in specials.iter_mut() {
             *s = get_u64(r)?;
@@ -357,9 +358,6 @@ mod tests {
         let root = loaded.new_root(old);
         loaded.scavenge();
         let old2 = root.get();
-        assert_eq!(
-            loaded.fetch(loaded.fetch(old2, 0), 0).as_small_int(),
-            9
-        );
+        assert_eq!(loaded.fetch(loaded.fetch(old2, 0), 0).as_small_int(), 9);
     }
 }

@@ -380,7 +380,11 @@ mod tests {
     #[test]
     fn plot_and_read_pixel() {
         let d = Display::new(mp(), 128, 64);
-        d.post(DisplayCommand::Plot { x: 5, y: 6, on: true });
+        d.post(DisplayCommand::Plot {
+            x: 5,
+            y: 6,
+            on: true,
+        });
         assert!(d.with_frame(|f| f.pixel(5, 6)));
         assert!(!d.with_frame(|f| f.pixel(6, 5)));
     }
@@ -419,7 +423,11 @@ mod tests {
     #[test]
     fn copy_rect_moves_pixels() {
         let d = Display::new(mp(), 64, 64);
-        d.post(DisplayCommand::Plot { x: 1, y: 1, on: true });
+        d.post(DisplayCommand::Plot {
+            x: 1,
+            y: 1,
+            on: true,
+        });
         d.post(DisplayCommand::CopyRect {
             sx: 0,
             sy: 0,
@@ -435,7 +443,11 @@ mod tests {
     #[test]
     fn overlapping_copy_uses_staged_source() {
         let d = Display::new(mp(), 64, 8);
-        d.post(DisplayCommand::Plot { x: 0, y: 0, on: true });
+        d.post(DisplayCommand::Plot {
+            x: 0,
+            y: 0,
+            on: true,
+        });
         // Shift right by one, overlapping; pixel must land only at x=1.
         d.post(DisplayCommand::CopyRect {
             sx: 0,

@@ -23,6 +23,9 @@
 //! * [`io`] — the serialized input-event queue and display-controller
 //!   command queue (with a small BitBlt framebuffer) that the busy
 //!   background Process contends for.
+//! * [`SplitMix64`] — a deterministic in-tree PRNG for synthetic workloads
+//!   and the property-test harness, part of the hermetic-build policy
+//!   (no external crates anywhere in the workspace).
 //!
 //! # Example
 //!
@@ -35,10 +38,12 @@
 //! ```
 
 pub mod io;
+mod prng;
 mod process;
 mod rendezvous;
 mod spinlock;
 
+pub use prng::SplitMix64;
 pub use process::{delay, spawn_lightweight, LightweightHandle, Processor, ProcessorSet};
 pub use rendezvous::{Rendezvous, RendezvousGuard};
 pub use spinlock::{LockStats, SpinGuard, SpinLock, SpinMutex, SpinMutexGuard, SyncMode};

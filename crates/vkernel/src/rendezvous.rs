@@ -11,8 +11,7 @@
 //! requester drops the returned [`RendezvousGuard`].
 
 use std::sync::atomic::{AtomicBool, Ordering};
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -53,15 +52,24 @@ impl Rendezvous {
         Rendezvous::default()
     }
 
+    /// Locks `inner`, recovering from poison: the protected state is a set
+    /// of counters whose updates are single statements, so it is consistent
+    /// even if some thread panicked while holding the guard.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Registers the calling thread as a mutator that will reach safepoints.
     pub fn register(&self) {
-        self.inner.lock().participants += 1;
+        self.lock_inner().participants += 1;
     }
 
     /// Unregisters the calling thread (e.g. when an interpreter terminates
     /// or blocks in the kernel where it cannot touch the heap).
     pub fn unregister(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         debug_assert!(inner.participants > 0, "unregister without register");
         inner.participants -= 1;
         // A leader may be waiting for us; let it recount.
@@ -70,7 +78,16 @@ impl Rendezvous {
 
     /// Number of currently registered participants.
     pub fn participants(&self) -> usize {
-        self.inner.lock().participants
+        self.lock_inner().participants
+    }
+
+    /// Number of registered threads currently parked (or leading a stop).
+    ///
+    /// Exposed for accounting tests and instrumentation; racy by nature
+    /// unless the caller holds a [`RendezvousGuard`], in which case every
+    /// other participant is parked and the count is stable.
+    pub fn parked(&self) -> usize {
+        self.lock_inner().parked
     }
 
     /// The global flag: `true` when some thread wants the world stopped.
@@ -84,43 +101,55 @@ impl Rendezvous {
     /// Parks the calling (registered) thread until the pending stop — if any
     /// — is released. Call upon observing [`poll`](Self::poll) return `true`.
     pub fn park(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         if !inner.requested {
             return; // raced with the release
         }
         inner.parked += 1;
         self.cv.notify_all();
         while inner.requested {
-            self.cv.wait(&mut inner);
+            inner = self.wait(inner);
         }
         inner.parked -= 1;
     }
 
     /// Stops the world: sets the global flag and waits until every other
     /// registered participant is parked. If another thread is already
-    /// stopping the world, the caller parks first and retries once released.
+    /// stopping the world, the caller parks first and re-contends for
+    /// leadership once released.
     ///
     /// The world resumes when the returned guard is dropped.
     pub fn stop_world(&self) -> RendezvousGuard<'_> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         loop {
-            // If somebody else is leading a stop, behave as a parker.
-            while inner.requested {
+            if inner.requested {
+                // Somebody else is leading a stop: behave as a parker, then
+                // go around again — another woken would-be leader may have
+                // claimed the next stop while we were rescheduled.
                 inner.parked += 1;
                 self.cv.notify_all();
                 while inner.requested {
-                    self.cv.wait(&mut inner);
+                    inner = self.wait(inner);
                 }
                 inner.parked -= 1;
+                continue;
             }
             inner.requested = true;
             self.flag.store(true, Ordering::Relaxed);
             // Wait for everyone else to park.
             while inner.parked < inner.participants.saturating_sub(1) {
-                self.cv.wait(&mut inner);
+                inner = self.wait(inner);
             }
             return RendezvousGuard { rdv: self };
         }
+    }
+
+    /// Blocks on the condvar, rebinding the guard (and recovering from
+    /// poison, same argument as [`lock_inner`](Self::lock_inner)).
+    fn wait<'a>(&self, guard: MutexGuard<'a, Inner>) -> MutexGuard<'a, Inner> {
+        self.cv
+            .wait(guard)
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 }
 
@@ -133,7 +162,7 @@ pub struct RendezvousGuard<'a> {
 
 impl Drop for RendezvousGuard<'_> {
     fn drop(&mut self) {
-        let mut inner = self.rdv.inner.lock();
+        let mut inner = self.rdv.lock_inner();
         inner.requested = false;
         self.rdv.flag.store(false, Ordering::Relaxed);
         self.rdv.cv.notify_all();
@@ -232,6 +261,53 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn parked_counter_stays_in_sync_across_cycles() {
+        // Threads park, resume, and immediately re-park across many
+        // consecutive stops. While a guard is held every other participant
+        // is parked, so `parked` must equal exactly participants - 1; after
+        // all threads quiesce it must return to 0. Any drift (double
+        // increment on re-park, missed decrement on resume) shows up as a
+        // mismatch or a hang.
+        let rdv = Arc::new(Rendezvous::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let rdv = Arc::clone(&rdv);
+            let done = Arc::clone(&done);
+            rdv.register();
+            handles.push(std::thread::spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    if rdv.poll() {
+                        // Re-park immediately: no mutator work between
+                        // cycles, maximizing resume/re-park races.
+                        rdv.park();
+                    }
+                    std::hint::spin_loop();
+                }
+                rdv.unregister();
+            }));
+        }
+        rdv.register();
+        for cycle in 0..200 {
+            let guard = rdv.stop_world();
+            let participants = rdv.participants();
+            assert_eq!(
+                rdv.parked(),
+                participants - 1,
+                "cycle {cycle}: parked desynchronized from parked threads"
+            );
+            drop(guard);
+        }
+        done.store(true, Ordering::Relaxed);
+        rdv.unregister();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rdv.parked(), 0, "parked nonzero after all threads quiesced");
+        assert_eq!(rdv.participants(), 0);
     }
 
     #[test]

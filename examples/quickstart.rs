@@ -25,7 +25,7 @@ fn main() {
         "(1 to: 100) inject: 0 into: [:sum :each | sum + each]",
         "'multiprocessor' size",
         "#(3 1 4 1 5 9) inject: 0 into: [:a :b | a max: b]",
-        "100 factorialIsh",        // a doesNotUnderstand:, reported politely
+        "100 factorialIsh", // a doesNotUnderstand:, reported politely
         "(3 @ 4) + (10 @ 20)",
         "OrderedCollection new add: 'a'; add: 'b'; yourself",
         "Object definition",

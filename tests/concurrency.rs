@@ -155,7 +155,10 @@ fn gc_under_parallel_mutators() {
         );
     }
     let gc = ms.mem().gc_stats();
-    assert!(gc.scavenges > 0, "the small eden must have forced scavenges");
+    assert!(
+        gc.scavenges > 0,
+        "the small eden must have forced scavenges"
+    );
     // Deterministic benchmark results survive all that collection.
     assert_eq!(
         eval(&mut ms, "Benchmark printClassHierarchy"),

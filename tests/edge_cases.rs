@@ -20,13 +20,13 @@ fn nonlocal_return_from_dead_context_is_reported() {
     let mut ms = system();
     // Install a method that answers a block; evaluating the block after the
     // method returned makes its home context dead — ^ must raise.
-    eval(
-        &mut ms,
-        "Benchmark class compile: 'escaper ^[^99]'",
-    );
+    eval(&mut ms, "Benchmark class compile: 'escaper ^[^99]'");
     let err = ms.evaluate("Benchmark escaper value").unwrap_err();
     let msg = format!("{err}");
-    assert!(msg.contains("dead context") || msg.contains("cannotReturn"), "{msg}");
+    assert!(
+        msg.contains("dead context") || msg.contains("cannotReturn"),
+        "{msg}"
+    );
     // System is healthy afterwards.
     assert_eq!(eval(&mut ms, "1 + 1"), Value::Int(2));
 }
@@ -129,7 +129,10 @@ fn perform_with_wrong_arity_fails_cleanly() {
 fn byte_array_and_string_element_rules() {
     let mut ms = system();
     assert_eq!(
-        eval(&mut ms, "| b | b := ByteArray new: 3. b at: 2 put: 200. b at: 2"),
+        eval(
+            &mut ms,
+            "| b | b := ByteArray new: 3. b at: 2 put: 200. b at: 2"
+        ),
         Value::Int(200)
     );
     // Bytes must be 0..255.
@@ -162,9 +165,15 @@ fn snapshot_round_trip_preserves_runtime_state() {
     ms.shutdown();
 
     let mut restored = MsSystem::from_snapshot(&mut bytes.as_slice(), config).unwrap();
-    assert_eq!(restored.evaluate("Benchmark snapTest").unwrap(), Value::Int(123));
+    assert_eq!(
+        restored.evaluate("Benchmark snapTest").unwrap(),
+        Value::Int(123)
+    );
     // Restored image still compiles, collects, and runs processes.
-    eval(&mut restored, "Benchmark class compile: 'snapTest2 ^Benchmark snapTest + 1'");
+    eval(
+        &mut restored,
+        "Benchmark class compile: 'snapTest2 ^Benchmark snapTest + 1'",
+    );
     restored.collect_garbage();
     assert_eq!(
         restored.evaluate("Benchmark snapTest2").unwrap(),

@@ -19,9 +19,9 @@ fn integer_arithmetic_semantics() {
     let mut ms = system();
     for (src, expected) in [
         ("7 // 2", 3),
-        ("-7 // 2", -4),            // floored division
+        ("-7 // 2", -4), // floored division
         ("7 \\\\ 2", 1),
-        ("-7 \\\\ 2", 1),           // modulo takes the divisor's sign
+        ("-7 \\\\ 2", 1), // modulo takes the divisor's sign
         ("7 \\\\ -2", -1),
         ("2 bitShift: 10", 2048),
         ("2048 bitShift: -10", 2),
@@ -55,7 +55,10 @@ fn float_semantics() {
     assert_eq!(eval(&mut ms, "7.5 rounded"), Value::Int(8));
     assert_eq!(eval(&mut ms, "1.5 < 2.0"), Value::Bool(true));
     assert_eq!(eval(&mut ms, "2 + 1.5"), Value::Float(3.5)); // coercion
-    assert_eq!(eval(&mut ms, "1.5e2 printString"), Value::Str("150.0".into()));
+    assert_eq!(
+        eval(&mut ms, "1.5e2 printString"),
+        Value::Str("150.0".into())
+    );
 }
 
 #[test]
@@ -79,7 +82,10 @@ fn block_semantics() {
         Value::Int(6)
     );
     assert_eq!(
-        eval(&mut ms, "[:a :b | a * b] valueWithArguments: (Array with: 6 with: 7)"),
+        eval(
+            &mut ms,
+            "[:a :b | a * b] valueWithArguments: (Array with: 6 with: 7)"
+        ),
         Value::Int(42)
     );
     // Blocks share the home frame (ST-80 semantics, not closures).
@@ -104,10 +110,7 @@ fn nonlocal_return_and_ensure_shapes() {
         Value::Int(3)
     );
     assert_eq!(
-        eval(
-            &mut ms,
-            "(#(5 8 13) detect: [:e | e even] ifNone: [0]) + 1"
-        ),
+        eval(&mut ms, "(#(5 8 13) detect: [:e | e even] ifNone: [0]) + 1"),
         Value::Int(9)
     );
 }
@@ -147,9 +150,15 @@ fn collection_semantics() {
     assert_eq!(eval(&mut ms, "#(1 2 3) includes: 2"), Value::Bool(true));
     assert_eq!(eval(&mut ms, "#(1 2 3) includes: 9"), Value::Bool(false));
     assert_eq!(eval(&mut ms, "(#(1 2) , #(3 4)) size"), Value::Int(4));
-    assert_eq!(eval(&mut ms, "(#(9 8 7) copyFrom: 2 to: 3) first"), Value::Int(8));
+    assert_eq!(
+        eval(&mut ms, "(#(9 8 7) copyFrom: 2 to: 3) first"),
+        Value::Int(8)
+    );
     assert_eq!(eval(&mut ms, "#(4 5 6) indexOf: 6"), Value::Int(3));
-    assert_eq!(eval(&mut ms, "#(1 2 3) reverseDo: [:e | e]. 1"), Value::Int(1));
+    assert_eq!(
+        eval(&mut ms, "#(1 2 3) reverseDo: [:e | e]. 1"),
+        Value::Int(1)
+    );
     // OrderedCollection
     assert_eq!(
         eval(
@@ -226,8 +235,10 @@ fn printing_semantics() {
         ("#foo printString", "#foo"),
         ("Object printString", "Object"),
         ("Object class printString", "Object class"),
-        ("(OrderedCollection new add: 3; yourself) printString",
-         "OrderedCollection (3 )"),
+        (
+            "(OrderedCollection new add: 3; yourself) printString",
+            "OrderedCollection (3 )",
+        ),
     ] {
         assert_eq!(eval(&mut ms, src), Value::Str(expected.into()), "{src}");
     }
@@ -245,21 +256,30 @@ fn printing_semantics() {
 #[test]
 fn reflection_semantics() {
     let mut ms = system();
-    assert_eq!(eval(&mut ms, "3 class printString"), Value::Str("SmallInteger".into()));
+    assert_eq!(
+        eval(&mut ms, "3 class printString"),
+        Value::Str("SmallInteger".into())
+    );
     assert_eq!(eval(&mut ms, "3 isKindOf: Number"), Value::Bool(true));
     assert_eq!(eval(&mut ms, "3 isKindOf: Collection"), Value::Bool(false));
-    assert_eq!(eval(&mut ms, "3 isMemberOf: SmallInteger"), Value::Bool(true));
-    assert_eq!(eval(&mut ms, "3 respondsTo: #printString"), Value::Bool(true));
-    assert_eq!(eval(&mut ms, "3 respondsTo: #launchMissiles"), Value::Bool(false));
+    assert_eq!(
+        eval(&mut ms, "3 isMemberOf: SmallInteger"),
+        Value::Bool(true)
+    );
+    assert_eq!(
+        eval(&mut ms, "3 respondsTo: #printString"),
+        Value::Bool(true)
+    );
+    assert_eq!(
+        eval(&mut ms, "3 respondsTo: #launchMissiles"),
+        Value::Bool(false)
+    );
     assert_eq!(
         eval(&mut ms, "SmallInteger inheritsFrom: Magnitude"),
         Value::Bool(true)
     );
     assert_eq!(eval(&mut ms, "3 perform: #+ with: 4"), Value::Int(7));
-    assert_eq!(
-        eval(&mut ms, "#(9 9 9) perform: #size"),
-        Value::Int(3)
-    );
+    assert_eq!(eval(&mut ms, "#(9 9 9) perform: #size"), Value::Int(3));
     assert_eq!(
         eval(
             &mut ms,
@@ -268,10 +288,7 @@ fn reflection_semantics() {
         Value::Bool(true)
     );
     // instVarAt: reflection
-    assert_eq!(
-        eval(&mut ms, "(3 @ 4) instVarAt: 2"),
-        Value::Int(4)
-    );
+    assert_eq!(eval(&mut ms, "(3 @ 4) instVarAt: 2"), Value::Int(4));
 }
 
 #[test]
@@ -304,15 +321,14 @@ fn deep_recursion_within_large_contexts() {
 #[test]
 fn runtime_compilation_and_decompilation() {
     let mut ms = system();
-    let sel = eval(
-        &mut ms,
-        "Benchmark class compile: 'triple: x ^x * 3'",
-    );
+    let sel = eval(&mut ms, "Benchmark class compile: 'triple: x ^x * 3'");
     assert_eq!(sel, Value::Symbol("triple:".into()));
     assert_eq!(eval(&mut ms, "Benchmark triple: 14"), Value::Int(42));
     // Decompile what we just compiled; the source must recompile.
     let src = eval(&mut ms, "Benchmark class decompile: #triple:");
-    let Value::Str(text) = src else { panic!("expected source text") };
+    let Value::Str(text) = src else {
+        panic!("expected source text")
+    };
     assert!(text.contains("t1 * 3"), "decompiled: {text}");
     // Replacing a method takes effect (caches invalidated).
     eval(&mut ms, "Benchmark class compile: 'triple: x ^x * 30'");
@@ -324,7 +340,10 @@ fn transcript_and_display() {
     let mut ms = system();
     eval(&mut ms, "Transcript show: 'hello'; space; display: 42. 1");
     assert_eq!(&*ms.vm().transcript.lock(), "hello 42");
-    eval(&mut ms, "Display clear; fillX: 1 y: 1 width: 3 height: 3 rule: 0; flush. 1");
+    eval(
+        &mut ms,
+        "Display clear; fillX: 1 y: 1 width: 3 height: 3 rule: 0; flush. 1",
+    );
     assert_eq!(ms.vm().display.with_frame(|f| f.population()), 9);
 }
 

@@ -64,7 +64,11 @@ fn benchmark_values_agree_across_states() {
     let mut baseline = MsSystem::new(MsConfig::for_state(SystemState::BaselineBs));
     let mut busy = MsSystem::new(MsConfig::for_state(SystemState::MsBusy4));
     busy.enter_state(SystemState::MsBusy4);
-    for sel in ["printClassHierarchy", "findAllImplementors", "decompileClass"] {
+    for sel in [
+        "printClassHierarchy",
+        "findAllImplementors",
+        "decompileClass",
+    ] {
         let a = baseline.evaluate(&format!("Benchmark {sel}")).unwrap();
         let b = busy.evaluate(&format!("Benchmark {sel}")).unwrap();
         assert_eq!(a, b, "{sel} diverged between states");

@@ -4,11 +4,17 @@
 //! compile/decompile round trips are checked against plain-Rust models.
 //! One shared system serves all cases (building an image per case would
 //! dominate the run time).
+//!
+//! Runs on the in-tree harness ([`mst_core::testing`]) rather than
+//! `proptest`, per the hermetic-build policy: deterministic by default,
+//! reproducible via `MST_PROP_SEED`, shrinking by halving the size budget.
 
 use std::sync::{Mutex, OnceLock};
 
-use mst_core::{MsConfig, MsSystem, Value};
-use proptest::prelude::*;
+use mst_core::testing::{
+    constant, int_range, lowercase_string, one_of, recursive, tuple2, vec_of, Gen, Runner,
+};
+use mst_core::{prop_assert_eq, MsConfig, MsSystem, Value};
 
 fn shared() -> &'static Mutex<MsSystem> {
     static SYS: OnceLock<Mutex<MsSystem>> = OnceLock::new();
@@ -97,38 +103,34 @@ impl IntExpr {
     }
 }
 
-fn int_expr() -> impl Strategy<Value = IntExpr> {
+fn int_expr() -> Gen<IntExpr> {
     // Small leaves and shallow nesting keep products inside the 63-bit
     // SmallInteger range (overflow is a separate, directed test).
-    let leaf = (-20i32..20).prop_map(IntExpr::Lit);
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IntExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IntExpr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IntExpr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IntExpr::FloorDiv(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IntExpr::Mod(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| IntExpr::Max(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| IntExpr::Abs(Box::new(a))),
-        ]
+    let leaf = int_range(-20, 20).map(|v| IntExpr::Lit(v as i32));
+    let binary = |f: fn(Box<IntExpr>, Box<IntExpr>) -> IntExpr, inner: &Gen<IntExpr>| {
+        tuple2(inner.clone(), inner.clone()).map(move |(a, b)| f(Box::new(a), Box::new(b)))
+    };
+    recursive(leaf, 3, move |inner| {
+        one_of(vec![
+            binary(IntExpr::Add, &inner),
+            binary(IntExpr::Sub, &inner),
+            binary(IntExpr::Mul, &inner),
+            binary(IntExpr::FloorDiv, &inner),
+            binary(IntExpr::Mod, &inner),
+            binary(IntExpr::Max, &inner),
+            inner.map(|a| IntExpr::Abs(Box::new(a))),
+        ])
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn arithmetic_matches_rust_oracle(e in int_expr()) {
+#[test]
+fn arithmetic_matches_rust_oracle() {
+    Runner::with_cases(48).run("arithmetic_matches_rust_oracle", &int_expr(), |e| {
         let mut ms = shared().lock().unwrap();
         let got = ms.evaluate(&e.to_smalltalk()).unwrap();
         prop_assert_eq!(got, Value::Int(e.eval()));
-    }
+        Ok(())
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -142,26 +144,24 @@ enum CollOp {
     RemoveLast,
 }
 
-fn coll_ops() -> impl Strategy<Value = Vec<CollOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0i32..100).prop_map(CollOp::Add),
-            Just(CollOp::RemoveFirst),
-            Just(CollOp::RemoveLast),
-        ],
-        0..40,
+fn coll_ops() -> Gen<Vec<CollOp>> {
+    vec_of(
+        one_of(vec![
+            int_range(0, 100).map(|v| CollOp::Add(v as i32)),
+            constant(CollOp::RemoveFirst),
+            constant(CollOp::RemoveLast),
+        ]),
+        40,
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn ordered_collection_matches_vec(ops in coll_ops()) {
+#[test]
+fn ordered_collection_matches_vec() {
+    Runner::with_cases(32).run("ordered_collection_matches_vec", &coll_ops(), |ops| {
         // Oracle.
         let mut model: Vec<i64> = Vec::new();
         let mut script = String::from("| o | o := OrderedCollection new. ");
-        for op in &ops {
+        for op in ops {
             match op {
                 CollOp::Add(v) => {
                     model.push(*v as i64);
@@ -186,60 +186,88 @@ proptest! {
         let mut ms = shared().lock().unwrap();
         let got = ms.evaluate(&script).unwrap();
         prop_assert_eq!(got, Value::Int(sum * 1000 + model.len() as i64));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dictionary_matches_hashmap(pairs in prop::collection::vec((0i32..50, 0i32..1000), 0..30)) {
+#[test]
+fn dictionary_matches_hashmap() {
+    let pairs = vec_of(tuple2(int_range(0, 50), int_range(0, 1000)), 30);
+    Runner::with_cases(32).run("dictionary_matches_hashmap", &pairs, |pairs| {
         let mut model = std::collections::HashMap::new();
         let mut script = String::from("| d | d := Dictionary new. ");
-        for (k, v) in &pairs {
-            model.insert(*k as i64, *v as i64);
+        for (k, v) in pairs {
+            model.insert(*k, *v);
             script.push_str(&format!("d at: {k} put: {v}. "));
         }
         let sum: i64 = model.values().sum();
-        script.push_str("| s | s := 0. d do: [:v | s := s + v]. s * 1000 + d size");
-        // `| s |` mid-doit is invalid; restructure.
-        let script = script.replace("| s | s := 0.", "");
-        let script = script.replace(
-            "d do: [:v | s := s + v]. s * 1000 + d size",
-            "(d inject: 0 into: [:a :v | a + v]) * 1000 + d size",
-        );
+        script.push_str("(d inject: 0 into: [:a :v | a + v]) * 1000 + d size");
         let mut ms = shared().lock().unwrap();
         let got = ms.evaluate(&script).unwrap();
         prop_assert_eq!(got, Value::Int(sum * 1000 + model.len() as i64));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn string_reverse_concat_oracle(parts in prop::collection::vec("[a-z]{0,6}", 0..6)) {
-        let joined: String = parts.concat();
-        if joined.is_empty() {
-            return Ok(());
-        }
-        let mut script = String::from("(''");
-        for p in &parts {
-            script.push_str(&format!(" , '{p}'"));
-        }
-        script.push_str(") size");
-        let mut ms = shared().lock().unwrap();
-        let got = ms.evaluate(&script).unwrap();
-        prop_assert_eq!(got, Value::Int(joined.len() as i64));
+/// The `('' , 'ab' , …) size` oracle, shared by the random property and
+/// the ported regression cases below.
+fn check_concat_size(parts: &[String]) -> Result<(), String> {
+    let joined: String = parts.concat();
+    if joined.is_empty() {
+        return Ok(());
     }
+    let mut script = String::from("(''");
+    for p in parts {
+        script.push_str(&format!(" , '{p}'"));
+    }
+    script.push_str(") size");
+    let mut ms = shared().lock().unwrap();
+    let got = ms.evaluate(&script).unwrap();
+    prop_assert_eq!(got, Value::Int(joined.len() as i64));
+    Ok(())
+}
+
+#[test]
+fn string_reverse_concat_oracle() {
+    let parts = vec_of(lowercase_string(6), 6);
+    Runner::with_cases(32).run("string_reverse_concat_oracle", &parts, |parts| {
+        check_concat_size(parts)
+    });
+}
+
+// ---------------------------------------------------------------------
+// Regressions ported from tests/properties.proptest-regressions
+// ---------------------------------------------------------------------
+
+/// Historical proptest shrink: `parts = ["a"]` — a single one-character
+/// part once disagreed with the oracle (seed
+/// `9578d4e7f92111ddfadf4d2cd4721032a8e299b092248a475711ec5c18b20504`).
+#[test]
+fn regression_concat_single_letter_part() {
+    check_concat_size(&["a".to_string()]).unwrap();
+}
+
+/// Companion to the shrink above: the pre-shrink shape mixed empty and
+/// non-empty parts, so pin the empty-part-interleaved case too.
+#[test]
+fn regression_concat_with_empty_parts() {
+    check_concat_size(&["".to_string(), "a".to_string(), "".to_string()]).unwrap();
 }
 
 // ---------------------------------------------------------------------
 // Interval oracle
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn interval_sum_matches_rust(a in -50i64..50, b in -50i64..50) {
+#[test]
+fn interval_sum_matches_rust() {
+    let bounds = tuple2(int_range(-50, 50), int_range(-50, 50));
+    Runner::with_cases(32).run("interval_sum_matches_rust", &bounds, |&(a, b)| {
         let expected: i64 = if a <= b { (a..=b).sum() } else { 0 };
         let mut ms = shared().lock().unwrap();
         let got = ms
             .evaluate(&format!("({a} to: {b}) inject: 0 into: [:x :y | x + y]"))
             .unwrap();
         prop_assert_eq!(got, Value::Int(expected));
-    }
+        Ok(())
+    });
 }

@@ -19,10 +19,7 @@ const WORKLOADS: [&str; 5] = [
 
 fn expected() -> Vec<Value> {
     let mut ms = MsSystem::new(MsConfig::for_state(SystemState::BaselineBs));
-    WORKLOADS
-        .iter()
-        .map(|w| ms.evaluate(w).unwrap())
-        .collect()
+    WORKLOADS.iter().map(|w| ms.evaluate(w).unwrap()).collect()
 }
 
 fn check(strategies: Strategies, expected: &[Value]) {
