@@ -99,4 +99,6 @@ fn main() {
     bench_compiler();
     bench_gc();
     bench_locks();
+    mst_bench::harness::write_micro_json("BENCH_micro.json").expect("write BENCH_micro.json");
+    println!("\nwrote BENCH_micro.json");
 }

@@ -11,11 +11,23 @@ fn main() {
     ms.enter_state(SystemState::MsBusy4);
     // Drive enough contended work that the serialization rows have live
     // data: allocation pressure (forcing scavenges), display traffic, and
-    // scheduler churn, all against the four busy competitors.
-    for _ in 0..10 {
+    // scheduler churn, all against the four busy competitors. Deterministic:
+    // instead of sleeping a fixed wall-clock amount per round, keep working
+    // until the instruments show the rows are populated — at least three
+    // scavenges recorded in the telemetry registry and ten rounds of work —
+    // bounded so a mis-sized heap cannot loop forever.
+    let scavenge_pauses = mst_telemetry::histogram("gc.scavenge_pause_ns");
+    let safepoint_stops = mst_telemetry::counter("safepoint.stops");
+    let mut rounds = 0u32;
+    loop {
         ms.evaluate("Benchmark createInspectorView").unwrap();
         ms.evaluate("Benchmark allocHeavy: 100000").unwrap();
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        rounds += 1;
+        let warmed =
+            rounds >= 10 && scavenge_pauses.snapshot().count >= 3 && safepoint_stops.get() >= 3;
+        if warmed || rounds >= 200 {
+            break;
+        }
     }
 
     let alloc = ms.mem().alloc_lock_stats();
@@ -73,5 +85,8 @@ fn main() {
     println!(
         "                      live check: Processor canRun: Processor thisProcess = {this_is_that}"
     );
+    // The same serialization rows, regenerated from the unified registry:
+    // every named lock publishes `lock.<name>.contended` / `.spin_iters`.
+    println!("\n{}", mst_telemetry::report::text_report());
     ms.shutdown();
 }

@@ -1,0 +1,113 @@
+//! Runs the Table 2 macro benchmarks under tracing and writes a Chrome
+//! `trace_event` file — load it in `chrome://tracing` or
+//! <https://ui.perfetto.dev> to see scavenges, stop-the-world safepoints,
+//! contended lock acquisitions, and doit spans across every interpreter
+//! thread — plus the `vmstat`-style registry report on stdout.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p mst-bench --bin trace              # all 8 benchmarks
+//! cargo run --release -p mst-bench --bin trace -- --smoke   # short CI run, self-validating
+//! cargo run --release -p mst-bench --bin trace -- --out my.json
+//! ```
+
+use mst_bench::harness::TABLE2;
+use mst_core::{MsConfig, MsSystem, SystemState};
+use mst_telemetry as tel;
+use mst_telemetry::json::Json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "trace.json".to_string());
+
+    // Touch the headline instruments up front so the report always has
+    // their rows, even if a short run never exercises one of them.
+    tel::counter("lock.contended");
+    tel::histogram("lock.spin_iters");
+    tel::histogram("gc.scavenge_pause_ns");
+    tel::histogram("safepoint.time_to_stop_ns");
+
+    // MsBusy4: four busy competitors on the worker interpreters, so the
+    // trace shows multiple interpreter threads and real lock traffic.
+    let mut ms = MsSystem::new(MsConfig {
+        trace: true,
+        ..MsConfig::for_state(SystemState::MsBusy4)
+    });
+    ms.enter_state(SystemState::MsBusy4);
+
+    let benches = if smoke { &TABLE2[..2] } else { &TABLE2[..] };
+    for b in benches {
+        let p = ms
+            .prepare(&format!("Benchmark {}", b.selector))
+            .expect("benchmark compiles");
+        ms.run_prepared(&p).expect("benchmark runs");
+        println!("traced: {}", b.label);
+    }
+    // Allocation pressure plus an explicit collection guarantee at least
+    // one scavenge span and one stop-the-world span in every trace.
+    ms.evaluate("Benchmark allocHeavy: 100000")
+        .expect("alloc churn");
+    ms.collect_garbage();
+    ms.shutdown();
+
+    tel::chrome::write_chrome_json(&out_path).expect("write trace file");
+    println!("\n{}", tel::report::text_report());
+    println!("wrote {out_path} (load in chrome://tracing or ui.perfetto.dev)");
+
+    if smoke {
+        validate(&out_path);
+    }
+}
+
+/// CI self-check: the written file must parse, carry the schema's required
+/// keys, and contain GC + safepoint spans from at least two threads.
+fn validate(path: &str) {
+    let text = std::fs::read_to_string(path).expect("read trace back");
+    let doc = tel::json::parse(&text).expect("trace.json must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let mut scavenges = 0u32;
+    let mut safepoints = 0u32;
+    let mut tids = std::collections::BTreeSet::new();
+    let mut named_threads = 0u32;
+    for ev in events {
+        let name = ev.get("name").and_then(Json::as_str).unwrap_or_default();
+        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or_default();
+        for key in ["name", "ph", "pid", "tid", "args"] {
+            assert!(ev.get(key).is_some(), "event missing required key {key}");
+        }
+        if ph == "M" {
+            named_threads += 1;
+            continue;
+        }
+        assert!(ev.get("ts").is_some(), "non-metadata event missing ts");
+        tids.insert(ev.get("tid").and_then(Json::as_f64).unwrap() as u64);
+        match name {
+            "gc.scavenge" => scavenges += 1,
+            "safepoint.stop" | "safepoint.park" => safepoints += 1,
+            _ => {}
+        }
+    }
+    println!(
+        "smoke: {} events, {} threads, {scavenges} scavenges, {safepoints} safepoint spans",
+        events.len() - named_threads as usize,
+        tids.len(),
+    );
+    assert!(scavenges >= 1, "trace must contain a gc.scavenge span");
+    assert!(safepoints >= 1, "trace must contain a safepoint span");
+    assert!(
+        tids.len() >= 2,
+        "trace must contain events from at least two threads"
+    );
+    assert!(named_threads >= 2, "thread_name metadata missing");
+    println!("smoke: OK");
+}

@@ -14,6 +14,7 @@
 //! the paper is about — while excluding simple descheduling. Wall-clock is
 //! reported alongside for completeness. See DESIGN.md §2.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use mst_core::{MsConfig, MsSystem, SystemState};
@@ -257,8 +258,41 @@ impl MicroGroup {
             line.push_str(&format!("  thrpt: {}/s", si_human(rate)));
         }
         println!("{line}");
+        micro_results()
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push((format!("{}/{name}", self.name), result));
         result
     }
+}
+
+/// Every [`MicroGroup::bench`] result recorded so far, in run order.
+fn micro_results() -> &'static Mutex<Vec<(String, MicroResult)>> {
+    static RESULTS: Mutex<Vec<(String, MicroResult)>> = Mutex::new(Vec::new());
+    &RESULTS
+}
+
+/// Writes all recorded micro-benchmark results as machine-readable JSON
+/// (`{"benchmarks": [{"name", "wall_ns", "cpu_ns", "iters"}, ...]}`), for
+/// CI artifacts and regression diffing.
+pub fn write_micro_json(path: &str) -> std::io::Result<()> {
+    let results = micro_results().lock().unwrap_or_else(|p| p.into_inner());
+    let mut out = String::from("{\"benchmarks\":[");
+    for (i, (name, r)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"wall_ns\":{:.1},\"cpu_ns\":{:.1},\"iters\":{}}}",
+            mst_telemetry::json::escape(name),
+            r.wall_ns,
+            r.cpu_ns,
+            r.iters
+        ));
+    }
+    out.push_str("]}");
+    mst_telemetry::json::parse(&out).expect("generated micro JSON must parse");
+    std::fs::write(path, out)
 }
 
 /// Per-iteration measurement from [`MicroGroup::bench`].

@@ -127,6 +127,11 @@ pub struct MsConfig {
     pub memory: MemoryConfig,
     /// Bytecodes between safepoint polls.
     pub quantum: u32,
+    /// Record trace events ([`mst_telemetry::trace`]) while this system
+    /// runs. Off by default: the disabled path is one branch on a relaxed
+    /// atomic. Setting `MST_TRACE=1` in the environment also enables
+    /// tracing at [`MsSystem::try_new`], regardless of this flag.
+    pub trace: bool,
 }
 
 impl Default for MsConfig {
@@ -136,6 +141,7 @@ impl Default for MsConfig {
             processors: 5,
             memory: MemoryConfig::default(),
             quantum: 1024,
+            trace: false,
         }
     }
 }
@@ -263,6 +269,14 @@ impl MsSystem {
 
     /// Like [`new`](Self::new) but surfacing bootstrap errors.
     pub fn try_new(config: MsConfig) -> Result<MsSystem, BootstrapError> {
+        // Tracing is process-global and only ever switched ON here: systems
+        // run concurrently in tests, so one asking for a trace must not
+        // silence another's.
+        if config.trace {
+            mst_telemetry::set_enabled(true);
+        } else {
+            mst_telemetry::init_from_env();
+        }
         let mut memory = config.memory;
         memory.sync = config.strategies.sync;
         memory.alloc_policy = config.strategies.alloc;
@@ -396,7 +410,9 @@ impl MsSystem {
         // Pin the doit to this interpreter so measurements charge the
         // right thread; workers will not claim it.
         self.vm.set_reserved(Some(process.clone()));
+        let doit_span = mst_telemetry::span("vm.doit", "vm");
         let outcome = self.main.run(Some(process.clone()));
+        drop(doit_span);
         self.vm.set_reserved(None);
         match outcome {
             RunOutcome::WatchedTerminated => {}

@@ -128,7 +128,7 @@ impl GlobalCache {
     pub fn new(sync: mst_vkernel::SyncMode) -> GlobalCache {
         GlobalCache {
             readers: std::sync::atomic::AtomicI64::new(0),
-            write_lock: mst_vkernel::SpinLock::new(sync),
+            write_lock: mst_vkernel::SpinLock::named(sync, "method_cache"),
             entries: std::cell::UnsafeCell::new(Box::new([CacheEntry::EMPTY; CACHE_SIZE])),
             epoch: std::sync::atomic::AtomicU64::new(0),
         }

@@ -427,17 +427,14 @@ impl Interpreter {
 
     fn flush_counters(&mut self) {
         let c = &self.vm.counters;
-        c.bytecodes.fetch_add(self.n_bytecodes, Ordering::Relaxed);
-        c.sends.fetch_add(self.n_sends, Ordering::Relaxed);
-        c.cache_hits.fetch_add(self.n_hits, Ordering::Relaxed);
-        c.cache_misses.fetch_add(self.n_misses, Ordering::Relaxed);
-        c.primitives.fetch_add(self.n_prims, Ordering::Relaxed);
-        c.contexts_recycled
-            .fetch_add(self.n_recycled, Ordering::Relaxed);
-        c.contexts_allocated
-            .fetch_add(self.n_ctx_alloc, Ordering::Relaxed);
-        c.process_switches
-            .fetch_add(self.n_switches, Ordering::Relaxed);
+        c.bytecodes.add(self.n_bytecodes);
+        c.sends.add(self.n_sends);
+        c.cache_hits.add(self.n_hits);
+        c.cache_misses.add(self.n_misses);
+        c.primitives.add(self.n_prims);
+        c.contexts_recycled.add(self.n_recycled);
+        c.contexts_allocated.add(self.n_ctx_alloc);
+        c.process_switches.add(self.n_switches);
         self.n_bytecodes = 0;
         self.n_sends = 0;
         self.n_hits = 0;
@@ -844,6 +841,14 @@ impl Interpreter {
             return self.does_not_understand(pc0, selector, nargs);
         }
         if entry.primitive != 0 {
+            if mst_telemetry::enabled() {
+                mst_telemetry::instant(
+                    "interp.primitive",
+                    "interp",
+                    "number",
+                    entry.primitive as u64,
+                );
+            }
             match self.dispatch_primitive(entry.primitive, nargs, pc0) {
                 PrimOutcome::Done => {
                     self.n_prims += 1;
@@ -888,6 +893,9 @@ impl Interpreter {
             }
         }
         self.n_misses += 1;
+        if mst_telemetry::enabled() {
+            mst_telemetry::instant("interp.cache_miss", "interp", "selector", selector.raw());
+        }
         let entry = self.lookup_method(selector, class)?;
         if !is_super {
             match self.vm.options.cache_policy {

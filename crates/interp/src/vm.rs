@@ -8,6 +8,7 @@
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 
 use mst_objmem::{MemoryConfig, ObjectMemory};
+use mst_telemetry as tel;
 use mst_vkernel::io::{Display, InputQueue};
 use mst_vkernel::{Rendezvous, SpinLock, SpinMutex, SyncMode};
 
@@ -97,16 +98,19 @@ pub struct VmCounters {
     pub process_switches: u64,
 }
 
+/// Per-VM execution counters. Each field is a sharded telemetry counter so
+/// interpreter threads flushing their batches at safepoints never collide on
+/// a cache line; [`Vm::counters`] merges the shards at read time.
 #[derive(Debug, Default)]
 pub(crate) struct AtomicCounters {
-    pub bytecodes: AtomicU64,
-    pub sends: AtomicU64,
-    pub cache_hits: AtomicU64,
-    pub cache_misses: AtomicU64,
-    pub primitives: AtomicU64,
-    pub contexts_recycled: AtomicU64,
-    pub contexts_allocated: AtomicU64,
-    pub process_switches: AtomicU64,
+    pub bytecodes: tel::Counter,
+    pub sends: tel::Counter,
+    pub cache_hits: tel::Counter,
+    pub cache_misses: tel::Counter,
+    pub primitives: tel::Counter,
+    pub contexts_recycled: tel::Counter,
+    pub contexts_allocated: tel::Counter,
+    pub process_switches: tel::Counter,
 }
 
 /// The shared virtual machine.
@@ -171,7 +175,7 @@ impl Vm {
         Vm {
             mem,
             rendezvous: Rendezvous::new(),
-            sched_lock: SpinLock::new(options.sync),
+            sched_lock: SpinLock::named(options.sync, "sched"),
             display: Display::new(options.sync, 640, 480),
             input: InputQueue::new(options.sync, 256),
             options,
@@ -183,24 +187,29 @@ impl Vm {
             cache_epoch: AtomicU64::new(0),
             start: std::time::Instant::now(),
             global_cache: GlobalCache::new(options.sync),
-            shared_free: SpinMutex::new(options.sync, crate::contexts::FreeLists::default()),
+            shared_free: SpinMutex::named(
+                options.sync,
+                "free_contexts",
+                crate::contexts::FreeLists::default(),
+            ),
             reserved: SpinMutex::new(options.sync, None),
             next_interp_id: AtomicU64::new(0),
         }
     }
 
-    /// Snapshot of the aggregated execution counters.
+    /// Snapshot of the aggregated execution counters (merged across the
+    /// per-thread counter shards at read time).
     pub fn counters(&self) -> VmCounters {
         let c = &self.counters;
         VmCounters {
-            bytecodes: c.bytecodes.load(Ordering::Relaxed),
-            sends: c.sends.load(Ordering::Relaxed),
-            cache_hits: c.cache_hits.load(Ordering::Relaxed),
-            cache_misses: c.cache_misses.load(Ordering::Relaxed),
-            primitives: c.primitives.load(Ordering::Relaxed),
-            contexts_recycled: c.contexts_recycled.load(Ordering::Relaxed),
-            contexts_allocated: c.contexts_allocated.load(Ordering::Relaxed),
-            process_switches: c.process_switches.load(Ordering::Relaxed),
+            bytecodes: c.bytecodes.get(),
+            sends: c.sends.get(),
+            cache_hits: c.cache_hits.get(),
+            cache_misses: c.cache_misses.get(),
+            primitives: c.primitives.get(),
+            contexts_recycled: c.contexts_recycled.get(),
+            contexts_allocated: c.contexts_allocated.get(),
+            process_switches: c.process_switches.get(),
         }
     }
 
@@ -217,7 +226,7 @@ impl Vm {
             &c.contexts_allocated,
             &c.process_switches,
         ] {
-            a.store(0, Ordering::Relaxed);
+            a.reset();
         }
     }
 

@@ -26,9 +26,16 @@ use crate::heap::ObjectMemory;
 use crate::method::MethodHeader;
 use crate::oop::Oop;
 
+/// Process-wide full-collection pause distribution.
+fn full_gc_pause_hist() -> &'static mst_telemetry::Histogram {
+    static H: std::sync::OnceLock<&'static mst_telemetry::Histogram> = std::sync::OnceLock::new();
+    H.get_or_init(|| mst_telemetry::histogram("gc.full_pause_ns"))
+}
+
 impl ObjectMemory {
     /// Runs a full mark-compact collection. Returns reclaimed old-space words.
     pub fn full_gc(&self) -> usize {
+        let mut trace_span = mst_telemetry::span("gc.full", "gc");
         let start = Instant::now();
         let old_used_before = self.old_used();
 
@@ -147,9 +154,12 @@ impl ObjectMemory {
 
         self.bump_epoch();
         let reclaimed = old_used_before - (dest - self.spaces().old_start);
-        let mut stats = self.stats.lock();
-        stats.full_gcs += 1;
-        stats.full_gc_nanos += start.elapsed().as_nanos() as u64;
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.stats.full_gcs.incr();
+        self.stats.full_gc_nanos.add(nanos);
+        full_gc_pause_hist().record(nanos);
+        trace_span.set_arg("reclaimed_words", reclaimed as u64);
+        drop(trace_span);
         reclaimed
     }
 

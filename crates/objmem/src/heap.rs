@@ -26,6 +26,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 
+use mst_telemetry as tel;
 use mst_vkernel::{SpinMutex, SyncMode};
 
 use crate::header::{Header, ObjFormat, MAX_BODY_WORDS};
@@ -180,6 +181,33 @@ impl RootHandle {
     }
 }
 
+/// Per-memory GC counters, embedded as sharded telemetry counters so a
+/// collector thread recording its outcome never contends with anything —
+/// the old `SpinMutex<GcStats>` serialized stats recording during the pause.
+/// Merged into a [`GcStats`] snapshot by [`ObjectMemory::gc_stats`].
+#[derive(Debug, Default)]
+pub(crate) struct GcCounters {
+    pub scavenges: tel::Counter,
+    pub words_survived: tel::Counter,
+    pub words_tenured: tel::Counter,
+    pub scavenge_nanos: tel::Counter,
+    pub full_gcs: tel::Counter,
+    pub full_gc_nanos: tel::Counter,
+}
+
+impl GcCounters {
+    fn snapshot(&self) -> GcStats {
+        GcStats {
+            scavenges: self.scavenges.get(),
+            words_survived: self.words_survived.get(),
+            words_tenured: self.words_tenured.get(),
+            scavenge_nanos: self.scavenge_nanos.get(),
+            full_gcs: self.full_gcs.get(),
+            full_gc_nanos: self.full_gc_nanos.get(),
+        }
+    }
+}
+
 /// Counters accumulated across collections.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GcStats {
@@ -220,7 +248,7 @@ pub struct ObjectMemory {
     /// Symbol intern table (symbols live in old space).
     symbols: SpinMutex<HashMap<Box<str>, u64>>,
     gc_epoch: AtomicU64,
-    pub(crate) stats: SpinMutex<GcStats>,
+    pub(crate) stats: GcCounters,
 }
 
 // SAFETY: see the module-level safety model.
@@ -247,17 +275,17 @@ impl ObjectMemory {
             store: HeapStore(UnsafeCell::new(words)),
             config,
             spaces,
-            old_next: SpinMutex::new(config.sync, spaces.old_start),
-            eden_next: SpinMutex::new(config.sync, spaces.eden_start),
+            old_next: SpinMutex::named(config.sync, "old_next", spaces.old_start),
+            eden_next: SpinMutex::named(config.sync, "eden_next", spaces.eden_start),
             survivor_next: AtomicUsize::new(spaces.surv_b_start),
             past_is_a: AtomicBool::new(true),
             past_fill: AtomicUsize::new(spaces.surv_a_start),
             specials: SpecialObjects::new(),
-            entry_table: SpinMutex::new(config.sync, Vec::new()),
+            entry_table: SpinMutex::named(config.sync, "entry_table", Vec::new()),
             roots: SpinMutex::new(config.sync, Vec::new()),
             symbols: SpinMutex::new(config.sync, HashMap::new()),
             gc_epoch: AtomicU64::new(0),
-            stats: SpinMutex::new(config.sync, GcStats::default()),
+            stats: GcCounters::default(),
         }
     }
 
@@ -293,9 +321,9 @@ impl ObjectMemory {
         self.gc_epoch.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Cumulative GC statistics.
+    /// Cumulative GC statistics (merged across counter shards at read time).
     pub fn gc_stats(&self) -> GcStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     // ------------------------------------------------------------------

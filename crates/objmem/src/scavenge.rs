@@ -15,6 +15,7 @@
 //! cells, and the entry table (old objects known to reference new space).
 
 use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use crate::header::{ObjFormat, MAX_AGE};
@@ -37,6 +38,12 @@ pub struct ScavengeOutcome {
     pub full_gc_ran: bool,
 }
 
+/// Process-wide scavenge pause distribution (Table 2's GC column).
+fn scavenge_pause_hist() -> &'static mst_telemetry::Histogram {
+    static H: OnceLock<&'static mst_telemetry::Histogram> = OnceLock::new();
+    H.get_or_init(|| mst_telemetry::histogram("gc.scavenge_pause_ns"))
+}
+
 struct Scavenger<'m> {
     mem: &'m ObjectMemory,
     to_start: usize,
@@ -56,6 +63,7 @@ impl ObjectMemory {
     /// Panics if old space cannot hold the worst-case tenured volume even
     /// after a full collection (genuine out-of-memory).
     pub fn scavenge(&self) -> ScavengeOutcome {
+        let mut trace_span = mst_telemetry::span("gc.scavenge", "gc");
         let start = Instant::now();
         let mut full_gc_ran = false;
         // Worst case every live new word tenures; make room up front so the
@@ -103,11 +111,15 @@ impl ObjectMemory {
         self.bump_epoch();
 
         outcome.nanos = start.elapsed().as_nanos() as u64;
-        let mut stats = self.stats.lock();
-        stats.scavenges += 1;
-        stats.words_survived += outcome.words_survived;
-        stats.words_tenured += outcome.words_tenured;
-        stats.scavenge_nanos += outcome.nanos;
+        // Sharded counters: recording the outcome never contends, even when
+        // several memories (tests, competing benchmarks) collect at once.
+        self.stats.scavenges.incr();
+        self.stats.words_survived.add(outcome.words_survived);
+        self.stats.words_tenured.add(outcome.words_tenured);
+        self.stats.scavenge_nanos.add(outcome.nanos);
+        scavenge_pause_hist().record(outcome.nanos);
+        trace_span.set_arg("words_survived", outcome.words_survived);
+        drop(trace_span);
         outcome
     }
 }

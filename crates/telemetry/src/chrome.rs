@@ -1,0 +1,201 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Emits the "JSON Array Format" with a `traceEvents` top-level key —
+//! loadable directly in `chrome://tracing` or <https://ui.perfetto.dev>.
+//! Timestamps (`ts`) and durations (`dur`) are microseconds, emitted with
+//! three decimal places so nanosecond resolution survives.
+
+use std::fmt::Write as _;
+
+use crate::json::escape;
+use crate::trace::{all_rings, TraceEvent, TracePhase};
+
+/// The process id used in exported traces (one VM = one process).
+pub const TRACE_PID: u64 = 1;
+
+fn push_us(out: &mut String, ns: u64) {
+    // Microseconds with ns precision, without going through floats.
+    let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
+}
+
+fn push_event(out: &mut String, tid: u64, ev: &TraceEvent) {
+    out.push_str("{\"name\":\"");
+    out.push_str(&escape(ev.name));
+    out.push_str("\",\"cat\":\"");
+    out.push_str(&escape(ev.cat));
+    out.push_str("\",\"ph\":\"");
+    out.push_str(match ev.phase {
+        TracePhase::Complete => "X",
+        TracePhase::Instant => "i",
+    });
+    out.push_str("\",\"ts\":");
+    push_us(out, ev.start_ns);
+    if ev.phase == TracePhase::Complete {
+        out.push_str(",\"dur\":");
+        push_us(out, ev.dur_ns);
+    } else {
+        out.push_str(",\"s\":\"t\"");
+    }
+    let _ = write!(out, ",\"pid\":{TRACE_PID},\"tid\":{tid}");
+    if !ev.arg_name.is_empty() {
+        let _ = write!(out, ",\"args\":{{\"{}\":{}}}", escape(ev.arg_name), ev.arg);
+    } else {
+        out.push_str(",\"args\":{}");
+    }
+    out.push('}');
+}
+
+fn push_thread_name(out: &mut String, tid: u64, name: &str) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{TRACE_PID},\"tid\":{tid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape(name)
+    );
+}
+
+/// Renders named threads' events as a complete `trace_event` document.
+/// Pure (no global state) so tests can feed fixed timestamps.
+pub fn events_to_json(threads: &[(u64, &str, &[TraceEvent])]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (tid, name, _) in threads {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_thread_name(&mut out, *tid, name);
+    }
+    for (tid, _, events) in threads {
+        for ev in *events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            push_event(&mut out, *tid, ev);
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Exports every live thread ring as Chrome `trace_event` JSON.
+pub fn export_chrome_json() -> String {
+    let rings = all_rings();
+    let mut threads: Vec<(u64, String, Vec<TraceEvent>)> = rings
+        .into_iter()
+        .map(|(ring, events, _dropped)| (ring.tid, ring.name.clone(), events))
+        .collect();
+    threads.sort_by_key(|(tid, _, _)| *tid);
+    let borrowed: Vec<(u64, &str, &[TraceEvent])> = threads
+        .iter()
+        .map(|(tid, name, events)| (*tid, name.as_str(), events.as_slice()))
+        .collect();
+    events_to_json(&borrowed)
+}
+
+/// Exports the trace to `path` as Chrome `trace_event` JSON.
+pub fn write_chrome_json(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, export_chrome_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+
+    fn fixed_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                name: "gc.scavenge",
+                cat: "gc",
+                phase: TracePhase::Complete,
+                start_ns: 1_234_567,
+                dur_ns: 89_012,
+                arg_name: "words_survived",
+                arg: 4096,
+            },
+            TraceEvent {
+                name: "interp.cache_miss",
+                cat: "interp",
+                phase: TracePhase::Instant,
+                start_ns: 2_000_500,
+                dur_ns: 0,
+                arg_name: "",
+                arg: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn exporter_matches_golden_file() {
+        // Satellite: golden-file test of schema-complete output.
+        let events = fixed_events();
+        let threads: Vec<(u64, &str, &[TraceEvent])> = vec![
+            (1, "p0:interp", events.as_slice()),
+            (2, "p1:interp", &events[..1]),
+        ];
+        let json = events_to_json(&threads);
+        let golden = include_str!("../tests/golden_trace.json");
+        assert_eq!(
+            json,
+            golden.trim_end(),
+            "exporter output drifted from golden file"
+        );
+    }
+
+    #[test]
+    fn exported_json_is_schema_complete() {
+        let events = fixed_events();
+        let threads: Vec<(u64, &str, &[TraceEvent])> = vec![(7, "p0:interp", events.as_slice())];
+        let doc = parse(&events_to_json(&threads)).expect("exporter emits valid JSON");
+        let evs = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        // One metadata record plus the two events.
+        assert_eq!(evs.len(), 3);
+        let meta = &evs[0];
+        assert_eq!(meta.get("ph").and_then(Json::as_str), Some("M"));
+        assert_eq!(
+            meta.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some("p0:interp")
+        );
+        for ev in &evs[1..] {
+            for key in ["name", "cat", "ph", "ts", "pid", "tid", "args"] {
+                assert!(ev.get(key).is_some(), "event missing required key {key}");
+            }
+        }
+        let span = &evs[1];
+        assert_eq!(span.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(span.get("ts").and_then(Json::as_f64), Some(1234.567));
+        assert_eq!(span.get("dur").and_then(Json::as_f64), Some(89.012));
+        assert_eq!(
+            span.get("args")
+                .and_then(|a| a.get("words_survived"))
+                .and_then(Json::as_f64),
+            Some(4096.0)
+        );
+        let inst = &evs[2];
+        assert_eq!(inst.get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(inst.get("s").and_then(Json::as_str), Some("t"));
+    }
+
+    #[test]
+    fn live_export_round_trips_through_parser() {
+        crate::trace::set_enabled(true);
+        crate::trace::instant("test.chrome_live", "test", "k", 1);
+        crate::trace::set_enabled(false);
+        let doc = parse(&export_chrome_json()).expect("live export parses");
+        let names: Vec<&str> = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"test.chrome_live"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Unified VM observability for Multiprocessor Smalltalk.
+//!
+//! The paper's whole argument rests on *measuring* where the multiprocessor
+//! VM spends its time: Table 2's overhead figures and Table 3's lock-traffic
+//! rows are its evidence that serialization, replication, and reorganization
+//! paid off. This crate is the reproduction's measurement substrate, built
+//! hermetically on `std` alone (no external crates — see README § Hermetic
+//! builds):
+//!
+//! * [`Counter`] — a per-processor *sharded* counter. Hot paths touch only
+//!   their own cache line; the shards are merged (lock-free) at read time.
+//! * [`Histogram`] — log₂-bucketed distribution (pause tails, spin
+//!   durations, time-to-safepoint) with percentile estimates.
+//! * [`registry`] — process-wide named metrics: `counter("gc.scavenges")`
+//!   hands back a `&'static Counter`, creating it on first use.
+//! * [`trace`] — a per-thread ring buffer of timestamped begin/end events
+//!   (scavenge, safepoint request→world-stopped, contended lock acquire,
+//!   method-cache miss, primitive dispatch, doit evaluate), recorded only
+//!   when tracing is [`enabled`] — the zero-overhead path is one branch on
+//!   a relaxed atomic.
+//! * [`chrome`] — exports the rings as Chrome `trace_event` JSON, loadable
+//!   in `chrome://tracing` or Perfetto.
+//! * [`report`] — a human-readable `vmstat`-style text report of every
+//!   registered counter and histogram.
+//! * [`json`] — a minimal JSON parser so exported traces can be validated
+//!   in-tree (tests, the CI smoke run) without external dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use mst_telemetry as tel;
+//!
+//! tel::set_enabled(true);
+//! tel::counter("example.widgets").add(3);
+//! tel::histogram("example.latency_ns").record(1500);
+//! {
+//!     let _span = tel::span("example.phase", "demo");
+//!     // ... traced work ...
+//! }
+//! let json = tel::chrome::export_chrome_json();
+//! assert!(json.contains("example.phase"));
+//! assert_eq!(tel::counter("example.widgets").get(), 3);
+//! tel::set_enabled(false);
+//! ```
+
+pub mod chrome;
+pub mod json;
+mod metrics;
+pub mod registry;
+pub mod report;
+pub mod trace;
+
+pub use metrics::{Counter, Histogram, HistogramSnapshot, BUCKETS, SHARDS};
+pub use registry::{counter, histogram};
+pub use trace::{
+    enabled, init_from_env, instant, now_ns, set_enabled, span, Span, TraceEvent, TracePhase,
+};

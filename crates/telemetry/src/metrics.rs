@@ -1,0 +1,334 @@
+//! Sharded counters and log₂-bucketed histograms.
+//!
+//! Both instruments are designed for the VM's hot paths: a write touches a
+//! single cache line owned (statistically) by the writing thread, and no
+//! lock is ever taken. Merging across shards happens only when a reader
+//! asks for the total, mirroring the paper's principle that serialization
+//! is acceptable only where traffic is rare.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of shards per [`Counter`]. The Firefly had five processors; eight
+/// shards keep the modulo cheap and cover a few more host threads.
+pub const SHARDS: usize = 8;
+
+/// Number of histogram buckets: bucket 0 holds zero, bucket *i* (1 ≤ i ≤ 64)
+/// holds values in `[2^(i-1), 2^i)`.
+pub const BUCKETS: usize = 65;
+
+/// Dispenses a stable per-thread shard slot on first use.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The calling thread's shard index (assigned round-robin on first use).
+#[inline]
+pub(crate) fn shard_index() -> usize {
+    MY_SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        s.set(v);
+        v
+    })
+}
+
+/// One cache line per shard so concurrent writers never false-share.
+#[repr(align(64))]
+struct Shard(AtomicU64);
+
+/// A per-processor sharded counter.
+///
+/// `add` is a relaxed `fetch_add` on the calling thread's own shard;
+/// [`get`](Counter::get) merges the shards at read time.
+pub struct Counter {
+    shards: [Shard; SHARDS],
+}
+
+impl Counter {
+    /// Creates a zeroed counter (usable in `static`s and `const` contexts).
+    pub const fn new() -> Counter {
+        Counter {
+            shards: [const { Shard(AtomicU64::new(0)) }; SHARDS],
+        }
+    }
+
+    /// Adds `n` to the calling thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Merged total across all shards (lock-free, read-time only).
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Zeroes every shard (between benchmark runs; racy against writers).
+    pub fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 counts zeros; bucket *i* counts values in `[2^(i-1), 2^i)`, so
+/// the bucket index of a nonzero value is its bit length. Recording is a
+/// single relaxed `fetch_add` per sample (plus sum/max bookkeeping) — no
+/// locks, merge only at snapshot time.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: Counter,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram (usable in `static`s).
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: Counter::new(),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value falls into (its bit length; 0 for 0).
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive lower bound of bucket `i`.
+    pub fn bucket_low(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// The exclusive upper bound of bucket `i` (`u64::MAX` for the last).
+    pub fn bucket_high(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.add(value);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot (merged across writers).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        let mut count = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            buckets[i] = b.load(Ordering::Relaxed);
+            count += buckets[i];
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.get(),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Empties the histogram (racy against writers).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.reset();
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &s.count)
+            .field("sum", &s.sum)
+            .field("max", &s.max)
+            .finish()
+    }
+}
+
+/// A merged view of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`Histogram::bucket_low`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimated quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// containing the `q`-th sample (capped at the observed max). Returns 0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Histogram::bucket_high(i).saturating_sub(1).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_merges_across_concurrent_writers() {
+        // The satellite test: N concurrent writers, merged total exact.
+        let c = Arc::new(Counter::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                    c.add(5);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 8 * 10_005);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_at_powers_of_two() {
+        // 2^k - 1 and 2^k must land in adjacent buckets for every k.
+        for k in 1..63u32 {
+            let below = (1u64 << k) - 1;
+            let at = 1u64 << k;
+            assert_eq!(
+                Histogram::bucket_of(below) + 1,
+                Histogram::bucket_of(at),
+                "boundary at 2^{k}"
+            );
+        }
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        // Bucket bounds round-trip: low is inclusive, high exclusive.
+        for i in 1..BUCKETS {
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_low(i)), i);
+            if i < 64 {
+                assert_eq!(Histogram::bucket_of(Histogram::bucket_high(i)), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_snapshot_and_quantiles() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.sum, 1111);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 2); // the ones
+        assert_eq!(s.buckets[2], 2); // 2 and 3
+        assert_eq!(s.buckets[3], 1); // 4
+        assert_eq!(s.quantile(1.0), 1000); // capped at max
+        assert!(s.quantile(0.5) <= 7, "median in a low bucket");
+        assert!((s.mean() - 1111.0 / 8.0).abs() < 1e-9);
+        h.reset();
+        assert_eq!(h.snapshot().count, 0);
+        assert_eq!(h.snapshot().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_concurrent_recording_loses_nothing() {
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for n in 0..5_000u64 {
+                        h.record(n + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 20_000);
+    }
+}

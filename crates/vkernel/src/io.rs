@@ -38,7 +38,7 @@ impl InputQueue {
     /// Creates an input queue holding at most `capacity` pending events.
     pub fn new(mode: SyncMode, capacity: usize) -> Self {
         InputQueue {
-            queue: SpinMutex::new(mode, VecDeque::with_capacity(capacity)),
+            queue: SpinMutex::named(mode, "input_queue", VecDeque::with_capacity(capacity)),
             capacity,
         }
     }
@@ -277,8 +277,8 @@ impl Display {
     /// Creates a display of the given size.
     pub fn new(mode: SyncMode, width: u16, height: u16) -> Self {
         Display {
-            queue: SpinMutex::new(mode, VecDeque::new()),
-            frame: SpinMutex::new(mode, Framebuffer::new(width, height)),
+            queue: SpinMutex::named(mode, "display_queue", VecDeque::new()),
+            frame: SpinMutex::named(mode, "framebuffer", Framebuffer::new(width, height)),
             high_water: 256,
             commands_applied: std::sync::atomic::AtomicU64::new(0),
         }

@@ -11,7 +11,33 @@
 //! requester drops the returned [`RendezvousGuard`].
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+use mst_telemetry as tel;
+use mst_telemetry::trace::record;
+use mst_telemetry::{TraceEvent, TracePhase};
+
+/// Registry instruments for safepoint traffic, resolved once per process.
+/// Time-to-stop is the latency the paper's users feel: from a thread
+/// claiming leadership of a stop to the last mutator parked.
+fn instruments() -> (
+    &'static tel::Counter,
+    &'static tel::Histogram,
+    &'static tel::Histogram,
+) {
+    static INSTR: OnceLock<(
+        &'static tel::Counter,
+        &'static tel::Histogram,
+        &'static tel::Histogram,
+    )> = OnceLock::new();
+    *INSTR.get_or_init(|| {
+        (
+            tel::counter("safepoint.stops"),
+            tel::histogram("safepoint.time_to_stop_ns"),
+            tel::histogram("safepoint.park_ns"),
+        )
+    })
+}
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -105,12 +131,27 @@ impl Rendezvous {
         if !inner.requested {
             return; // raced with the release
         }
+        let start_ns = tel::now_ns();
         inner.parked += 1;
         self.cv.notify_all();
         while inner.requested {
             inner = self.wait(inner);
         }
         inner.parked -= 1;
+        drop(inner);
+        let parked_ns = tel::now_ns() - start_ns;
+        instruments().2.record(parked_ns);
+        if tel::enabled() {
+            record(TraceEvent {
+                name: "safepoint.park",
+                cat: "safepoint",
+                phase: TracePhase::Complete,
+                start_ns,
+                dur_ns: parked_ns,
+                arg_name: "",
+                arg: 0,
+            });
+        }
     }
 
     /// Stops the world: sets the global flag and waits until every other
@@ -136,9 +177,27 @@ impl Rendezvous {
             }
             inner.requested = true;
             self.flag.store(true, Ordering::Relaxed);
+            let start_ns = tel::now_ns();
             // Wait for everyone else to park.
             while inner.parked < inner.participants.saturating_sub(1) {
                 inner = self.wait(inner);
+            }
+            let stopped_ns = tel::now_ns() - start_ns;
+            let waiting_for = inner.parked as u64;
+            drop(inner);
+            let (stops, time_to_stop, _) = instruments();
+            stops.incr();
+            time_to_stop.record(stopped_ns);
+            if tel::enabled() {
+                record(TraceEvent {
+                    name: "safepoint.stop",
+                    cat: "safepoint",
+                    phase: TracePhase::Complete,
+                    start_ns,
+                    dur_ns: stopped_ns,
+                    arg_name: "parked",
+                    arg: waiting_for,
+                });
             }
             return RendezvousGuard { rdv: self };
         }
@@ -308,6 +367,26 @@ mod tests {
         }
         assert_eq!(rdv.parked(), 0, "parked nonzero after all threads quiesced");
         assert_eq!(rdv.participants(), 0);
+    }
+
+    #[test]
+    fn stops_are_published_to_the_registry() {
+        let rdv = Rendezvous::new();
+        rdv.register();
+        drop(rdv.stop_world());
+        rdv.unregister();
+        let stops = tel::registry::counters()
+            .into_iter()
+            .find(|(k, _)| k == "safepoint.stops")
+            .map(|(_, v)| v)
+            .unwrap_or(0);
+        assert!(stops >= 1);
+        let hists = tel::registry::histograms();
+        let tts = hists
+            .iter()
+            .find(|(k, _)| k == "safepoint.time_to_stop_ns")
+            .expect("time-to-stop histogram registered");
+        assert!(tts.1.count >= 1);
     }
 
     #[test]

@@ -15,8 +15,34 @@ use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use mst_telemetry as tel;
+use mst_telemetry::trace::record;
+use mst_telemetry::{TraceEvent, TracePhase};
 
 use crate::process::delay;
+
+/// Aggregate slow-path instruments, shared by every lock in the process and
+/// resolved from the registry once.
+fn aggregate() -> (
+    &'static tel::Counter,
+    &'static tel::Histogram,
+    &'static tel::Histogram,
+) {
+    static AGG: OnceLock<(
+        &'static tel::Counter,
+        &'static tel::Histogram,
+        &'static tel::Histogram,
+    )> = OnceLock::new();
+    *AGG.get_or_init(|| {
+        (
+            tel::counter("lock.contended"),
+            tel::histogram("lock.spin_iters"),
+            tel::histogram("lock.spin_wait_ns"),
+        )
+    })
+}
 
 /// Whether synchronization operations are real or compiled away.
 ///
@@ -62,9 +88,13 @@ pub struct LockStats {
 /// scheduler's ready queue, which is a Smalltalk object).
 pub struct SpinLock {
     mode: SyncMode,
+    /// Registry name of the serialized resource ("" for anonymous locks).
+    name: &'static str,
     flag: AtomicBool,
     contended: AtomicU64,
     spins: AtomicU64,
+    /// Per-lock registry instruments, resolved on first contention.
+    instruments: OnceLock<(&'static tel::Counter, &'static tel::Histogram)>,
 }
 
 impl fmt::Debug for SpinLock {
@@ -77,13 +107,21 @@ impl fmt::Debug for SpinLock {
 }
 
 impl SpinLock {
-    /// Creates a lock operating in the given [`SyncMode`].
+    /// Creates an anonymous lock operating in the given [`SyncMode`].
     pub const fn new(mode: SyncMode) -> Self {
+        SpinLock::named(mode, "")
+    }
+
+    /// Creates a lock whose contention is published to the telemetry
+    /// registry under `lock.<name>.*` (Table 3's per-resource rows).
+    pub const fn named(mode: SyncMode, name: &'static str) -> Self {
         SpinLock {
             mode,
+            name,
             flag: AtomicBool::new(false),
             contended: AtomicU64::new(0),
             spins: AtomicU64::new(0),
+            instruments: OnceLock::new(),
         }
     }
 
@@ -91,6 +129,12 @@ impl SpinLock {
     #[inline]
     pub fn mode(&self) -> SyncMode {
         self.mode
+    }
+
+    /// The registry name of the serialized resource ("" if anonymous).
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
     }
 
     /// Acquires the lock, spinning with [`delay`] back-off until available.
@@ -108,6 +152,7 @@ impl SpinLock {
     #[cold]
     fn acquire_slow(&self) {
         self.contended.fetch_add(1, Ordering::Relaxed);
+        let start_ns = tel::now_ns();
         let mut iter = 0u32;
         let mut spins = 0u64;
         // Test (plain load) then test-and-set, delaying between attempts,
@@ -123,6 +168,36 @@ impl SpinLock {
             }
         }
         self.spins.fetch_add(spins, Ordering::Relaxed);
+        let waited_ns = tel::now_ns() - start_ns;
+        let (agg_contended, agg_iters, agg_wait) = aggregate();
+        agg_contended.incr();
+        agg_iters.record(spins);
+        agg_wait.record(waited_ns);
+        if !self.name.is_empty() {
+            let (contended, iters) = *self.instruments.get_or_init(|| {
+                (
+                    tel::counter(&format!("lock.{}.contended", self.name)),
+                    tel::histogram(&format!("lock.{}.spin_iters", self.name)),
+                )
+            });
+            contended.incr();
+            iters.record(spins);
+        }
+        if tel::enabled() {
+            record(TraceEvent {
+                name: if self.name.is_empty() {
+                    "lock.contended"
+                } else {
+                    self.name
+                },
+                cat: "lock",
+                phase: TracePhase::Complete,
+                start_ns,
+                dur_ns: waited_ns,
+                arg_name: "spins",
+                arg: spins,
+            });
+        }
     }
 
     /// Attempts to acquire the lock without spinning.
@@ -219,6 +294,20 @@ impl<T> SpinMutex<T> {
             lock: SpinLock::new(mode),
             value: UnsafeCell::new(value),
         }
+    }
+
+    /// Creates a named mutex whose contention is published to the telemetry
+    /// registry under `lock.<name>.*` (see [`SpinLock::named`]).
+    pub const fn named(mode: SyncMode, name: &'static str, value: T) -> Self {
+        SpinMutex {
+            lock: SpinLock::named(mode, name),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// The registry name of the underlying lock ("" if anonymous).
+    pub fn name(&self) -> &'static str {
+        self.lock.name()
     }
 
     /// Acquires the lock and returns a guard dereferencing to the value.
@@ -345,6 +434,34 @@ mod tests {
         assert!(m.stats().contended >= 1);
         m.reset_stats();
         assert_eq!(m.stats(), LockStats::default());
+    }
+
+    #[test]
+    fn named_lock_publishes_contention_to_registry() {
+        let m = Arc::new(SpinMutex::named(
+            SyncMode::Multiprocessor,
+            "test_spinlock_named",
+            (),
+        ));
+        assert_eq!(m.name(), "test_spinlock_named");
+        let m2 = Arc::clone(&m);
+        let g = m.lock();
+        let t = std::thread::spawn(move || {
+            let _g = m2.lock();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(g);
+        t.join().unwrap();
+        let contended = tel::registry::counters()
+            .into_iter()
+            .find(|(k, _)| k == "lock.test_spinlock_named.contended")
+            .map(|(_, v)| v)
+            .unwrap_or(0);
+        assert!(contended >= 1, "registry row missing for named lock");
+        let hists = tel::registry::histograms();
+        assert!(hists
+            .iter()
+            .any(|(k, _)| k == "lock.test_spinlock_named.spin_iters"));
     }
 
     #[test]
