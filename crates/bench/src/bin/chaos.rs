@@ -1,0 +1,102 @@
+//! Chaos soak: the Table 2 macro benchmarks in the busy-4 state with fault
+//! injection armed — spin-lock acquire delays, safepoint-poll stalls,
+//! spurious condvar wakeups, and probabilistic new-space allocation failure
+//! ([`mst_vkernel::fault`]) — repeated across several seeds. After each
+//! seed the injection is disarmed and the heap verifier must report a clean
+//! audit: the point is not that the benchmarks run fast under fire, but
+//! that nothing the faults provoke (extra scavenges, retried bytecodes,
+//! low-space signals) corrupts the shared heap or wedges a rendezvous.
+//!
+//! The safepoint watchdog runs in `panic` mode, so a genuinely missed
+//! rendezvous fails the soak with a diagnostic dump instead of hanging CI.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p mst-bench --bin chaos                # 5 seeds, all 8 benchmarks
+//! cargo run --release -p mst-bench --bin chaos -- --smoke     # 2 seeds, 2 benchmarks (CI)
+//! cargo run --release -p mst-bench --bin chaos -- --seeds 10 --rate 0.001
+//! ```
+
+use mst_bench::harness::TABLE2;
+use mst_core::{MsConfig, MsSystem, SystemState, Value};
+use mst_telemetry as tel;
+use mst_vkernel::fault::{self, ChaosConfig};
+use mst_vkernel::WatchdogPolicy;
+
+fn arg_after(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let n_seeds: u64 = arg_after(&args, "--seeds")
+        .map(|v| v.parse().expect("--seeds takes an integer"))
+        .unwrap_or(if smoke { 2 } else { 5 });
+    let rate: f64 = arg_after(&args, "--rate")
+        .map(|v| v.parse().expect("--rate takes a probability"))
+        .unwrap_or(5e-4);
+    let benches = if smoke { &TABLE2[..2] } else { &TABLE2[..] };
+
+    println!(
+        "chaos soak: {n_seeds} seeds, rate {rate}, {} benchmarks, busy-4 state",
+        benches.len()
+    );
+    let mut dirty = 0u32;
+    for i in 0..n_seeds {
+        let seed = 0x5EED_C8A0_5000_0000 ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut ms = MsSystem::new(MsConfig {
+            chaos: Some(ChaosConfig::new(seed, rate)),
+            ..MsConfig::for_state(SystemState::MsBusy4)
+        });
+        // Faults slow everything down, but a rendezvous that takes this
+        // long is a real wedge: dump the diagnostic and fail the soak.
+        ms.vm().rendezvous.set_watchdog(60_000);
+        ms.vm()
+            .rendezvous
+            .set_watchdog_policy(WatchdogPolicy::Panic);
+        ms.enter_state(SystemState::MsBusy4);
+        for b in benches {
+            let p = ms
+                .prepare(&format!("Benchmark {}", b.selector))
+                .expect("benchmark compiles");
+            ms.run_prepared(&p).expect("benchmark runs under chaos");
+        }
+        // The image must still execute a fresh doit while faults fire.
+        assert_eq!(
+            ms.evaluate("3 + 4").expect("doit under chaos"),
+            Value::Int(7)
+        );
+        // Disarm, then audit with the world stopped: the heap must be
+        // structurally sound after everything the faults provoked.
+        fault::disable();
+        let audit = ms.audit_heap();
+        let verdict = if audit.is_clean() { "clean" } else { "DIRTY" };
+        println!(
+            "seed {i} ({seed:#018x}): audit {verdict} — {} objects, {} slots, {} errors",
+            audit.objects_checked, audit.slots_checked, audit.error_count
+        );
+        if !audit.is_clean() {
+            println!("{audit}");
+            dirty += 1;
+        }
+        ms.shutdown();
+    }
+
+    println!(
+        "faults fired: lock_delay={} poll_stall={} spurious_wake={} alloc_fail={}",
+        tel::counter("chaos.lock_delay").get(),
+        tel::counter("chaos.poll_stall").get(),
+        tel::counter("chaos.spurious_wake").get(),
+        tel::counter("chaos.alloc_fail").get(),
+    );
+    if dirty > 0 {
+        eprintln!("chaos soak FAILED: {dirty}/{n_seeds} seeds left a dirty heap");
+        std::process::exit(1);
+    }
+    println!("chaos soak OK: {n_seeds}/{n_seeds} seeds ended with a clean heap audit");
+}

@@ -132,6 +132,12 @@ pub struct MsConfig {
     /// atomic. Setting `MST_TRACE=1` in the environment also enables
     /// tracing at [`MsSystem::try_new`], regardless of this flag.
     pub trace: bool,
+    /// Fault injection ([`mst_vkernel::fault`]). `None` (the default)
+    /// leaves the process-global chaos registry alone, except that the
+    /// `MST_CHAOS=<seed>:<rate>[:<sites>]` environment variable may arm it
+    /// at [`MsSystem::try_new`]. `Some` installs the given configuration.
+    /// Disabled injection costs one branch on a relaxed atomic per site.
+    pub chaos: Option<mst_vkernel::fault::ChaosConfig>,
 }
 
 impl Default for MsConfig {
@@ -142,6 +148,7 @@ impl Default for MsConfig {
             memory: MemoryConfig::default(),
             quantum: 1024,
             trace: false,
+            chaos: None,
         }
     }
 }
@@ -277,6 +284,13 @@ impl MsSystem {
         } else {
             mst_telemetry::init_from_env();
         }
+        // Fault injection follows the same pattern: an explicit config
+        // wins; otherwise MST_CHAOS may arm the process-global registry.
+        if let Some(chaos) = config.chaos {
+            mst_vkernel::fault::install(chaos);
+        } else {
+            mst_vkernel::fault::init_from_env();
+        }
         let mut memory = config.memory;
         memory.sync = config.strategies.sync;
         memory.alloc_policy = config.strategies.alloc;
@@ -353,11 +367,12 @@ impl MsSystem {
         // stop_world() counts its caller as one of the registered
         // participants; a thread that is not registered must join first or
         // the rendezvous under-waits by one and a mutator keeps running.
-        self.vm.rendezvous.register();
-        let guard = self.vm.rendezvous.stop_world();
+        // The RAII guard also unregisters if `f` panics, so workers are
+        // not left waiting on a dead participant.
+        let me = self.vm.rendezvous.participant();
+        let guard = me.stop_world();
         let r = f(&self.vm);
         drop(guard);
-        self.vm.rendezvous.unregister();
         r
     }
 
@@ -397,16 +412,21 @@ impl MsSystem {
                 match spawn_method_process(vm, &token, prepared.method.get(), vm.mem.nil(), 5) {
                     Some(p) => {
                         scheduler::add_ready(vm, p);
-                        break vm.mem.new_root(p);
+                        break Ok(vm.mem.new_root(p));
                     }
                     None => {
-                        // Eden is full; collect while we hold the world.
-                        vm.mem.scavenge();
+                        // Eden is full; collect while we hold the world. A
+                        // collection that cannot complete (old space full)
+                        // is reported instead of crashing the system.
+                        if let Err(e) = vm.mem.try_scavenge() {
+                            scheduler::signal_low_space(vm);
+                            break Err(EvalError::Runtime(format!("outOfMemory: {e}")));
+                        }
                         vm.bump_cache_epoch();
                     }
                 }
             }
-        });
+        })?;
         // Pin the doit to this interpreter so measurements charge the
         // right thread; workers will not claim it.
         self.vm.set_reserved(Some(process.clone()));
@@ -585,12 +605,24 @@ impl MsSystem {
 
     /// Stops the world and scavenges (for tests and harnesses).
     pub fn collect_garbage(&self) {
-        self.vm.rendezvous.register();
-        let guard = self.vm.rendezvous.stop_world();
+        let me = self.vm.rendezvous.participant();
+        let guard = me.stop_world();
         self.vm.mem.scavenge();
         self.vm.bump_cache_epoch();
         drop(guard);
-        self.vm.rendezvous.unregister();
+    }
+
+    /// Stops the world and runs the heap verifier ([`mst_objmem`]'s
+    /// [`HeapAudit`](mst_objmem::HeapAudit)): every reachable region is
+    /// walked and headers, class pointers, slot targets, the remembered
+    /// set, and the symbol table are cross-checked. The chaos soak harness
+    /// calls this after each faulted run to prove the heap survived.
+    pub fn audit_heap(&self) -> mst_objmem::HeapAudit {
+        let me = self.vm.rendezvous.participant();
+        let guard = me.stop_world();
+        let audit = self.vm.mem.verify_heap();
+        drop(guard);
+        audit
     }
 
     /// Stops every interpreter and joins the worker threads.

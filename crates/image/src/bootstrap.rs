@@ -26,7 +26,7 @@ use mst_interp::classes::{define_class_reusing, InstanceSpec};
 use mst_interp::dicts::{global_get, global_put, system_dict_create};
 use mst_interp::install::organize_method;
 use mst_interp::scheduler::create_scheduler;
-use mst_objmem::layout::{class as cls, linked_list, scheduler as sched_layout};
+use mst_objmem::layout::{class as cls, linked_list, scheduler as sched_layout, semaphore};
 use mst_objmem::{ObjFormat, ObjectMemory, Oop, So};
 
 /// Everything that can go wrong while building the image.
@@ -492,6 +492,23 @@ pub fn build_image(mem: &ObjectMemory) -> Result<usize, BootstrapError> {
         mem.store(list, linked_list::LAST_LINK, nil);
     }
 
+    // The low-space semaphore (the Blue Book's LowSpaceSemaphore): the VM
+    // signals it when a collection leaves old space nearly full, or when a
+    // process is terminated by memory exhaustion. Image code can wait on
+    // it to shed load before the system hits the wall.
+    let low_space = mem
+        .allocate_old(
+            sp.get(So::ClassSemaphore),
+            ObjFormat::Pointers,
+            semaphore::SIZE,
+            0,
+        )
+        .expect("old space exhausted");
+    mem.store_nocheck(low_space, semaphore::EXCESS_SIGNALS, Oop::from_small_int(0));
+    mem.store(low_space, semaphore::FIRST_LINK, nil);
+    mem.store(low_space, semaphore::LAST_LINK, nil);
+    sp.set(So::LowSpaceSemaphore, low_space);
+
     // Well-known selectors the interpreter sends itself.
     sp.set(So::SelDoesNotUnderstand, mem.intern("doesNotUnderstand:"));
     sp.set(So::SelMustBeBoolean, mem.intern("mustBeBoolean"));
@@ -502,6 +519,7 @@ pub fn build_image(mem: &ObjectMemory) -> Result<usize, BootstrapError> {
     mem.set_class(smalltalk, sysdict_class);
     global_put(mem, "Smalltalk", smalltalk);
     global_put(mem, "Processor", scheduler);
+    global_put(mem, "LowSpaceSemaphore", low_space);
     let transcript = mem
         .allocate_old(transcript_class, ObjFormat::Pointers, 0, 0)
         .expect("old space exhausted");

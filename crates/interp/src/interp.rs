@@ -86,6 +86,13 @@ pub struct Interpreter {
     ///
     /// [`run`]: Interpreter::run
     watched: Option<RootHandle>,
+    /// Rendezvous identity while inside [`run`] (None outside it).
+    ///
+    /// [`run`]: Interpreter::run
+    rdv_id: Option<mst_vkernel::ParticipantId>,
+    /// Consecutive `NeedGc` steps with no completed bytecode in between;
+    /// used to turn a futile scavenge loop into an out-of-memory event.
+    gc_streak: u32,
     // --- registers of the active context ---
     ctx: Oop,
     receiver: Oop,
@@ -127,6 +134,8 @@ impl Interpreter {
             sels_epoch: u64::MAX,
             proc_root,
             watched: None,
+            rdv_id: None,
+            gc_streak: 0,
             ctx: Oop::ZERO,
             receiver: Oop::ZERO,
             method: Oop::ZERO,
@@ -159,6 +168,27 @@ impl Interpreter {
     #[inline]
     pub(crate) fn mem<'a>(&self) -> &'a ObjectMemory {
         unsafe { &(*Arc::as_ptr(&self.vm)).mem }
+    }
+
+    /// The rendezvous, with a lifetime detached from `&self` so [`run`] can
+    /// hold a [`mst_vkernel::Participant`] guard across `&mut self` calls.
+    ///
+    /// SAFETY: as for [`Interpreter::mem`] — the `Arc<Vm>` keeps the
+    /// rendezvous alive for the interpreter's entire lifetime.
+    ///
+    /// [`run`]: Interpreter::run
+    #[inline]
+    fn rdv<'a>(&self) -> &'a mst_vkernel::Rendezvous {
+        unsafe { &(*Arc::as_ptr(&self.vm)).rendezvous }
+    }
+
+    /// This interpreter's rendezvous id. Only valid inside [`run`].
+    ///
+    /// [`run`]: Interpreter::run
+    #[inline]
+    fn rdv_id(&self) -> mst_vkernel::ParticipantId {
+        self.rdv_id
+            .expect("rendezvous use outside Interpreter::run")
     }
 
     /// The shared VM.
@@ -231,15 +261,13 @@ impl Interpreter {
     /// so registers are flushed, the world stopped and everything reloaded.
     pub(crate) fn explicit_scavenge(&mut self) {
         self.flush_registers();
-        let before = self.mem().gc_epoch();
-        let guard = self.vm.rendezvous.stop_world();
-        if self.mem().gc_epoch() == before {
-            *self.vm.shared_free.lock() = FreeLists::default();
-            self.mem().scavenge();
-            self.vm.bump_cache_epoch();
-            self.vm.global_cache.clear(self.vm.cache_epoch());
+        if let Err(e) = self.scavenge_world() {
+            // The send has already completed, so there is no bytecode to
+            // restart: report, raise the low-space signal, and carry on —
+            // the image decides how to shed load.
+            self.vm.error_log.lock().push(format!("outOfMemory: {e}"));
+            sched::signal_low_space(&self.vm);
         }
-        drop(guard);
         self.after_gc();
     }
 
@@ -266,7 +294,13 @@ impl Interpreter {
     fn refresh_special_selectors(&mut self) {
         let epoch = self.mem().gc_epoch();
         for (i, (sel, _)) in mst_compiler::bytecode::SPECIAL_SELECTORS.iter().enumerate() {
-            self.special_sels[i] = self.mem().intern(sel);
+            // All of these exist from bootstrap, so a refresh is a pure
+            // table lookup; `try_intern` only allocates (and can only run
+            // out of memory) for a symbol nobody has interned yet. Keep
+            // the stale oop in that case — it is still a valid symbol.
+            if let Ok(sym) = self.mem().try_intern(sel) {
+                self.special_sels[i] = sym;
+            }
         }
         self.sels_epoch = epoch;
     }
@@ -285,7 +319,11 @@ impl Interpreter {
     /// joins the rendezvous.
     pub fn run(&mut self, watched: Option<RootHandle>) -> RunOutcome {
         self.watched = watched;
-        self.vm.rendezvous.register();
+        // RAII registration: if this thread panics mid-run, the guard's
+        // Drop unregisters us so surviving interpreters can still reach a
+        // rendezvous instead of waiting forever on a dead participant.
+        let participant = self.rdv().participant();
+        self.rdv_id = Some(participant.id());
         let outcome = loop {
             if !self.vm.running() {
                 break RunOutcome::Shutdown;
@@ -326,7 +364,7 @@ impl Interpreter {
                     // Idle: no claimable process. Keep polling the GC flag —
                     // parked idle interpreters must not block a scavenge.
                     if self.vm.rendezvous.poll() {
-                        self.vm.rendezvous.park();
+                        self.vm.rendezvous.park(participant.id());
                     }
                     mst_vkernel::delay(24);
                 }
@@ -334,7 +372,8 @@ impl Interpreter {
         };
         self.watched = None;
         self.flush_counters();
-        self.vm.rendezvous.unregister();
+        self.rdv_id = None;
+        drop(participant);
         outcome
     }
 
@@ -352,6 +391,7 @@ impl Interpreter {
         let ctx = self.mem().fetch(p, process::SUSPENDED_CONTEXT);
         self.load_ctx(ctx);
         self.counter = self.vm.options.quantum;
+        self.gc_streak = 0;
     }
 
     /// Handles the end of a process's turn; returns whether the watched
@@ -503,20 +543,88 @@ impl Interpreter {
     // GC & safepoints
     // ------------------------------------------------------------------
 
-    fn gc_scavenge(&mut self, pc0: usize) {
+    /// A scavenge is futile when this many consecutive `NeedGc` steps hit
+    /// without a single bytecode completing in between: collection freed
+    /// nothing the failing allocation can use, so another one won't either.
+    const FUTILE_GC_LIMIT: u32 = 3;
+
+    /// Handles a `NeedGc` step: scavenge and restart the bytecode at `pc0`,
+    /// or — when memory is truly exhausted — terminate the current process
+    /// with an `outOfMemory` report instead of looping forever.
+    fn gc_scavenge(&mut self, pc0: usize) -> Step {
         self.pc = pc0;
         self.flush_registers();
+        if self.gc_streak > Self::FUTILE_GC_LIMIT {
+            // Repeated scavenges made no progress (e.g. a large tenured
+            // request against a full old generation).
+            return self.out_of_memory();
+        }
+        match self.scavenge_world() {
+            Ok(()) => {
+                self.after_gc();
+                Step::Continue
+            }
+            Err(_) => self.out_of_memory(),
+        }
+    }
+
+    /// Stops the world and scavenges, unless another interpreter beat us to
+    /// it. `Err` means the old generation cannot absorb the survivors; the
+    /// heap is left untouched in that case so execution can continue.
+    fn scavenge_world(&mut self) -> Result<(), mst_objmem::OomError> {
         let before = self.mem().gc_epoch();
-        let guard = self.vm.rendezvous.stop_world();
+        let guard = self.vm.rendezvous.stop_world(self.rdv_id());
+        let mut result = Ok(());
         if self.mem().gc_epoch() == before {
             // Nobody beat us to it: collect.
             *self.vm.shared_free.lock() = FreeLists::default();
-            self.mem().scavenge();
-            self.vm.bump_cache_epoch();
-            self.vm.global_cache.clear(self.vm.cache_epoch());
+            match self.mem().try_scavenge() {
+                Ok(_) => {
+                    self.vm.bump_cache_epoch();
+                    self.vm.global_cache.clear(self.vm.cache_epoch());
+                }
+                Err(e) => result = Err(e),
+            }
         }
         drop(guard);
-        self.after_gc();
+        if result.is_ok() {
+            self.check_low_space();
+        }
+        result
+    }
+
+    /// Signals the low-space semaphore (edge-triggered via a latch on the
+    /// [`Vm`]) when a successful collection still leaves the old generation
+    /// nearly full, giving the image a chance to shed load *before* hard
+    /// exhaustion terminates a process.
+    fn check_low_space(&self) {
+        let mem = self.mem();
+        let free = mem.old_free();
+        let threshold = (mem.old_used() + free) / 16;
+        if free < threshold {
+            if !self.vm.low_space.swap(true, Ordering::Relaxed) {
+                sched::signal_low_space(&self.vm);
+            }
+        } else if free >= threshold.saturating_mul(2) {
+            self.vm.low_space.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Terminates the current process because memory is exhausted even
+    /// straight after collection. The failure is contained: the report goes
+    /// to the error log, the low-space semaphore fires so the image can
+    /// react, and this interpreter goes back to the scheduler for the next
+    /// ready process.
+    fn out_of_memory(&mut self) -> Step {
+        self.gc_streak = 0;
+        let free = self.mem().old_free();
+        self.vm.error_log.lock().push(format!(
+            "outOfMemory: old space exhausted ({free} words free); process terminated"
+        ));
+        sched::signal_low_space(&self.vm);
+        let nil = self.mem().nil();
+        self.last_value = nil;
+        Step::Event(Event::Terminated)
     }
 
     fn after_gc(&mut self) {
@@ -530,9 +638,13 @@ impl Interpreter {
     fn safepoint(&mut self) -> Step {
         self.counter = self.vm.options.quantum;
         self.flush_counters();
+        // Chaos: a stalled safepoint response is what the watchdog exists
+        // to diagnose, so the injection point sits here rather than in the
+        // per-bytecode poll.
+        mst_vkernel::fault::poll_stall();
         if self.vm.rendezvous.poll() {
             self.flush_registers();
-            self.vm.rendezvous.park();
+            self.vm.rendezvous.park(self.rdv_id());
             self.after_gc();
         } else if self.sels_epoch != self.mem().gc_epoch() {
             // Another interpreter collected while we were between polls
@@ -744,8 +856,17 @@ impl Interpreter {
                 _ => panic!("unknown opcode {op:#04x} at pc {pc0}"),
             };
             match step {
-                Step::Continue => {}
-                Step::NeedGc => self.gc_scavenge(pc0),
+                Step::Continue => {
+                    if self.gc_streak != 0 {
+                        self.gc_streak = 0;
+                    }
+                }
+                Step::NeedGc => {
+                    self.gc_streak += 1;
+                    if let Step::Event(e) = self.gc_scavenge(pc0) {
+                        return e;
+                    }
+                }
                 Step::Event(e) => return e,
             }
         }

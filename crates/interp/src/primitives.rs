@@ -432,7 +432,12 @@ impl Interpreter {
                     return PrimOutcome::Fail;
                 }
                 let s = mem.str_value(rcvr);
-                let sym = mem.intern(&s);
+                // Failure containment: old-space exhaustion fails the
+                // primitive (the image sees primitiveFailed) instead of
+                // aborting the VM.
+                let Ok(sym) = mem.try_intern(&s) else {
+                    return PrimOutcome::Fail;
+                };
                 self.prim_done(nargs, sym)
             }
             121 => {
@@ -780,11 +785,13 @@ impl Interpreter {
             Ok(_method) => {
                 // Installing a method invalidates every cache.
                 self.invalidate_caches_after_install();
-                let selector = mem.intern(
+                let Ok(selector) = mem.try_intern(
                     &mst_compiler::parse_method(&source)
                         .map(|m| m.selector)
                         .unwrap_or_default(),
-                );
+                ) else {
+                    return PrimOutcome::Fail;
+                };
                 self.prim_done(nargs, selector)
             }
             Err(_) => {

@@ -297,6 +297,17 @@ pub fn semaphore_signal(vm: &Vm, sem: Oop) -> Option<Oop> {
     }
 }
 
+/// Signals the image's low-space semaphore (Blue Book `LowSpaceSemaphore`),
+/// if the bootstrap installed one. A Smalltalk process waiting on it wakes
+/// to shed load — the VM-level half of failure containment: memory pressure
+/// becomes a schedulable event instead of a crash.
+pub fn signal_low_space(vm: &Vm) {
+    let sem = vm.mem.specials().get(So::LowSpaceSemaphore);
+    if sem != Oop::ZERO && sem != vm.mem.nil() {
+        semaphore_signal(vm, sem);
+    }
+}
+
 /// Suspends a process that is *not* running: unlinks it from whatever list
 /// it is on (ready queue or semaphore). Returns `false` — primitive failure
 /// — if it is currently running on some interpreter: exactly the embedded

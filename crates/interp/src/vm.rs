@@ -148,6 +148,10 @@ pub struct Vm {
     /// A Process only its watcher may claim (measurement pinning; see
     /// `scheduler::claim_next` and `Interpreter::run`).
     pub(crate) reserved: SpinMutex<Option<mst_objmem::RootHandle>>,
+    /// Edge-trigger latch for the low-space signal: set when a collection
+    /// leaves old space nearly full (so the semaphore fires once, not at
+    /// every subsequent scavenge), cleared once space recovers.
+    pub(crate) low_space: AtomicBool,
     /// Interpreter-id dispenser.
     pub(crate) next_interp_id: AtomicU64,
 }
@@ -193,6 +197,7 @@ impl Vm {
                 crate::contexts::FreeLists::default(),
             ),
             reserved: SpinMutex::new(options.sync, None),
+            low_space: AtomicBool::new(false),
             next_interp_id: AtomicU64::new(0),
         }
     }

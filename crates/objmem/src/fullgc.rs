@@ -153,6 +153,10 @@ impl ObjectMemory {
         }
 
         self.bump_epoch();
+        // Until the next completed scavenge, dead new-space objects may hold
+        // dangling references to compacted-away old objects (abandoned by
+        // design); the heap verifier consults this flag.
+        self.fullgc_since_scavenge.store(true, Ordering::Relaxed);
         let reclaimed = old_used_before - (dest - self.spaces().old_start);
         let nanos = start.elapsed().as_nanos() as u64;
         self.stats.full_gcs.incr();

@@ -36,6 +36,33 @@ use crate::method::MethodHeader;
 use crate::oop::Oop;
 use crate::special::{So, SpecialObjects};
 
+/// Recoverable old-space exhaustion.
+///
+/// Raised (instead of panicking the process) when a scavenge cannot promise
+/// enough tenure room even after a full collection, or when an old-space
+/// allocation that callers can recover from — e.g. interning a symbol —
+/// finds no space. The interpreter maps it to the Smalltalk-level
+/// low-space signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OomError {
+    /// Words the failing operation needed in old space.
+    pub requested: usize,
+    /// Words actually free in old space at the time of failure.
+    pub old_free: usize,
+}
+
+impl std::fmt::Display for OomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of memory: old space exhausted ({} words needed, {} free)",
+            self.requested, self.old_free
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
 /// How new-space allocation is shared among interpreters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocPolicy {
@@ -248,6 +275,11 @@ pub struct ObjectMemory {
     /// Symbol intern table (symbols live in old space).
     symbols: SpinMutex<HashMap<Box<str>, u64>>,
     gc_epoch: AtomicU64,
+    /// Set by a full collection, cleared by the next completed scavenge.
+    /// While set, *dead* new-space objects may hold dangling references to
+    /// compacted-away old objects (full GC abandons them by design), so the
+    /// heap verifier must not treat those as corruption.
+    pub(crate) fullgc_since_scavenge: AtomicBool,
     pub(crate) stats: GcCounters,
 }
 
@@ -285,6 +317,7 @@ impl ObjectMemory {
             roots: SpinMutex::new(config.sync, Vec::new()),
             symbols: SpinMutex::new(config.sync, HashMap::new()),
             gc_epoch: AtomicU64::new(0),
+            fullgc_since_scavenge: AtomicBool::new(false),
             stats: GcCounters::default(),
         }
     }
@@ -585,6 +618,13 @@ impl ObjectMemory {
             token.lab_limit.set(0);
             token.epoch.set(self.gc_epoch());
         }
+        // Chaos: report exhaustion despite available room, forcing the
+        // caller down its scavenge-and-retry path. Old-space allocation is
+        // deliberately NOT injected — tenuring relies on the scavenger's
+        // up-front space check.
+        if mst_vkernel::fault::fail_alloc() {
+            return None;
+        }
         let idx = match self.config.alloc_policy {
             AllocPolicy::SharedEden => {
                 let mut next = self.eden_next.lock();
@@ -778,20 +818,34 @@ impl ObjectMemory {
 
     /// Interns `name`, allocating a Symbol in old space on first use.
     ///
-    /// # Panics
-    ///
-    /// Panics if old space is exhausted.
-    pub fn intern(&self, name: &str) -> Oop {
+    /// Returns [`OomError`] if the symbol is new and old space cannot hold
+    /// it; the intern table is left unchanged, so retrying after space is
+    /// recovered succeeds.
+    pub fn try_intern(&self, name: &str) -> Result<Oop, OomError> {
         let mut table = self.symbols.lock();
         if let Some(&raw) = table.get(name) {
-            return Oop::from_raw(raw);
+            return Ok(Oop::from_raw(raw));
         }
         let class = self.specials.get(So::ClassSymbol);
         let sym = self
             .alloc_byte_obj_old(class, name.as_bytes())
-            .expect("old space exhausted while interning a symbol");
+            .ok_or_else(|| OomError {
+                requested: 2 + name.len().div_ceil(8),
+                old_free: self.old_free(),
+            })?;
         table.insert(name.into(), sym.raw());
-        sym
+        Ok(sym)
+    }
+
+    /// Interns `name`, allocating a Symbol in old space on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if old space is exhausted; use [`try_intern`](Self::try_intern)
+    /// where the caller can recover.
+    pub fn intern(&self, name: &str) -> Oop {
+        self.try_intern(name)
+            .unwrap_or_else(|e| panic!("{e} while interning {name:?}"))
     }
 
     /// Looks up an already-interned symbol.

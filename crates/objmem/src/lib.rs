@@ -38,11 +38,15 @@ mod oop;
 mod scavenge;
 mod snapshot;
 mod special;
+mod verify;
 
 pub use header::{Header, ObjFormat, MAX_AGE, MAX_BODY_WORDS};
-pub use heap::{AllocPolicy, AllocToken, GcStats, MemoryConfig, ObjectMemory, RootHandle, Spaces};
+pub use heap::{
+    AllocPolicy, AllocToken, GcStats, MemoryConfig, ObjectMemory, OomError, RootHandle, Spaces,
+};
 pub use method::MethodHeader;
 pub use oop::Oop;
 pub use scavenge::ScavengeOutcome;
 pub use snapshot::SnapshotError;
 pub use special::{So, SpecialObjects, SPECIAL_COUNT};
+pub use verify::HeapAudit;

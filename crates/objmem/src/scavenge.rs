@@ -61,8 +61,21 @@ impl ObjectMemory {
     /// # Panics
     ///
     /// Panics if old space cannot hold the worst-case tenured volume even
-    /// after a full collection (genuine out-of-memory).
+    /// after a full collection (genuine out-of-memory); use
+    /// [`try_scavenge`](Self::try_scavenge) where the caller can recover.
     pub fn scavenge(&self) -> ScavengeOutcome {
+        self.try_scavenge().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Scavenges new space, reporting old-space exhaustion as a recoverable
+    /// [`OomError`](crate::OomError) instead of panicking. **The world must
+    /// be stopped by the caller.**
+    ///
+    /// On `Err` the heap is untouched (the check happens before any object
+    /// moves): mutators may keep running against the still-consistent heap,
+    /// and a later scavenge — after dead old objects are released — can
+    /// succeed.
+    pub fn try_scavenge(&self) -> Result<ScavengeOutcome, crate::OomError> {
         let mut trace_span = mst_telemetry::span("gc.scavenge", "gc");
         let start = Instant::now();
         let mut full_gc_ran = false;
@@ -72,10 +85,12 @@ impl ObjectMemory {
         if self.old_free() < new_used {
             self.full_gc();
             full_gc_ran = true;
-            assert!(
-                self.old_free() >= new_used,
-                "out of memory: old space cannot absorb a worst-case scavenge"
-            );
+            if self.old_free() < new_used {
+                return Err(crate::OomError {
+                    requested: new_used,
+                    old_free: self.old_free(),
+                });
+            }
         }
 
         let (to_start, to_end) = if self.past_is_a.load(Ordering::Relaxed) {
@@ -109,6 +124,9 @@ impl ObjectMemory {
         );
         self.eden_reset();
         self.bump_epoch();
+        // New space now holds only freshly copied survivors: any dangling
+        // references a full collection left in dead objects are gone.
+        self.fullgc_since_scavenge.store(false, Ordering::Relaxed);
 
         outcome.nanos = start.elapsed().as_nanos() as u64;
         // Sharded counters: recording the outcome never contends, even when
@@ -120,7 +138,7 @@ impl ObjectMemory {
         scavenge_pause_hist().record(outcome.nanos);
         trace_span.set_arg("words_survived", outcome.words_survived);
         drop(trace_span);
-        outcome
+        Ok(outcome)
     }
 }
 
@@ -461,5 +479,34 @@ mod tests {
         assert_eq!(m.gc_epoch(), e0 + 1);
         // Allocation after the scavenge still works (token revalidates).
         assert!(m.alloc_array(&tok, 1).is_some());
+    }
+
+    #[test]
+    fn try_scavenge_reports_oom_instead_of_panicking() {
+        let m = mem();
+        let tok = m.new_token();
+        // Fill old space with *live* (rooted) data so not even a full GC
+        // can recover tenure room.
+        let mut roots = Vec::new();
+        while let Some(a) = m.alloc_array_old(1000) {
+            roots.push(m.new_root(a));
+            if m.old_free() < 2048 {
+                break;
+            }
+        }
+        let old_free = m.old_free();
+        // Fill eden past the worst-case tenure volume old space can absorb.
+        let mut filled = 0usize;
+        while filled <= old_free {
+            m.alloc_array(&tok, 100).expect("eden should have room");
+            filled += 102;
+        }
+        let err = m.try_scavenge().expect_err("old space cannot absorb eden");
+        assert!(err.old_free < err.requested);
+        assert!(err.to_string().contains("out of memory"));
+        // The heap was untouched: the still-rooted old data is intact and a
+        // fresh audit of old space passes.
+        let audit = m.verify_heap();
+        audit.assert_clean();
     }
 }

@@ -22,7 +22,10 @@ use crate::oop::Oop;
 use crate::special::SPECIAL_COUNT;
 
 const MAGIC: u64 = 0x4D53_5F49_4D41_4745; // "MS_IMAGE"
-const VERSION: u64 = 1;
+                                          // Version history: 1 = initial format; 2 = So::LowSpaceSemaphore appended to
+                                          // the special-objects table (the table is written by count, so any layout
+                                          // change is a format change).
+const VERSION: u64 = 2;
 
 /// Errors produced while writing or reading a snapshot.
 #[derive(Debug)]

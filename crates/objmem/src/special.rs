@@ -47,10 +47,13 @@ pub enum So {
     SelDoesNotUnderstandFallback,
     /// Selector of the error raised on primitive failure without fallback code.
     SelPrimitiveFailed,
+    /// The Semaphore signaled when old space runs low (the Blue Book's
+    /// LowSpaceSemaphore), letting the image react to impending exhaustion.
+    LowSpaceSemaphore,
 }
 
 /// Total number of special-object slots.
-pub const SPECIAL_COUNT: usize = So::SelPrimitiveFailed as usize + 1;
+pub const SPECIAL_COUNT: usize = So::LowSpaceSemaphore as usize + 1;
 
 /// The table itself. All slots start as [`Oop::ZERO`] until bootstrap.
 #[derive(Debug)]

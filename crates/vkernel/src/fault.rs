@@ -1,0 +1,336 @@
+//! Seeded fault injection for chaos testing.
+//!
+//! The runtime's shared-state protocols — the stop-the-world rendezvous,
+//! the spin-locked scheduler/allocation paths, and Generation Scavenging —
+//! are exactly the code that clean-path tests exercise least. This module
+//! provides *named injection points* the runtime consults at its fragile
+//! moments; when armed, each point rolls a seeded [`SplitMix64`] against a
+//! configured rate and perturbs execution in a way that is always
+//! **semantically legal**:
+//!
+//! * [`lock_delay`] — stretches a spin-lock acquire, widening lock-hold
+//!   windows and manufacturing contention.
+//! * [`poll_stall`] — stalls a mutator on its way into a safepoint,
+//!   stretching time-to-stop (and, pushed far enough, tripping the
+//!   rendezvous watchdog).
+//! * [`spurious_wake`] — forces a condvar wait to return early, exercising
+//!   every predicate re-check loop.
+//! * [`fail_alloc`] — fails a new-space allocation that had room, forcing
+//!   the caller down its scavenge-and-retry path.
+//!
+//! Disabled (the default), every injection point is a single branch on one
+//! relaxed atomic load. Configuration comes from the `MST_CHAOS`
+//! environment variable (`<seed>:<rate>` with an optional `:<site,...>`
+//! filter) or programmatically via [`configure`] / [`ChaosConfig`].
+//! Injections are counted in the telemetry registry under `chaos.*`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use mst_telemetry as tel;
+
+use crate::prng::SplitMix64;
+
+/// A named injection point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FaultSite {
+    /// Delay/yield on a spin-lock acquire.
+    LockAcquire = 0,
+    /// Stall a mutator entering its safepoint.
+    SafepointPoll = 1,
+    /// Force a condvar wait to return without a signal.
+    SpuriousWake = 2,
+    /// Fail a new-space allocation despite available room.
+    AllocFail = 3,
+}
+
+impl FaultSite {
+    /// All sites, in bit order.
+    pub const ALL: [FaultSite; 4] = [
+        FaultSite::LockAcquire,
+        FaultSite::SafepointPoll,
+        FaultSite::SpuriousWake,
+        FaultSite::AllocFail,
+    ];
+
+    /// The site's name as accepted by the `MST_CHAOS` site filter.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::LockAcquire => "lock_acquire",
+            FaultSite::SafepointPoll => "safepoint_poll",
+            FaultSite::SpuriousWake => "spurious_wake",
+            FaultSite::AllocFail => "alloc_fail",
+        }
+    }
+
+    fn bit(self) -> u32 {
+        1 << (self as u8)
+    }
+}
+
+/// Bitmask enabling every injection site.
+pub const ALL_SITES: u32 = 0b1111;
+
+/// Chaos configuration, mirrored by `MsConfig.chaos` at the system layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed for the per-thread fault PRNGs.
+    pub seed: u64,
+    /// Probability (0.0..=1.0) that an armed site fires on a given visit.
+    pub rate: f64,
+    /// Bitmask of enabled [`FaultSite`]s ([`ALL_SITES`] by default).
+    pub sites: u32,
+}
+
+impl ChaosConfig {
+    /// A config arming every site at `rate` with the given `seed`.
+    pub fn new(seed: u64, rate: f64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            rate,
+            sites: ALL_SITES,
+        }
+    }
+
+    /// Parses the `MST_CHAOS` value format: `<seed>:<rate>[:<site,...>]`,
+    /// e.g. `42:0.001` or `7:0.01:lock_acquire,alloc_fail`.
+    pub fn parse(spec: &str) -> Option<ChaosConfig> {
+        let mut parts = spec.splitn(3, ':');
+        let seed = parts.next()?.trim().parse::<u64>().ok()?;
+        let rate = parts.next()?.trim().parse::<f64>().ok()?;
+        if !(0.0..=1.0).contains(&rate) {
+            return None;
+        }
+        let sites = match parts.next() {
+            None => ALL_SITES,
+            Some(list) => {
+                let mut mask = 0;
+                for name in list.split(',') {
+                    let site = FaultSite::ALL
+                        .iter()
+                        .find(|s| s.name() == name.trim())
+                        .copied()?;
+                    mask |= site.bit();
+                }
+                mask
+            }
+        };
+        Some(ChaosConfig { seed, rate, sites })
+    }
+}
+
+/// Fast-path gate: one relaxed load on every visit to an injection point.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Firing probability in parts-per-million.
+static RATE_PPM: AtomicU32 = AtomicU32::new(0);
+/// Enabled-site bitmask.
+static SITE_MASK: AtomicU32 = AtomicU32::new(ALL_SITES);
+/// Base seed; per-thread streams are split off it.
+static SEED: AtomicU64 = AtomicU64::new(0);
+/// Bumped by every (re)configuration so thread-local PRNGs reseed.
+static CONFIG_GEN: AtomicU64 = AtomicU64::new(0);
+/// Dispenses one deterministic stream index per participating thread.
+static NEXT_STREAM: AtomicU64 = AtomicU64::new(0);
+/// Nanoseconds a fired [`poll_stall`] sleeps.
+static STALL_NS: AtomicU64 = AtomicU64::new(200_000);
+
+thread_local! {
+    /// (config generation, stream PRNG) for this thread.
+    static RNG: Cell<(u64, SplitMix64)> = const { Cell::new((0, SplitMix64::new(0))) };
+}
+
+fn counters() -> &'static [&'static tel::Counter; 4] {
+    static C: OnceLock<[&'static tel::Counter; 4]> = OnceLock::new();
+    C.get_or_init(|| {
+        [
+            tel::counter("chaos.lock_delay"),
+            tel::counter("chaos.poll_stall"),
+            tel::counter("chaos.spurious_wake"),
+            tel::counter("chaos.alloc_fail"),
+        ]
+    })
+}
+
+/// Arms every injection site: faults fire with probability `rate` using
+/// PRNG streams derived from `seed`. Process-global.
+pub fn configure(seed: u64, rate: f64) {
+    install(ChaosConfig::new(seed, rate));
+}
+
+/// Arms the sites in `config.sites` at `config.rate`.
+pub fn install(config: ChaosConfig) {
+    let ppm = (config.rate.clamp(0.0, 1.0) * 1_000_000.0) as u32;
+    SEED.store(config.seed, Ordering::Relaxed);
+    RATE_PPM.store(ppm, Ordering::Relaxed);
+    SITE_MASK.store(config.sites, Ordering::Relaxed);
+    CONFIG_GEN.fetch_add(1, Ordering::Relaxed);
+    ENABLED.store(ppm > 0 && config.sites != 0, Ordering::Relaxed);
+}
+
+/// Disarms every injection site; each point reverts to its single relaxed
+/// load.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether any site is armed.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Sets how long a fired [`poll_stall`] sleeps.
+pub fn set_stall_ns(ns: u64) {
+    STALL_NS.store(ns, Ordering::Relaxed);
+}
+
+/// Arms chaos from the `MST_CHAOS` environment variable (format
+/// `<seed>:<rate>[:<site,...>]`). Returns whether anything was armed; a
+/// missing or malformed variable leaves chaos off.
+pub fn init_from_env() -> bool {
+    match std::env::var("MST_CHAOS") {
+        Ok(spec) => match ChaosConfig::parse(&spec) {
+            Some(c) => {
+                install(c);
+                enabled()
+            }
+            None => false,
+        },
+        Err(_) => false,
+    }
+}
+
+/// Rolls the seeded PRNG for `site`; returns whether the fault fires.
+#[cold]
+fn roll(site: FaultSite) -> bool {
+    if SITE_MASK.load(Ordering::Relaxed) & site.bit() == 0 {
+        return false;
+    }
+    let generation = CONFIG_GEN.load(Ordering::Relaxed);
+    let fired = RNG.with(|cell| {
+        let (mut generation_seen, mut rng) = cell.get();
+        if generation_seen != generation {
+            // (Re)seed this thread's stream: deterministic in the base seed
+            // and the order in which threads first reach an armed site.
+            let stream = NEXT_STREAM.fetch_add(1, Ordering::Relaxed);
+            rng = SplitMix64::new(
+                SEED.load(Ordering::Relaxed) ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            generation_seen = generation;
+        }
+        let fired = rng.next_u64() % 1_000_000 < RATE_PPM.load(Ordering::Relaxed) as u64;
+        cell.set((generation_seen, rng));
+        fired
+    });
+    if fired {
+        counters()[site as usize].incr();
+    }
+    fired
+}
+
+/// Injection point: spin-lock acquire. May delay/yield the calling thread.
+#[inline]
+pub fn lock_delay() {
+    if ENABLED.load(Ordering::Relaxed) && roll(FaultSite::LockAcquire) {
+        lock_delay_slow();
+    }
+}
+
+#[cold]
+fn lock_delay_slow() {
+    // A handful of exponential-backoff rounds plus a scheduler yield:
+    // enough to widen lock-hold windows without distorting wall time.
+    for iter in 0..8 {
+        crate::delay(iter);
+    }
+    std::thread::yield_now();
+}
+
+/// Injection point: a mutator entering its safepoint. May sleep the
+/// calling thread for the configured stall ([`set_stall_ns`]).
+#[inline]
+pub fn poll_stall() {
+    if ENABLED.load(Ordering::Relaxed) && roll(FaultSite::SafepointPoll) {
+        std::thread::sleep(std::time::Duration::from_nanos(
+            STALL_NS.load(Ordering::Relaxed),
+        ));
+    }
+}
+
+/// Injection point: condvar wait. Returns `true` when the wait should be
+/// turned into a (bounded) spurious return.
+#[inline]
+pub fn spurious_wake() -> bool {
+    ENABLED.load(Ordering::Relaxed) && roll(FaultSite::SpuriousWake)
+}
+
+/// Injection point: new-space allocation. Returns `true` when the
+/// allocation should report exhaustion despite available room.
+#[inline]
+pub fn fail_alloc() -> bool {
+    ENABLED.load(Ordering::Relaxed) && roll(FaultSite::AllocFail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Chaos state is process-global; tests touching it must restore the
+    // disabled default and tolerate other tests' configurations, so they
+    // funnel through a single #[test].
+    #[test]
+    fn configure_roll_and_disable() {
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                disable();
+            }
+        }
+        let _restore = Restore;
+
+        // Disabled: nothing fires.
+        disable();
+        assert!(!enabled());
+        assert!(!fail_alloc());
+        assert!(!spurious_wake());
+
+        // Rate 1.0: every armed site fires.
+        configure(42, 1.0);
+        assert!(enabled());
+        assert!(fail_alloc());
+        assert!(spurious_wake());
+
+        // Site filter: only the named site fires.
+        install(ChaosConfig {
+            seed: 42,
+            rate: 1.0,
+            sites: FaultSite::SpuriousWake.bit(),
+        });
+        assert!(!fail_alloc());
+        assert!(spurious_wake());
+
+        // Rate 0 disables even with sites armed.
+        install(ChaosConfig::new(42, 0.0));
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_formats() {
+        let c = ChaosConfig::parse("42:0.001").unwrap();
+        assert_eq!(c.seed, 42);
+        assert!((c.rate - 0.001).abs() < 1e-12);
+        assert_eq!(c.sites, ALL_SITES);
+
+        let c = ChaosConfig::parse("7:0.5:lock_acquire,alloc_fail").unwrap();
+        assert_eq!(
+            c.sites,
+            FaultSite::LockAcquire.bit() | FaultSite::AllocFail.bit()
+        );
+
+        assert!(ChaosConfig::parse("").is_none());
+        assert!(ChaosConfig::parse("x:0.1").is_none());
+        assert!(ChaosConfig::parse("1:2.0").is_none());
+        assert!(ChaosConfig::parse("1:0.1:bogus_site").is_none());
+    }
+}

@@ -26,6 +26,9 @@
 //! * [`SplitMix64`] — a deterministic in-tree PRNG for synthetic workloads
 //!   and the property-test harness, part of the hermetic-build policy
 //!   (no external crates anywhere in the workspace).
+//! * [`fault`] — seeded chaos injection points (lock delays, safepoint
+//!   stalls, spurious wakeups, allocation failures) the substrate consults
+//!   at its fragile moments; a relaxed-atomic no-op when disarmed.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@
 //! assert_eq!(*counter.lock(), 1);
 //! ```
 
+pub mod fault;
 pub mod io;
 mod prng;
 mod process;
@@ -45,5 +49,5 @@ mod spinlock;
 
 pub use prng::SplitMix64;
 pub use process::{delay, spawn_lightweight, LightweightHandle, Processor, ProcessorSet};
-pub use rendezvous::{Rendezvous, RendezvousGuard};
+pub use rendezvous::{Participant, ParticipantId, Rendezvous, RendezvousGuard, WatchdogPolicy};
 pub use spinlock::{LockStats, SpinGuard, SpinLock, SpinMutex, SpinMutexGuard, SyncMode};

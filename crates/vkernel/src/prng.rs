@@ -27,7 +27,7 @@
 /// let die = a.gen_range(1, 7);
 /// assert!((1..7).contains(&die));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SplitMix64 {
     state: u64,
 }
@@ -35,7 +35,7 @@ pub struct SplitMix64 {
 impl SplitMix64 {
     /// Creates a generator from a 64-bit seed. Every seed — including 0 —
     /// yields a full-quality stream.
-    pub fn new(seed: u64) -> Self {
+    pub const fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
 

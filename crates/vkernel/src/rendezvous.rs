@@ -9,13 +9,29 @@
 //! participants and poll a global flag at safepoints; when one thread
 //! requests a stop ([`Rendezvous::stop_world`]) the others park until the
 //! requester drops the returned [`RendezvousGuard`].
+//!
+//! Two robustness layers sit on top of the protocol:
+//!
+//! * **Participant guard.** [`Rendezvous::participant`] returns a
+//!   [`Participant`] that unregisters on drop, so a mutator that panics
+//!   mid-bytecode still leaves the roster and a stopper waiting on it
+//!   recounts instead of hanging the world forever.
+//! * **Safepoint watchdog.** A leader waiting for mutators to park gives up
+//!   waiting *silently* after a deadline ([`Rendezvous::set_watchdog`], or
+//!   `MST_WATCHDOG_MS`): it dumps a diagnostic report — per-participant
+//!   parked/running state, the telemetry registry, recent trace events — to
+//!   stderr and to a dump file, then either panics or keeps waiting
+//!   according to the configured [`WatchdogPolicy`].
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
 
 use mst_telemetry as tel;
 use mst_telemetry::trace::record;
 use mst_telemetry::{TraceEvent, TracePhase};
+
+use crate::fault;
 
 /// Registry instruments for safepoint traffic, resolved once per process.
 /// Time-to-stop is the latency the paper's users feel: from a thread
@@ -39,6 +55,39 @@ fn instruments() -> (
     })
 }
 
+/// Identity handed out by [`Rendezvous::register`]; names the participant in
+/// watchdog diagnostics and must be passed back to `park`/`stop_world`/
+/// `unregister`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParticipantId(u64);
+
+impl std::fmt::Display for ParticipantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// What the leader does after the watchdog deadline expires and the
+/// diagnostic report has been dumped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WatchdogPolicy {
+    /// Dump the report, then keep waiting (the stop may still complete).
+    #[default]
+    Log,
+    /// Dump the report, then panic the leader thread.
+    Panic,
+}
+
+/// Roster row: diagnostic identity of one registered participant. The
+/// `parked` flag shadows the authoritative `Inner::parked` counter and is
+/// only consulted when composing a watchdog report.
+#[derive(Debug)]
+struct RosterEntry {
+    id: u64,
+    name: String,
+    parked: bool,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     /// Whether a stop is requested (authoritative copy; `flag` mirrors it).
@@ -47,6 +96,14 @@ struct Inner {
     participants: usize,
     /// Registered threads currently parked (or leading a stop).
     parked: usize,
+    /// Diagnostic identities of the registered threads.
+    roster: Vec<RosterEntry>,
+}
+
+impl Inner {
+    fn roster_entry(&mut self, id: ParticipantId) -> Option<&mut RosterEntry> {
+        self.roster.iter_mut().find(|e| e.id == id.0)
+    }
 }
 
 /// Global-flag-plus-IPC synchronization used to serialize scavenging.
@@ -57,25 +114,67 @@ struct Inner {
 /// use mst_vkernel::Rendezvous;
 ///
 /// let rdv = Rendezvous::new();
-/// rdv.register();
+/// let me = rdv.register();
 /// {
-///     let _world = rdv.stop_world(); // sole participant: returns at once
+///     let _world = rdv.stop_world(me); // sole participant: returns at once
 ///     // ... scavenge ...
 /// }
-/// rdv.unregister();
+/// rdv.unregister(me);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Rendezvous {
     /// Fast-path mirror of `Inner::requested`, polled at safepoints.
     flag: AtomicBool,
     inner: Mutex<Inner>,
     cv: Condvar,
+    /// Participant-id dispenser.
+    next_id: AtomicU64,
+    /// Watchdog deadline in milliseconds (0 disables the watchdog).
+    watchdog_ms: AtomicU64,
+    /// `true` ⇒ [`WatchdogPolicy::Panic`].
+    watchdog_panics: AtomicBool,
+}
+
+impl Default for Rendezvous {
+    fn default() -> Self {
+        Rendezvous::new()
+    }
 }
 
 impl Rendezvous {
-    /// Creates a rendezvous with no registered participants.
+    /// Default watchdog deadline: long enough that no healthy stop — even
+    /// under CI load — comes close, short enough that a wedged run fails
+    /// with a report instead of timing out the job.
+    pub const DEFAULT_WATCHDOG_MS: u64 = 10_000;
+
+    /// Creates a rendezvous with no registered participants. The watchdog
+    /// deadline and policy are read from `MST_WATCHDOG_MS` /
+    /// `MST_WATCHDOG_POLICY` (`panic` or `log`) when set.
     pub fn new() -> Self {
-        Rendezvous::default()
+        let ms = std::env::var("MST_WATCHDOG_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(Self::DEFAULT_WATCHDOG_MS);
+        let panics = matches!(std::env::var("MST_WATCHDOG_POLICY").as_deref(), Ok("panic"));
+        Rendezvous {
+            flag: AtomicBool::new(false),
+            inner: Mutex::new(Inner::default()),
+            cv: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            watchdog_ms: AtomicU64::new(ms),
+            watchdog_panics: AtomicBool::new(panics),
+        }
+    }
+
+    /// Sets the watchdog deadline; `0` disables the watchdog entirely.
+    pub fn set_watchdog(&self, deadline_ms: u64) {
+        self.watchdog_ms.store(deadline_ms, Ordering::Relaxed);
+    }
+
+    /// Sets what the leader does after dumping the watchdog report.
+    pub fn set_watchdog_policy(&self, policy: WatchdogPolicy) {
+        self.watchdog_panics
+            .store(policy == WatchdogPolicy::Panic, Ordering::Relaxed);
     }
 
     /// Locks `inner`, recovering from poison: the protected state is a set
@@ -88,16 +187,46 @@ impl Rendezvous {
     }
 
     /// Registers the calling thread as a mutator that will reach safepoints.
-    pub fn register(&self) {
-        self.lock_inner().participants += 1;
+    ///
+    /// The returned id names this participant in watchdog diagnostics; pass
+    /// it to [`park`](Self::park), [`stop_world`](Self::stop_world) and
+    /// [`unregister`](Self::unregister). Prefer
+    /// [`participant`](Self::participant), whose guard unregisters even if
+    /// the thread panics.
+    pub fn register(&self) -> ParticipantId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let thread = std::thread::current();
+        let name = match thread.name() {
+            Some(n) => format!("{n} ({:?})", thread.id()),
+            None => format!("{:?}", thread.id()),
+        };
+        let mut inner = self.lock_inner();
+        inner.participants += 1;
+        inner.roster.push(RosterEntry {
+            id,
+            name,
+            parked: false,
+        });
+        ParticipantId(id)
     }
 
-    /// Unregisters the calling thread (e.g. when an interpreter terminates
-    /// or blocks in the kernel where it cannot touch the heap).
-    pub fn unregister(&self) {
+    /// Registers the calling thread and returns an RAII guard that
+    /// unregisters on drop — including the unwind of a panic, so a dying
+    /// mutator unblocks any stopper waiting for it to park.
+    pub fn participant(&self) -> Participant<'_> {
+        Participant {
+            rdv: self,
+            id: self.register(),
+        }
+    }
+
+    /// Unregisters a participant (e.g. when an interpreter terminates or
+    /// blocks in the kernel where it cannot touch the heap).
+    pub fn unregister(&self, id: ParticipantId) {
         let mut inner = self.lock_inner();
         debug_assert!(inner.participants > 0, "unregister without register");
         inner.participants -= 1;
+        inner.roster.retain(|e| e.id != id.0);
         // A leader may be waiting for us; let it recount.
         self.cv.notify_all();
     }
@@ -124,20 +253,26 @@ impl Rendezvous {
         self.flag.load(Ordering::Relaxed)
     }
 
-    /// Parks the calling (registered) thread until the pending stop — if any
-    /// — is released. Call upon observing [`poll`](Self::poll) return `true`.
-    pub fn park(&self) {
+    /// Parks the calling participant until the pending stop — if any — is
+    /// released. Call upon observing [`poll`](Self::poll) return `true`.
+    pub fn park(&self, id: ParticipantId) {
         let mut inner = self.lock_inner();
         if !inner.requested {
             return; // raced with the release
         }
         let start_ns = tel::now_ns();
         inner.parked += 1;
+        if let Some(e) = inner.roster_entry(id) {
+            e.parked = true;
+        }
         self.cv.notify_all();
         while inner.requested {
             inner = self.wait(inner);
         }
         inner.parked -= 1;
+        if let Some(e) = inner.roster_entry(id) {
+            e.parked = false;
+        }
         drop(inner);
         let parked_ns = tel::now_ns() - start_ns;
         instruments().2.record(parked_ns);
@@ -159,8 +294,12 @@ impl Rendezvous {
     /// stopping the world, the caller parks first and re-contends for
     /// leadership once released.
     ///
+    /// While waiting for stragglers the leader runs the safepoint watchdog:
+    /// past the configured deadline it dumps a diagnostic report and then
+    /// panics or resumes waiting per [`WatchdogPolicy`].
+    ///
     /// The world resumes when the returned guard is dropped.
-    pub fn stop_world(&self) -> RendezvousGuard<'_> {
+    pub fn stop_world(&self, id: ParticipantId) -> RendezvousGuard<'_> {
         let mut inner = self.lock_inner();
         loop {
             if inner.requested {
@@ -168,19 +307,58 @@ impl Rendezvous {
                 // go around again — another woken would-be leader may have
                 // claimed the next stop while we were rescheduled.
                 inner.parked += 1;
+                if let Some(e) = inner.roster_entry(id) {
+                    e.parked = true;
+                }
                 self.cv.notify_all();
                 while inner.requested {
                     inner = self.wait(inner);
                 }
                 inner.parked -= 1;
+                if let Some(e) = inner.roster_entry(id) {
+                    e.parked = false;
+                }
                 continue;
             }
             inner.requested = true;
             self.flag.store(true, Ordering::Relaxed);
             let start_ns = tel::now_ns();
+            let deadline_ms = self.watchdog_ms.load(Ordering::Relaxed);
+            let mut dumped = false;
             // Wait for everyone else to park.
             while inner.parked < inner.participants.saturating_sub(1) {
-                inner = self.wait(inner);
+                if deadline_ms == 0 || dumped {
+                    inner = self.wait(inner);
+                    continue;
+                }
+                let waited_ms = (tel::now_ns() - start_ns) / 1_000_000;
+                if waited_ms < deadline_ms {
+                    let remaining = Duration::from_millis(deadline_ms - waited_ms);
+                    inner = self.wait_timeout(inner, remaining);
+                    continue;
+                }
+                // Deadline expired with stragglers outstanding: dump the
+                // diagnostic report instead of hanging silently.
+                dumped = true;
+                let report = watchdog_report(&inner, id, waited_ms);
+                eprintln!("{report}");
+                let path = std::env::var("MST_WATCHDOG_DUMP")
+                    .unwrap_or_else(|_| "watchdog-dump.txt".to_string());
+                if let Err(e) = std::fs::write(&path, &report) {
+                    eprintln!("safepoint watchdog: could not write {path}: {e}");
+                }
+                if self.watchdog_panics.load(Ordering::Relaxed) {
+                    // Release the request so parked threads are not stranded
+                    // behind a leader that no longer exists.
+                    inner.requested = false;
+                    self.flag.store(false, Ordering::Relaxed);
+                    self.cv.notify_all();
+                    drop(inner);
+                    panic!(
+                        "safepoint watchdog: stop_world exceeded {deadline_ms} ms \
+                         (diagnostic report dumped to {path})"
+                    );
+                }
             }
             let stopped_ns = tel::now_ns() - start_ns;
             let waiting_for = inner.parked as u64;
@@ -204,11 +382,116 @@ impl Rendezvous {
     }
 
     /// Blocks on the condvar, rebinding the guard (and recovering from
-    /// poison, same argument as [`lock_inner`](Self::lock_inner)).
+    /// poison, same argument as [`lock_inner`](Self::lock_inner)). Under
+    /// chaos, a forced spurious wakeup turns the wait into a short timed
+    /// wait — callers' predicate loops absorb the early return.
     fn wait<'a>(&self, guard: MutexGuard<'a, Inner>) -> MutexGuard<'a, Inner> {
+        if fault::spurious_wake() {
+            return self.wait_timeout(guard, Duration::from_micros(50));
+        }
         self.cv
             .wait(guard)
             .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Timed variant of [`wait`](Self::wait); used by the watchdog.
+    fn wait_timeout<'a>(
+        &self,
+        guard: MutexGuard<'a, Inner>,
+        dur: Duration,
+    ) -> MutexGuard<'a, Inner> {
+        self.cv
+            .wait_timeout(guard, dur)
+            .map(|(g, _)| g)
+            .unwrap_or_else(|poisoned| poisoned.into_inner().0)
+    }
+}
+
+/// Composes the watchdog's diagnostic report: the rendezvous state with a
+/// per-participant roster, the telemetry registry, and the tail of each
+/// thread's trace ring (empty unless tracing is enabled).
+fn watchdog_report(inner: &Inner, leader: ParticipantId, waited_ms: u64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== safepoint watchdog: stop_world waited {waited_ms} ms without quiescing =="
+    );
+    let _ = writeln!(
+        out,
+        "requested={} participants={} parked={} (need {})",
+        inner.requested,
+        inner.participants,
+        inner.parked,
+        inner.participants.saturating_sub(1)
+    );
+    let _ = writeln!(out, "roster:");
+    for e in &inner.roster {
+        let state = if e.id == leader.0 {
+            "LEADER"
+        } else if e.parked {
+            "parked"
+        } else {
+            "RUNNING (missed safepoint)"
+        };
+        let _ = writeln!(out, "  #{:<4} {:<40} {}", e.id, e.name, state);
+    }
+    let _ = writeln!(out, "\n-- telemetry registry --");
+    out.push_str(&tel::report::text_report());
+    let _ = writeln!(out, "\n-- recent trace events (newest last) --");
+    let mut any = false;
+    for (ring, events, dropped) in tel::trace::all_rings() {
+        for ev in events.iter().rev().take(16).rev() {
+            any = true;
+            let _ = writeln!(
+                out,
+                "  [{} {}] {}/{} start={}ns dur={}ns",
+                ring.tid, ring.name, ev.cat, ev.name, ev.start_ns, ev.dur_ns
+            );
+        }
+        if dropped > 0 {
+            let _ = writeln!(
+                out,
+                "  [{} {}] ({dropped} older events dropped)",
+                ring.tid, ring.name
+            );
+        }
+    }
+    if !any {
+        let _ = writeln!(out, "  (none — run with MST_TRACE=1 to capture spans)");
+    }
+    out
+}
+
+/// RAII registration: created by [`Rendezvous::participant`], unregisters on
+/// drop. Because drop runs during panic unwinding, a mutator that dies
+/// mid-execution still leaves the roster and cannot wedge a stopper.
+#[derive(Debug)]
+pub struct Participant<'a> {
+    rdv: &'a Rendezvous,
+    id: ParticipantId,
+}
+
+impl Participant<'_> {
+    /// This participant's diagnostic identity.
+    pub fn id(&self) -> ParticipantId {
+        self.id
+    }
+
+    /// Parks this participant; see [`Rendezvous::park`].
+    pub fn park(&self) {
+        self.rdv.park(self.id);
+    }
+
+    /// Stops the world as this participant; see [`Rendezvous::stop_world`].
+    pub fn stop_world(&self) -> RendezvousGuard<'_> {
+        self.rdv.stop_world(self.id)
+    }
+}
+
+impl Drop for Participant<'_> {
+    fn drop(&mut self) {
+        self.rdv.unregister(self.id);
     }
 }
 
@@ -237,21 +520,21 @@ mod tests {
     #[test]
     fn sole_participant_stops_immediately() {
         let rdv = Rendezvous::new();
-        rdv.register();
-        let guard = rdv.stop_world();
+        let me = rdv.register();
+        let guard = rdv.stop_world(me);
         assert!(rdv.poll());
         drop(guard);
         assert!(!rdv.poll());
-        rdv.unregister();
+        rdv.unregister(me);
         assert_eq!(rdv.participants(), 0);
     }
 
     #[test]
     fn park_returns_immediately_when_no_request() {
         let rdv = Rendezvous::new();
-        rdv.register();
-        rdv.park(); // must not block
-        rdv.unregister();
+        let me = rdv.register();
+        rdv.park(me); // must not block
+        rdv.unregister(me);
     }
 
     #[test]
@@ -264,20 +547,20 @@ mod tests {
         for _ in 0..3 {
             let rdv = Arc::clone(&rdv);
             let value = Arc::clone(&value);
-            rdv.register();
+            let me = rdv.register();
             handles.push(std::thread::spawn(move || {
                 for _ in 0..50_000 {
                     if rdv.poll() {
-                        rdv.park();
+                        rdv.park(me);
                     }
                     value.fetch_add(1, Ordering::Relaxed);
                 }
-                rdv.unregister();
+                rdv.unregister(me);
             }));
         }
-        rdv.register();
+        let me = rdv.register();
         for _ in 0..20 {
-            let guard = rdv.stop_world();
+            let guard = rdv.stop_world(me);
             let before = value.load(Ordering::Relaxed);
             std::thread::sleep(std::time::Duration::from_micros(200));
             let after = value.load(Ordering::Relaxed);
@@ -288,7 +571,7 @@ mod tests {
             drop(guard);
             std::thread::yield_now();
         }
-        rdv.unregister();
+        rdv.unregister(me);
         for h in handles {
             h.join().unwrap();
         }
@@ -302,19 +585,19 @@ mod tests {
         for _ in 0..4 {
             let rdv = Arc::clone(&rdv);
             let in_gc = Arc::clone(&in_gc);
-            rdv.register();
+            let me = rdv.register();
             handles.push(std::thread::spawn(move || {
                 for _ in 0..25 {
                     if rdv.poll() {
-                        rdv.park();
+                        rdv.park(me);
                     }
-                    let guard = rdv.stop_world();
+                    let guard = rdv.stop_world(me);
                     let n = in_gc.fetch_add(1, Ordering::SeqCst);
                     assert_eq!(n, 0, "two threads collected at once");
                     in_gc.fetch_sub(1, Ordering::SeqCst);
                     drop(guard);
                 }
-                rdv.unregister();
+                rdv.unregister(me);
             }));
         }
         for h in handles {
@@ -336,22 +619,22 @@ mod tests {
         for _ in 0..3 {
             let rdv = Arc::clone(&rdv);
             let done = Arc::clone(&done);
-            rdv.register();
+            let me = rdv.register();
             handles.push(std::thread::spawn(move || {
                 while !done.load(Ordering::Relaxed) {
                     if rdv.poll() {
                         // Re-park immediately: no mutator work between
                         // cycles, maximizing resume/re-park races.
-                        rdv.park();
+                        rdv.park(me);
                     }
                     std::hint::spin_loop();
                 }
-                rdv.unregister();
+                rdv.unregister(me);
             }));
         }
-        rdv.register();
+        let me = rdv.register();
         for cycle in 0..200 {
-            let guard = rdv.stop_world();
+            let guard = rdv.stop_world(me);
             let participants = rdv.participants();
             assert_eq!(
                 rdv.parked(),
@@ -361,7 +644,7 @@ mod tests {
             drop(guard);
         }
         done.store(true, Ordering::Relaxed);
-        rdv.unregister();
+        rdv.unregister(me);
         for h in handles {
             h.join().unwrap();
         }
@@ -372,9 +655,9 @@ mod tests {
     #[test]
     fn stops_are_published_to_the_registry() {
         let rdv = Rendezvous::new();
-        rdv.register();
-        drop(rdv.stop_world());
-        rdv.unregister();
+        let me = rdv.register();
+        drop(rdv.stop_world(me));
+        rdv.unregister(me);
         let stops = tel::registry::counters()
             .into_iter()
             .find(|(k, _)| k == "safepoint.stops")
@@ -392,15 +675,69 @@ mod tests {
     #[test]
     fn unregister_unblocks_a_waiting_stopper() {
         let rdv = Arc::new(Rendezvous::new());
-        rdv.register(); // the stopper
-        rdv.register(); // the thread that will exit instead of parking
+        let me = rdv.register(); // the stopper
+        let other = rdv.register(); // the thread that will exit instead of parking
         let rdv2 = Arc::clone(&rdv);
         let t = std::thread::spawn(move || {
             std::thread::sleep(std::time::Duration::from_millis(30));
-            rdv2.unregister();
+            rdv2.unregister(other);
         });
-        let guard = rdv.stop_world(); // must not hang
+        let guard = rdv.stop_world(me); // must not hang
         drop(guard);
         t.join().unwrap();
+
+        // Same scenario, but the straggler *panics* instead of politely
+        // unregistering: the Participant guard must unwind it off the
+        // roster so the stopper still completes.
+        let rdv2 = Arc::clone(&rdv);
+        let t = std::thread::spawn(move || {
+            let _me = rdv2.participant();
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            panic!("injected mutator death");
+        });
+        let guard = rdv.stop_world(me); // must not hang
+        drop(guard);
+        assert!(t.join().is_err(), "the mutator was supposed to panic");
+        rdv.unregister(me);
+        assert_eq!(rdv.participants(), 0);
+    }
+
+    #[test]
+    fn watchdog_dumps_and_panics_on_a_missed_safepoint() {
+        let dir = std::env::temp_dir().join(format!("mst-watchdog-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dump = dir.join("dump.txt");
+        // The dump path is read from the environment inside stop_world.
+        std::env::set_var("MST_WATCHDOG_DUMP", &dump);
+
+        let rdv = Arc::new(Rendezvous::new());
+        rdv.set_watchdog(50);
+        rdv.set_watchdog_policy(WatchdogPolicy::Panic);
+        let me = rdv.register();
+        // A registered participant that never reaches a safepoint.
+        let straggler = rdv.register();
+        let rdv2 = Arc::clone(&rdv);
+        let leader = std::thread::spawn(move || {
+            let _guard = rdv2.stop_world(me);
+        });
+        let err = leader.join().expect_err("watchdog should panic the leader");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("safepoint watchdog"),
+            "unexpected panic: {msg}"
+        );
+        let report = std::fs::read_to_string(&dump).expect("dump file written");
+        assert!(report.contains("missed safepoint"), "report: {report}");
+        assert!(report.contains("roster"), "report: {report}");
+        std::env::remove_var("MST_WATCHDOG_DUMP");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // The panic path released the request; after retiring the dead
+        // leader's registration the world can be stopped again.
+        assert!(!rdv.poll());
+        rdv.unregister(me);
+        let guard = rdv.stop_world(straggler);
+        drop(guard);
+        rdv.unregister(straggler);
     }
 }

@@ -143,8 +143,11 @@ impl SpinLock {
     /// returned so call sites are mode-independent).
     #[inline]
     pub fn acquire(&self) -> SpinGuard<'_> {
-        if self.mode.is_mp() && self.flag.swap(true, Ordering::Acquire) {
-            self.acquire_slow();
+        if self.mode.is_mp() {
+            crate::fault::lock_delay();
+            if self.flag.swap(true, Ordering::Acquire) {
+                self.acquire_slow();
+            }
         }
         SpinGuard { lock: self }
     }

@@ -218,3 +218,95 @@ fn shutdown_stops_competitors_cleanly() {
     assert_eq!(eval(&mut ms, "2 + 2"), Value::Int(4));
     ms.shutdown(); // must join all workers without hanging
 }
+
+/// Disarms the process-global fault registry when dropped, so a failing
+/// assertion cannot leave chaos armed for the rest of the test binary.
+struct DisarmChaos;
+impl Drop for DisarmChaos {
+    fn drop(&mut self) {
+        mst_vkernel::fault::disable();
+    }
+}
+
+#[test]
+fn chaos_soak_leaves_a_clean_heap_across_seeds() {
+    let _disarm = DisarmChaos;
+    for seed in [0xC0FFEE_u64, 0xDECAF, 0x0DDBA11] {
+        // Injected faults (lock delays, safepoint stalls, spurious wakeups,
+        // failed allocations) must change timing, never results — and the
+        // heap must be structurally sound afterwards.
+        let mut ms = MsSystem::new(MsConfig {
+            chaos: Some(mst_vkernel::fault::ChaosConfig::new(seed, 1e-3)),
+            ..MsConfig::default()
+        });
+        ms.enter_state(SystemState::MsBusy4);
+        for _ in 0..3 {
+            assert_eq!(
+                eval(
+                    &mut ms,
+                    "| o | o := OrderedCollection new.
+                     1 to: 800 do: [:i | o add: (Array with: i with: i * i)].
+                     (o at: 799) at: 2"
+                ),
+                Value::Int(799 * 799)
+            );
+        }
+        mst_vkernel::fault::disable();
+        let audit = ms.audit_heap();
+        assert!(
+            audit.is_clean(),
+            "seed {seed:#x} left a dirty heap:\n{audit}"
+        );
+        ms.shutdown();
+    }
+}
+
+#[test]
+fn old_space_exhaustion_signals_low_space_and_is_recoverable() {
+    // A small old generation the image can bootstrap into, but which a
+    // process hoarding large (tenured) arrays exhausts quickly.
+    let mut ms = MsSystem::new(MsConfig {
+        memory: mst_objmem::MemoryConfig {
+            old_words: 2 << 20,
+            eden_words: 64 << 10,
+            survivor_words: 24 << 10,
+            ..mst_objmem::MemoryConfig::default()
+        },
+        processors: 2,
+        ..MsConfig::default()
+    });
+    let before = low_space_signals(&mut ms);
+    // Arrays of >= 16K words are allocated directly in old space; holding
+    // them all makes every scavenge futile, so the VM must contain the
+    // failure: terminate the process with an outOfMemory report instead of
+    // panicking or looping forever.
+    let err = ms
+        .evaluate(
+            "| c | c := OrderedCollection new.
+             [true] whileTrue: [c add: (Array new: 20000)]",
+        )
+        .expect_err("hoarding large arrays must exhaust old space");
+    assert!(
+        err.to_string().contains("outOfMemory"),
+        "expected an outOfMemory report, got: {err}"
+    );
+    // The Blue Book low-space semaphore fired...
+    assert!(
+        low_space_signals(&mut ms) > before,
+        "LowSpaceSemaphore must have been signalled"
+    );
+    // ...and the system is still able to run a doit (the hoard is garbage
+    // now, so collection recovers the space).
+    assert_eq!(eval(&mut ms, "3 + 4"), Value::Int(7));
+    let audit = ms.audit_heap();
+    assert!(audit.is_clean(), "heap dirty after containment:\n{audit}");
+}
+
+/// Excess-signal count of the image's LowSpaceSemaphore (signals no process
+/// was waiting for).
+fn low_space_signals(ms: &mut MsSystem) -> i64 {
+    match eval(ms, "LowSpaceSemaphore excessSignals") {
+        Value::Int(n) => n,
+        v => panic!("excessSignals answered {v:?}"),
+    }
+}

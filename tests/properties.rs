@@ -271,3 +271,165 @@ fn interval_sum_matches_rust() {
         Ok(())
     });
 }
+
+// ---------------------------------------------------------------------
+// Heap verifier vs random GC interleavings
+// ---------------------------------------------------------------------
+
+/// One step of a random mutator/collector schedule against a raw
+/// [`mst_objmem::ObjectMemory`].
+#[derive(Debug, Clone)]
+enum HeapOp {
+    /// Allocate an n-slot array in new space and (maybe) root it.
+    AllocNew { words: usize, rooted: bool },
+    /// Allocate an n-slot array directly in old space and root it.
+    AllocOld { words: usize },
+    /// Store root `to` into slot 0 of root `from` (write barrier path —
+    /// old-to-new stores must land in the remembered set).
+    Link { from: usize, to: usize },
+    /// Forget a root, turning its object into garbage.
+    DropRoot(usize),
+    /// Generation scavenge.
+    Scavenge,
+    /// Mark-compact full collection.
+    FullGc,
+}
+
+fn heap_ops() -> Gen<Vec<HeapOp>> {
+    vec_of(
+        one_of(vec![
+            tuple2(int_range(1, 40), int_range(0, 1)).map(|(w, r)| HeapOp::AllocNew {
+                words: w as usize,
+                rooted: r == 1,
+            }),
+            int_range(1, 40).map(|w| HeapOp::AllocOld { words: w as usize }),
+            tuple2(int_range(0, 1000), int_range(0, 1000)).map(|(a, b)| HeapOp::Link {
+                from: a as usize,
+                to: b as usize,
+            }),
+            int_range(0, 1000).map(|i| HeapOp::DropRoot(i as usize)),
+            constant(HeapOp::Scavenge),
+            constant(HeapOp::FullGc),
+        ]),
+        60,
+    )
+}
+
+/// A small raw object memory with just enough bootstrap (a nil) to allocate
+/// and collect.
+fn scratch_mem() -> mst_objmem::ObjectMemory {
+    use mst_objmem::{MemoryConfig, ObjFormat, ObjectMemory, Oop, So};
+    let mem = ObjectMemory::new(MemoryConfig {
+        old_words: 128 << 10,
+        eden_words: 16 << 10,
+        survivor_words: 8 << 10,
+        ..MemoryConfig::default()
+    });
+    let nil = mem
+        .allocate_old(Oop::ZERO, ObjFormat::Pointers, 0, 0)
+        .unwrap();
+    mem.specials().set(So::Nil, nil);
+    mem
+}
+
+/// Applies a schedule, returning the surviving roots.
+fn apply_heap_ops(mem: &mst_objmem::ObjectMemory, ops: &[HeapOp]) -> Vec<mst_objmem::RootHandle> {
+    let tok = mem.new_token();
+    let mut roots: Vec<mst_objmem::RootHandle> = Vec::new();
+    for op in ops {
+        match op {
+            HeapOp::AllocNew { words, rooted } => {
+                let obj = mem.alloc_array(&tok, *words).or_else(|| {
+                    // Eden full: collect (OOM leaves the heap untouched,
+                    // which is itself a state the verifier must accept).
+                    let _ = mem.try_scavenge();
+                    mem.alloc_array(&tok, *words)
+                });
+                if let (Some(o), true) = (obj, *rooted) {
+                    roots.push(mem.new_root(o));
+                }
+            }
+            HeapOp::AllocOld { words } => {
+                if let Some(o) = mem.alloc_array_old(*words) {
+                    roots.push(mem.new_root(o));
+                }
+            }
+            HeapOp::Link { from, to } => {
+                if !roots.is_empty() {
+                    let from = roots[from % roots.len()].get();
+                    let to = roots[to % roots.len()].get();
+                    mem.store(from, 0, to);
+                }
+            }
+            HeapOp::DropRoot(i) => {
+                if !roots.is_empty() {
+                    let i = i % roots.len();
+                    roots.swap_remove(i);
+                }
+            }
+            HeapOp::Scavenge => {
+                let _ = mem.try_scavenge();
+            }
+            HeapOp::FullGc => {
+                mem.full_gc();
+            }
+        }
+    }
+    roots
+}
+
+#[test]
+fn verifier_accepts_random_gc_interleavings() {
+    Runner::with_cases(24).run(
+        "verifier_accepts_random_gc_interleavings",
+        &heap_ops(),
+        |ops| {
+            let mem = scratch_mem();
+            let roots = apply_heap_ops(&mem, ops);
+            let audit = mem.verify_heap();
+            if !audit.is_clean() {
+                return Err(format!("dirty heap after {} ops:\n{audit}", ops.len()));
+            }
+            // A final scavenge must also leave a clean heap (and re-enables
+            // new-space reference validation after any full collection).
+            let _ = mem.try_scavenge();
+            let audit = mem.verify_heap();
+            if !audit.is_clean() {
+                return Err(format!("dirty heap after final scavenge:\n{audit}"));
+            }
+            drop(roots);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn verifier_rejects_a_corrupted_remembered_set() {
+    Runner::with_cases(16).run(
+        "verifier_rejects_a_corrupted_remembered_set",
+        &heap_ops(),
+        |ops| {
+            let mem = scratch_mem();
+            let roots = apply_heap_ops(&mem, ops);
+            // Plant the classic lost-write-barrier bug on top of whatever
+            // state the schedule produced: an old object referencing new
+            // space without a remembered-set entry.
+            let tok = mem.new_token();
+            let old = mem.alloc_array_old(1).expect("room for one old array");
+            let young = mem
+                .alloc_array(&tok, 1)
+                .or_else(|| {
+                    let _ = mem.try_scavenge();
+                    mem.alloc_array(&tok, 1)
+                })
+                .expect("room for one young array");
+            mem.store_nocheck(old, 0, young);
+            let audit = mem.verify_heap();
+            if audit.is_clean() {
+                return Err("verifier missed an unremembered old-to-new reference".into());
+            }
+            drop(roots);
+            Ok(())
+        },
+    );
+}
