@@ -10,6 +10,13 @@
 //! The safepoint watchdog runs in `panic` mode, so a genuinely missed
 //! rendezvous fails the soak with a diagnostic dump instead of hanging CI.
 //!
+//! A second, fail-operational phase then arms the destructive
+//! `thread.panic` site with a kill budget of two and the degrade
+//! supervisor policy: worker interpreters are killed mid-run, the
+//! supervisor migrates their Processes and free contexts back to the
+//! shared pool, and the Table 2 macros must still complete on the
+//! surviving processors with a clean heap audit afterwards.
+//!
 //! Usage:
 //!
 //! ```text
@@ -19,9 +26,9 @@
 //! ```
 
 use mst_bench::harness::TABLE2;
-use mst_core::{MsConfig, MsSystem, SystemState, Value};
+use mst_core::{MsConfig, MsSystem, SupervisorPolicy, SystemState, Value};
 use mst_telemetry as tel;
-use mst_vkernel::fault::{self, ChaosConfig};
+use mst_vkernel::fault::{self, ChaosConfig, FaultSite};
 use mst_vkernel::WatchdogPolicy;
 
 fn arg_after(args: &[String], flag: &str) -> Option<String> {
@@ -99,4 +106,82 @@ fn main() {
         std::process::exit(1);
     }
     println!("chaos soak OK: {n_seeds}/{n_seeds} seeds ended with a clean heap audit");
+
+    if !fail_operational_phase(benches) {
+        std::process::exit(1);
+    }
+}
+
+/// Phase 2: kill worker interpreters mid-benchmark and prove the system
+/// keeps working on the survivors. Returns `false` on failure.
+fn fail_operational_phase(benches: &[mst_bench::harness::MacroBench]) -> bool {
+    println!();
+    println!("fail-operational phase: thread.panic armed (kill budget 2), degrade policy");
+    let panics_before = tel::counter("chaos.thread_panic").get();
+    // Arm ONLY the destructive site, with a hard cap of two kills so at
+    // least two of the four workers survive. The config must be installed
+    // before the system spawns its workers, and `MsConfig.chaos` stays
+    // `None` so `try_new` does not re-install (which would reset the kill
+    // budget to unlimited).
+    fault::install(ChaosConfig {
+        seed: 0xFA11_0B5E_7A11_0B5E,
+        rate: 0.02,
+        sites: FaultSite::ThreadPanic.bit(),
+    });
+    fault::set_kill_budget(2);
+    let mut ms = MsSystem::new(MsConfig {
+        supervisor: SupervisorPolicy::Degrade,
+        ..MsConfig::for_state(SystemState::MsBusy4)
+    });
+    ms.vm().rendezvous.set_watchdog(60_000);
+    ms.vm()
+        .rendezvous
+        .set_watchdog_policy(WatchdogPolicy::Panic);
+    ms.enter_state(SystemState::MsBusy4);
+    for b in benches {
+        let p = ms
+            .prepare(&format!("Benchmark {}", b.selector))
+            .expect("benchmark compiles");
+        ms.run_prepared(&p)
+            .expect("benchmark completes on surviving processors");
+    }
+    assert_eq!(
+        ms.evaluate("3 + 4").expect("doit after degradation"),
+        Value::Int(7)
+    );
+    fault::disable();
+    let kills = tel::counter("chaos.thread_panic").get() - panics_before;
+    let roster = ms.processor_roster();
+    let online = ms.processors_online();
+    for row in &roster {
+        println!(
+            "  processor {}: {} (restarts {}{})",
+            row.processor,
+            if row.online { "online" } else { "offline" },
+            row.restarts,
+            row.last_fault
+                .as_deref()
+                .map(|f| format!(", last fault: {f}"))
+                .unwrap_or_default()
+        );
+    }
+    let audit = ms.audit_heap();
+    println!(
+        "  {kills} interpreters killed, {online}/{} workers online, audit {} — {} objects, {} slots",
+        roster.len(),
+        if audit.is_clean() { "clean" } else { "DIRTY" },
+        audit.objects_checked,
+        audit.slots_checked
+    );
+    ms.shutdown();
+    if kills == 0 {
+        eprintln!("fail-operational phase FAILED: no interpreter panic was injected");
+        return false;
+    }
+    if !audit.is_clean() {
+        eprintln!("fail-operational phase FAILED: dirty heap after degradation\n{audit}");
+        return false;
+    }
+    println!("fail-operational OK: Table 2 macros completed on the survivors");
+    true
 }

@@ -1,0 +1,149 @@
+//! Snapshot-loader fuzz smoke: corrupt a real image hundreds of ways and
+//! require that every corrupted load fails *with a structured
+//! [`SnapshotError`]* — never a panic, never a silently-accepted image.
+//!
+//! The corpus is deterministic (SplitMix64): single-bit flips spread over
+//! the whole image, truncations at arbitrary byte lengths, and garbage
+//! overwrites of the header region. A pristine copy must still round-trip.
+//! Any input that loads successfully or panics the loader is written to
+//! `snapfuzz-failures/` for replay and fails the run.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p mst-bench --bin snapfuzz              # full corpus
+//! cargo run --release -p mst-bench --bin snapfuzz -- --smoke   # CI-sized corpus
+//! cargo run --release -p mst-bench --bin snapfuzz -- --seed 7  # different corpus
+//! ```
+
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use mst_core::{MsConfig, MsSystem, Value};
+use mst_objmem::ObjectMemory;
+use mst_vkernel::SplitMix64;
+
+fn arg_after(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// One corpus entry: a name for the failure artifact and the mutated image.
+struct Case {
+    name: String,
+    bytes: Vec<u8>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed: u64 = arg_after(&args, "--seed")
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(0xF022_5EED_0F02_25ED);
+    let (n_flips, n_truncs, n_garbage) = if smoke { (64, 16, 8) } else { (256, 40, 24) };
+
+    // A real image, lightly mutated so the snapshot is not just the
+    // pristine bootstrap: a runtime-compiled method and a live doit.
+    let config = MsConfig {
+        processors: 2,
+        ..MsConfig::default()
+    };
+    let mut ms = MsSystem::new(config);
+    ms.evaluate("Benchmark class compile: 'answer ^6 * 7'")
+        .expect("compile failed");
+    assert_eq!(ms.evaluate("Benchmark answer").unwrap(), Value::Int(42));
+    let mut base = Vec::new();
+    ms.save_snapshot(&mut base).expect("base snapshot");
+    ms.shutdown();
+    let memory = {
+        let mut m = config.memory;
+        m.sync = config.strategies.sync;
+        m.alloc_policy = config.strategies.alloc;
+        m
+    };
+
+    // The pristine copy must load; the fuzz is meaningless otherwise.
+    ObjectMemory::load_snapshot(&mut base.as_slice(), memory)
+        .expect("pristine snapshot must round-trip");
+
+    println!(
+        "snapfuzz: seed {seed:#x}, image {} bytes, {} bit flips + {} truncations + {} garbage overwrites",
+        base.len(),
+        n_flips,
+        n_truncs,
+        n_garbage
+    );
+
+    let mut rng = SplitMix64::new(seed);
+    let mut corpus = Vec::new();
+    for i in 0..n_flips {
+        let pos = rng.gen_range(0, base.len() as u64) as usize;
+        let bit = rng.gen_range(0, 8) as u8;
+        let mut bytes = base.clone();
+        bytes[pos] ^= 1 << bit;
+        corpus.push(Case {
+            name: format!("flip-{i}-byte{pos}-bit{bit}"),
+            bytes,
+        });
+    }
+    for i in 0..n_truncs {
+        let cut = rng.gen_range(0, base.len() as u64) as usize;
+        corpus.push(Case {
+            name: format!("trunc-{i}-at{cut}"),
+            bytes: base[..cut].to_vec(),
+        });
+    }
+    for i in 0..n_garbage {
+        // Stomp a run of bytes somewhere in the image with random junk —
+        // headers, section lengths, and CRC trailers all get hit across
+        // the corpus.
+        let len = rng.gen_range(1, 128) as usize;
+        let start = rng.gen_range(0, (base.len() - len) as u64) as usize;
+        let mut bytes = base.clone();
+        for b in &mut bytes[start..start + len] {
+            *b = rng.gen_range(0, 256) as u8;
+        }
+        corpus.push(Case {
+            name: format!("garbage-{i}-at{start}-len{len}"),
+            bytes,
+        });
+    }
+
+    let failures_dir = PathBuf::from("snapfuzz-failures");
+    let mut failures = 0u32;
+    let mut rejected = 0u32;
+    for case in &corpus {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            ObjectMemory::load_snapshot(&mut case.bytes.as_slice(), memory)
+        }));
+        let verdict = match outcome {
+            Ok(Err(_)) => {
+                rejected += 1;
+                continue;
+            }
+            Ok(Ok(_)) => "loaded a corrupt image as if it were sound",
+            Err(_) => "PANICKED instead of returning SnapshotError",
+        };
+        failures += 1;
+        std::fs::create_dir_all(&failures_dir).expect("create snapfuzz-failures/");
+        let path = failures_dir.join(format!("{}.image", case.name));
+        std::fs::write(&path, &case.bytes).expect("write failing input");
+        eprintln!(
+            "FAIL {}: {verdict} (input saved to {})",
+            case.name,
+            path.display()
+        );
+    }
+
+    println!(
+        "snapfuzz: {rejected}/{} corrupted images rejected with SnapshotError",
+        corpus.len()
+    );
+    if failures > 0 {
+        eprintln!("snapfuzz FAILED: {failures} inputs were not cleanly rejected");
+        std::process::exit(1);
+    }
+    println!("snapfuzz OK: every corruption yielded a structured error, zero panics");
+}

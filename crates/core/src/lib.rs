@@ -20,9 +20,10 @@ use std::sync::Arc;
 use mst_compiler::CompileError;
 use mst_image::BootstrapError;
 use mst_interp::{
-    scheduler, spawn_method_process, CachePolicy, FreeListPolicy, Interpreter, RunOutcome, Vm,
-    VmOptions,
+    scheduler, spawn_method_process, supervise, CachePolicy, FreeListPolicy, Interpreter,
+    RunOutcome, Vm, VmOptions,
 };
+pub use mst_interp::{ProcessorInfo, SupervisorPolicy};
 use mst_objmem::{AllocPolicy, MemoryConfig, ObjectMemory, Oop, RootHandle, So};
 use mst_vkernel::{spawn_lightweight, LightweightHandle, Processor, SyncMode};
 
@@ -138,6 +139,10 @@ pub struct MsConfig {
     /// at [`MsSystem::try_new`]. `Some` installs the given configuration.
     /// Disabled injection costs one branch on a relaxed atomic per site.
     pub chaos: Option<mst_vkernel::fault::ChaosConfig>,
+    /// What the processor supervisor does when a worker interpreter
+    /// panics: restart it in place, degrade to the survivors (the
+    /// default), or rethrow. The default honours `MST_SUPERVISOR_POLICY`.
+    pub supervisor: SupervisorPolicy,
 }
 
 impl Default for MsConfig {
@@ -149,6 +154,7 @@ impl Default for MsConfig {
             quantum: 1024,
             trace: false,
             chaos: None,
+            supervisor: SupervisorPolicy::from_env(),
         }
     }
 }
@@ -321,11 +327,11 @@ impl MsSystem {
         if !self.config.strategies.sync.is_mp() {
             return;
         }
+        let policy = self.config.supervisor;
         for p in 1..self.config.processors {
             let vm = Arc::clone(&self.vm);
             let handle = spawn_lightweight(Processor(p), "interp", move || {
-                let mut interp = Interpreter::new(vm);
-                let _ = interp.run(None);
+                supervise(vm, p, policy);
             });
             self.workers.push(handle);
         }
@@ -566,6 +572,50 @@ impl MsSystem {
             scheduler::set_active_process_slot(&vm.mem, vm.mem.nil());
             vm.mem.save_snapshot(w)
         })
+    }
+
+    /// Writes a crash-consistent snapshot to `path`: the image is staged
+    /// in a temp file, fsynced, and atomically renamed into place, so a
+    /// crash mid-save can never leave a torn image where a good one was.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures as [`mst_objmem::SnapshotError`].
+    pub fn save_snapshot_file(
+        &self,
+        path: &std::path::Path,
+    ) -> Result<(), mst_objmem::SnapshotError> {
+        self.with_world(|vm| {
+            vm.mem.scavenge(); // snapshot with an empty eden
+            vm.bump_cache_epoch();
+            scheduler::set_active_process_slot(&vm.mem, vm.mem.nil());
+            vm.mem.save_snapshot_to_path(path)
+        })
+    }
+
+    /// Boots a system from a snapshot file written by
+    /// [`save_snapshot_file`](Self::save_snapshot_file).
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot-format errors with section and byte offset.
+    pub fn from_snapshot_file(
+        path: &std::path::Path,
+        config: MsConfig,
+    ) -> Result<MsSystem, mst_objmem::SnapshotError> {
+        let mut f = std::fs::File::open(path)
+            .map_err(|e| mst_objmem::SnapshotError::open_failed(path, e))?;
+        MsSystem::from_snapshot(&mut f, config)
+    }
+
+    /// A copy of the supervised-processor health roster (workers only).
+    pub fn processor_roster(&self) -> Vec<ProcessorInfo> {
+        self.vm.processor_roster()
+    }
+
+    /// How many supervised worker processors are currently online.
+    pub fn processors_online(&self) -> usize {
+        self.vm.processors_online()
     }
 
     /// Boots a system from a snapshot instead of a fresh bootstrap. The

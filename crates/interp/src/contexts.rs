@@ -98,6 +98,30 @@ impl FreeLists {
     pub fn is_empty(&self) -> bool {
         self.heads.iter().all(|h| h.is_none())
     }
+
+    /// Splices every context from `other` onto this list's chains, leaving
+    /// `other` empty. Used by the processor supervisor to donate a dead
+    /// interpreter's replicated lists back to the shared pool. Both lists
+    /// must be valid for the same GC epoch (the caller checks).
+    pub fn absorb(&mut self, mem: &ObjectMemory, other: &mut FreeLists) {
+        for i in 0..self.heads.len() {
+            let Some(donated) = other.heads[i] else {
+                continue;
+            };
+            let mut tail = donated;
+            loop {
+                let next = mem.fetch(tail, method_ctx::SENDER);
+                if next == mem.nil() {
+                    break;
+                }
+                tail = next;
+            }
+            let old_head = self.heads[i].unwrap_or(mem.nil());
+            mem.store(tail, method_ctx::SENDER, old_head);
+            self.heads[i] = Some(donated);
+        }
+        other.heads = [None; 4];
+    }
 }
 
 /// Classifies a context object for recycling given its size and class.

@@ -93,6 +93,10 @@ pub struct Interpreter {
     /// Consecutive `NeedGc` steps with no completed bytecode in between;
     /// used to turn a futile scavenge loop into an out-of-memory event.
     gc_streak: u32,
+    /// Whether the `thread.panic` chaos site may kill this interpreter at a
+    /// safepoint. Only the processor supervisor sets it (workers only);
+    /// the main interpreter drives doits and must never be killed.
+    panic_injectable: bool,
     // --- registers of the active context ---
     ctx: Oop,
     receiver: Oop,
@@ -136,6 +140,7 @@ impl Interpreter {
             watched: None,
             rdv_id: None,
             gc_streak: 0,
+            panic_injectable: false,
             ctx: Oop::ZERO,
             receiver: Oop::ZERO,
             method: Oop::ZERO,
@@ -377,6 +382,61 @@ impl Interpreter {
         outcome
     }
 
+    /// Allows the `thread.panic` chaos site to kill this interpreter at a
+    /// safepoint. Set only by the processor supervisor on worker
+    /// interpreters; the main interpreter must never be injectable.
+    pub fn set_panic_injectable(&mut self, on: bool) {
+        self.panic_injectable = on;
+    }
+
+    /// Puts the interpreter back into a runnable state after its `run`
+    /// unwound from a panic. Called by the processor supervisor with the
+    /// thread already *outside* the rendezvous (the participant guard
+    /// unregistered during the unwind).
+    ///
+    /// Re-enters the heap as an ordinary mutator — registered, parking
+    /// first if a stop is in flight. That is enough to exclude a
+    /// concurrent scavenge for the few fetches below, and unlike taking
+    /// a full `stop_world` it cannot starve behind the steady GC traffic
+    /// of the surviving interpreters (the dead processor's Process would
+    /// stay claimed, and so unrunnable, for as long as the recovery
+    /// waits). Then:
+    /// * releases the claimed Process, if any, back to ready-but-unclaimed
+    ///   so a surviving interpreter picks it up — the panic injection site
+    ///   flushed its registers, so it resumes at a bytecode boundary;
+    /// * donates this interpreter's free-context lists to the shared pool
+    ///   (they are epoch-checked: stale lists are dropped instead);
+    /// * flushes the batched telemetry counters so no executed work is
+    ///   lost from the Table 2 accounting.
+    pub fn recover_after_panic(&mut self) {
+        self.watched = None;
+        self.rdv_id = None;
+        let rdv = self.rdv();
+        let me = rdv.participant();
+        // A scavenge may be mid-flight from before we registered: park
+        // until it releases, *before* touching the heap. After this, any
+        // new stopper must wait for us to unregister (`me` drops below).
+        if rdv.poll() {
+            me.park();
+        }
+        let p = self.proc_root.get();
+        if p != Oop::ZERO {
+            sched::unclaim(&self.vm, p);
+            self.proc_root.set(Oop::ZERO);
+        }
+        let epoch = self.mem().gc_epoch();
+        if self.free.epoch == epoch && !self.free.is_empty() {
+            let mut shared = self.vm.shared_free.lock();
+            if shared.epoch == epoch {
+                shared.absorb(self.mem(), &mut self.free);
+            }
+        }
+        self.free.clear(epoch);
+        drop(me);
+        self.flush_counters();
+        self.gc_streak = 0;
+    }
+
     fn watched_done(&self, w: &RootHandle) -> bool {
         // The watched process is done when it is running nowhere and on no
         // list with a nil suspended context (terminated marker).
@@ -398,7 +458,7 @@ impl Interpreter {
     /// process terminated.
     fn unload_process(&mut self, ev: Event) -> bool {
         let p = self.proc_root.get();
-        match ev {
+        let finished = match ev {
             Event::Terminated => {
                 sched::retire(&self.vm, p);
                 // Stash the result in the Process itself (so any watcher —
@@ -420,7 +480,13 @@ impl Interpreter {
                 sched::unclaim(&self.vm, p);
                 false
             }
-        }
+        };
+        // Drop the claim reference: the process may be claimed by another
+        // interpreter the moment it is unclaimed above, and a stale root
+        // here would make panic recovery unclaim it out from under that
+        // interpreter (double execution).
+        self.proc_root.set(Oop::ZERO);
+        finished
     }
 
     // ------------------------------------------------------------------
@@ -642,6 +708,17 @@ impl Interpreter {
         // to diagnose, so the injection point sits here rather than in the
         // per-bytecode poll.
         mst_vkernel::fault::poll_stall();
+        // Chaos: a processor dying mid-run. Registers are flushed first so
+        // the claimed process is consistent in the heap — the supervisor's
+        // recovery migrates it to a surviving interpreter, which resumes it
+        // from exactly this bytecode boundary.
+        if self.panic_injectable && mst_vkernel::fault::thread_panic() {
+            self.flush_registers();
+            panic!(
+                "chaos: injected interpreter panic (thread.panic) on interp {}",
+                self.id
+            );
+        }
         if self.vm.rendezvous.poll() {
             self.flush_registers();
             self.vm.rendezvous.park(self.rdv_id());

@@ -26,7 +26,9 @@ pub mod install;
 mod interp;
 pub mod primitives;
 pub mod scheduler;
+mod supervisor;
 mod vm;
 
 pub use interp::{spawn_method_process, Interpreter, RunOutcome};
-pub use vm::{CachePolicy, FreeListPolicy, Vm, VmCounters, VmOptions};
+pub use supervisor::{supervise, SupervisorPolicy};
+pub use vm::{CachePolicy, FreeListPolicy, ProcessorInfo, Vm, VmCounters, VmOptions};

@@ -76,6 +76,21 @@ impl Default for VmOptions {
     }
 }
 
+/// One supervised virtual processor's health, as tracked by the processor
+/// supervisor ([`crate::supervise`]). The main interpreter (processor 0)
+/// runs unsupervised on the caller's thread and has no row here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessorInfo {
+    /// The virtual-processor number (1..n for workers).
+    pub processor: usize,
+    /// Whether an interpreter is currently running on it.
+    pub online: bool,
+    /// How many times the supervisor restarted its interpreter in place.
+    pub restarts: u64,
+    /// The panic message that took it offline, if a fault did.
+    pub last_fault: Option<String>,
+}
+
 /// Aggregated execution counters (the instrumentation the paper lists as
 /// future work: "add sufficient instrumentation to MS to gather data").
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -154,6 +169,8 @@ pub struct Vm {
     pub(crate) low_space: AtomicBool,
     /// Interpreter-id dispenser.
     pub(crate) next_interp_id: AtomicU64,
+    /// Supervised-processor health rows (see [`ProcessorInfo`]).
+    pub(crate) roster: SpinMutex<Vec<ProcessorInfo>>,
 }
 
 impl std::fmt::Debug for Vm {
@@ -199,6 +216,7 @@ impl Vm {
             reserved: SpinMutex::new(options.sync, None),
             low_space: AtomicBool::new(false),
             next_interp_id: AtomicU64::new(0),
+            roster: SpinMutex::new(options.sync, Vec::new()),
         }
     }
 
@@ -255,6 +273,49 @@ impl Vm {
     /// measuring thread.
     pub fn set_reserved(&self, process: Option<mst_objmem::RootHandle>) {
         *self.reserved.lock() = process;
+    }
+
+    /// A copy of the supervised-processor roster (workers only; the main
+    /// interpreter runs unsupervised on the caller's thread).
+    pub fn processor_roster(&self) -> Vec<ProcessorInfo> {
+        self.roster.lock().clone()
+    }
+
+    /// How many supervised processors are currently online.
+    pub fn processors_online(&self) -> usize {
+        self.roster.lock().iter().filter(|p| p.online).count()
+    }
+
+    pub(crate) fn roster_register(&self, processor: usize) {
+        let mut roster = self.roster.lock();
+        match roster.iter_mut().find(|r| r.processor == processor) {
+            Some(row) => {
+                row.online = true;
+                row.last_fault = None;
+            }
+            None => roster.push(ProcessorInfo {
+                processor,
+                online: true,
+                restarts: 0,
+                last_fault: None,
+            }),
+        }
+    }
+
+    pub(crate) fn roster_offline(&self, processor: usize, fault: Option<String>) {
+        let mut roster = self.roster.lock();
+        if let Some(row) = roster.iter_mut().find(|r| r.processor == processor) {
+            row.online = false;
+            row.last_fault = fault;
+        }
+    }
+
+    pub(crate) fn roster_restarted(&self, processor: usize, fault: String) {
+        let mut roster = self.roster.lock();
+        if let Some(row) = roster.iter_mut().find(|r| r.processor == processor) {
+            row.restarts += 1;
+            row.last_fault = Some(fault);
+        }
     }
 
     /// Asks every interpreter to stop at its next safepoint.

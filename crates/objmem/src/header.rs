@@ -29,11 +29,17 @@ pub enum ObjFormat {
 
 impl ObjFormat {
     fn from_bits(bits: u64) -> ObjFormat {
+        ObjFormat::try_from_bits(bits).unwrap_or_else(|| unreachable!("invalid format bits {bits}"))
+    }
+
+    /// Fallible decode, for validating untrusted header words (snapshot
+    /// loads): format bits `3` are unassigned and return `None`.
+    pub fn try_from_bits(bits: u64) -> Option<ObjFormat> {
         match bits {
-            0 => ObjFormat::Pointers,
-            1 => ObjFormat::Bytes,
-            2 => ObjFormat::Method,
-            _ => unreachable!("invalid format bits {bits}"),
+            0 => Some(ObjFormat::Pointers),
+            1 => Some(ObjFormat::Bytes),
+            2 => Some(ObjFormat::Method),
+            _ => None,
         }
     }
 
@@ -95,6 +101,14 @@ impl Header {
     #[inline]
     pub fn format(self) -> ObjFormat {
         ObjFormat::from_bits((self.0 >> FORMAT_SHIFT) & ((1 << FORMAT_BITS) - 1))
+    }
+
+    /// The body layout, or `None` when the format bits are unassigned.
+    /// Use this on headers read from untrusted bytes; [`format`](Header::format)
+    /// panics on them.
+    #[inline]
+    pub fn try_format(self) -> Option<ObjFormat> {
+        ObjFormat::try_from_bits((self.0 >> FORMAT_SHIFT) & ((1 << FORMAT_BITS) - 1))
     }
 
     /// Unused bytes in the final body word of a byte-ish object.

@@ -1,4 +1,4 @@
-//! Virtual-image snapshots.
+//! Crash-consistent virtual-image snapshots.
 //!
 //! Smalltalk-80 systems persist as a *virtual image* — "a static
 //! representation or 'snapshot' of the compiled code, class descriptions,
@@ -11,12 +11,43 @@
 //! in the activeProcess slot before taking a snapshot and … empt[ies] it
 //! afterwards" (§3.3). That slot manipulation is the scheduler layer's job
 //! (`mst-interp`); this module only moves bits.
+//!
+//! # Format v3: sectioned, checksummed, durable
+//!
+//! The image on disk is the restart path after a processor failure, so it
+//! must never be trusted blindly. Version 3 wraps every section in a
+//! `[u64 byte-length][payload][u64 CRC-32]` frame:
+//!
+//! ```text
+//! [MAGIC][VERSION]
+//! config   — space sizes + fill levels (fixed 64 bytes)
+//! specials — the special-objects table
+//! entries  — the entry table (remembered set)
+//! symbols  — the symbol intern table
+//! old      — old space up to old_next
+//! eden     — eden up to eden_used
+//! past     — the past survivor space up to its fill
+//! ```
+//!
+//! The loader re-checksums each section, bounds-checks every count, length
+//! and oop against the configured spaces, and finishes with a structural
+//! walk of old space — any corruption yields a [`SnapshotError`] naming
+//! the section and byte offset, never a panic. [`save_snapshot_to_path`]
+//! (ObjectMemory::save_snapshot_to_path) makes the file durable the
+//! classic way: write to a temp file, fsync, atomically rename over the
+//! target, fsync the directory — a torn write leaves the previous image
+//! intact.
 
 use std::fmt;
-use std::io::{self, Read, Write};
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
 use std::sync::atomic::Ordering;
 
-use crate::header::ObjFormat;
+use mst_vkernel::crc::Crc32;
+use mst_vkernel::fault;
+
+use crate::header::{Header, ObjFormat};
 use crate::heap::{MemoryConfig, ObjectMemory};
 use crate::oop::Oop;
 use crate::special::SPECIAL_COUNT;
@@ -24,165 +55,533 @@ use crate::special::SPECIAL_COUNT;
 const MAGIC: u64 = 0x4D53_5F49_4D41_4745; // "MS_IMAGE"
                                           // Version history: 1 = initial format; 2 = So::LowSpaceSemaphore appended to
                                           // the special-objects table (the table is written by count, so any layout
-                                          // change is a format change).
-const VERSION: u64 = 2;
+                                          // change is a format change); 3 = sectioned format with per-section CRC-32
+                                          // and a hardened, bounds-checking loader.
+const VERSION: u64 = 3;
 
-/// Errors produced while writing or reading a snapshot.
+/// Longest symbol name the loader will accept, in bytes. Real selectors are
+/// tens of bytes; anything larger is corruption.
+const MAX_SYMBOL_BYTES: u64 = 1 << 16;
+
+/// An error while writing or reading a snapshot, locating the failure by
+/// section and absolute byte offset in the stream.
 #[derive(Debug)]
-pub enum SnapshotError {
-    /// Underlying I/O failed.
+pub struct SnapshotError {
+    /// Which section was being processed (`"magic"`, `"config"`, `"old"`, …).
+    pub section: &'static str,
+    /// Absolute byte offset in the snapshot stream where the problem was
+    /// detected (0 when unknown, e.g. failures before any bytes moved).
+    pub offset: u64,
+    /// What went wrong.
+    pub kind: SnapshotErrorKind,
+}
+
+/// The failure category inside a [`SnapshotError`].
+#[derive(Debug)]
+pub enum SnapshotErrorKind {
+    /// Underlying I/O failed (includes truncation: unexpected EOF).
     Io(io::Error),
     /// The stream does not start with the snapshot magic number.
     BadMagic,
     /// The snapshot was written by an incompatible version.
     BadVersion(u64),
-    /// The loading memory's configured sizes are smaller than the snapshot.
+    /// The loading memory's configured sizes differ from the snapshot's
+    /// (oops are space-relative, so sizes must match exactly).
     SizeMismatch {
         /// What the snapshot requires (old, eden, survivor words).
         required: (usize, usize, usize),
     },
+    /// A section's payload does not match its recorded CRC-32.
+    Checksum {
+        /// The checksum recorded in the stream.
+        expected: u32,
+        /// The checksum of the bytes actually read.
+        found: u32,
+    },
+    /// A structurally invalid value: out-of-range length, count, oop or
+    /// header. The message says which.
+    Corrupt(String),
+}
+
+impl SnapshotError {
+    fn new(section: &'static str, offset: u64, kind: SnapshotErrorKind) -> SnapshotError {
+        SnapshotError {
+            section,
+            offset,
+            kind,
+        }
+    }
+
+    fn corrupt(section: &'static str, offset: u64, msg: impl Into<String>) -> SnapshotError {
+        SnapshotError::new(section, offset, SnapshotErrorKind::Corrupt(msg.into()))
+    }
+
+    fn io(section: &'static str, offset: u64, e: io::Error) -> SnapshotError {
+        SnapshotError::new(section, offset, SnapshotErrorKind::Io(e))
+    }
+
+    /// Wraps a failure to open a snapshot file, for callers that manage
+    /// their own `File` handles around [`ObjectMemory::load_snapshot`].
+    pub fn open_failed(path: &Path, e: io::Error) -> SnapshotError {
+        SnapshotError::new(
+            "open",
+            0,
+            SnapshotErrorKind::Io(io::Error::new(e.kind(), format!("{}: {e}", path.display()))),
+        )
+    }
 }
 
 impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SnapshotError::Io(e) => write!(f, "snapshot i/o failed: {e}"),
-            SnapshotError::BadMagic => f.write_str("not a Multiprocessor Smalltalk snapshot"),
-            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
-            SnapshotError::SizeMismatch { required } => write!(
+        write!(
+            f,
+            "snapshot section '{}' at byte offset {}: ",
+            self.section, self.offset
+        )?;
+        match &self.kind {
+            SnapshotErrorKind::Io(e) => write!(f, "i/o failed: {e}"),
+            SnapshotErrorKind::BadMagic => f.write_str("not a Multiprocessor Smalltalk snapshot"),
+            SnapshotErrorKind::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotErrorKind::SizeMismatch { required } => write!(
                 f,
-                "snapshot needs at least old={} eden={} survivor={} words",
+                "snapshot needs exactly old={} eden={} survivor={} words",
                 required.0, required.1, required.2
             ),
+            SnapshotErrorKind::Checksum { expected, found } => write!(
+                f,
+                "checksum mismatch: recorded {expected:#010x}, computed {found:#010x}"
+            ),
+            SnapshotErrorKind::Corrupt(msg) => write!(f, "corrupt: {msg}"),
         }
     }
 }
 
 impl std::error::Error for SnapshotError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            SnapshotError::Io(e) => Some(e),
+        match &self.kind {
+            SnapshotErrorKind::Io(e) => Some(e),
             _ => None,
         }
     }
 }
 
-impl From<io::Error> for SnapshotError {
-    fn from(e: io::Error) -> Self {
-        SnapshotError::Io(e)
-    }
-}
+// ---------------------------------------------------------------------------
+// Writing
 
 fn put_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn get_u64(r: &mut impl Read) -> io::Result<u64> {
-    let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
-    Ok(u64::from_le_bytes(buf))
+/// Forwards writes while accumulating a CRC-32 of everything written.
+struct CrcWriter<'a, W: Write> {
+    inner: &'a mut W,
+    crc: Crc32,
+}
+
+impl<'a, W: Write> CrcWriter<'a, W> {
+    fn new(inner: &'a mut W) -> CrcWriter<'a, W> {
+        CrcWriter {
+            inner,
+            crc: Crc32::new(),
+        }
+    }
+}
+
+impl<W: Write> Write for CrcWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Writes one `[len][payload][crc]` section from an in-memory payload.
+fn write_section(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    put_u64(w, payload.len() as u64)?;
+    w.write_all(payload)?;
+    put_u64(w, mst_vkernel::crc::crc32(payload) as u64)
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+
+/// Tracks the absolute byte offset of everything read, so errors can point
+/// at the exact position in the stream.
+struct CountingReader<R: Read> {
+    inner: R,
+    pos: u64,
+}
+
+impl<R: Read> CountingReader<R> {
+    fn new(inner: R) -> CountingReader<R> {
+        CountingReader { inner, pos: 0 }
+    }
+
+    fn read_u64(&mut self, section: &'static str) -> Result<u64, SnapshotError> {
+        let at = self.pos;
+        let mut buf = [0u8; 8];
+        self.inner
+            .read_exact(&mut buf)
+            .map_err(|e| SnapshotError::io(section, at, e))?;
+        self.pos += 8;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn read_exact(&mut self, section: &'static str, buf: &mut [u8]) -> Result<(), SnapshotError> {
+        let at = self.pos;
+        self.inner
+            .read_exact(buf)
+            .map_err(|e| SnapshotError::io(section, at, e))?;
+        self.pos += buf.len() as u64;
+        Ok(())
+    }
+}
+
+/// A fully read, checksum-verified section payload plus its position in the
+/// stream, parsed via a bounds-checked cursor.
+struct Section {
+    name: &'static str,
+    /// Absolute stream offset of the first payload byte.
+    base: u64,
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Section {
+    /// Reads the next section frame, enforcing `max_len` before allocating
+    /// and verifying the trailing CRC-32.
+    fn read(
+        r: &mut CountingReader<impl Read>,
+        name: &'static str,
+        max_len: u64,
+    ) -> Result<Section, SnapshotError> {
+        let len_at = r.pos;
+        let len = r.read_u64(name)?;
+        if len > max_len {
+            return Err(SnapshotError::corrupt(
+                name,
+                len_at,
+                format!("section length {len} exceeds the {max_len}-byte limit"),
+            ));
+        }
+        let base = r.pos;
+        let mut data = vec![0u8; len as usize];
+        r.read_exact(name, &mut data)?;
+        let crc_at = r.pos;
+        let recorded = r.read_u64(name)?;
+        let expected = (recorded & 0xFFFF_FFFF) as u32;
+        if recorded >> 32 != 0 {
+            return Err(SnapshotError::corrupt(
+                name,
+                crc_at,
+                format!("checksum word has nonzero high bits ({recorded:#x})"),
+            ));
+        }
+        let found = mst_vkernel::crc::crc32(&data);
+        if found != expected {
+            return Err(SnapshotError::new(
+                name,
+                base,
+                SnapshotErrorKind::Checksum { expected, found },
+            ));
+        }
+        Ok(Section {
+            name,
+            base,
+            data,
+            pos: 0,
+        })
+    }
+
+    /// Absolute stream offset of the next unparsed byte.
+    fn offset(&self) -> u64 {
+        self.base + self.pos as u64
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let bytes = self.bytes(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&[u8], SnapshotError> {
+        if self.data.len() - self.pos < n {
+            return Err(SnapshotError::corrupt(
+                self.name,
+                self.offset(),
+                format!(
+                    "needs {n} more bytes but only {} remain in the section",
+                    self.data.len() - self.pos
+                ),
+            ));
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// The section must be fully consumed; trailing bytes are corruption.
+    fn finish(self) -> Result<(), SnapshotError> {
+        if self.pos != self.data.len() {
+            return Err(SnapshotError::corrupt(
+                self.name,
+                self.offset(),
+                format!("{} unparsed trailing bytes", self.data.len() - self.pos),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Whether `raw` is a well-formed oop for a heap ending at `limit` words:
+/// a SmallInteger, the reserved zero word, or an object index in bounds.
+fn oop_in_bounds(raw: u64, limit: usize) -> bool {
+    let o = Oop::from_raw(raw);
+    o.is_small_int() || o == Oop::ZERO || o.index() < limit
 }
 
 impl ObjectMemory {
     /// Writes a snapshot of the image. **The world must be stopped** and a
     /// scavenge should normally precede the save so eden is empty.
     pub fn save_snapshot(&self, w: &mut impl Write) -> Result<(), SnapshotError> {
+        self.save_inner(w)
+            .map_err(|e| SnapshotError::io("write", 0, e))
+    }
+
+    fn save_inner(&self, w: &mut impl Write) -> io::Result<()> {
         put_u64(w, MAGIC)?;
         put_u64(w, VERSION)?;
         let sp = *self.spaces();
         let c = self.config();
-        put_u64(w, c.old_words as u64)?;
-        put_u64(w, c.eden_words as u64)?;
-        put_u64(w, c.survivor_words as u64)?;
-        put_u64(w, c.tenure_age as u64)?;
-        put_u64(w, self.old_next_value() as u64)?;
-        // New space: normalized as offsets relative to the space starts.
-        put_u64(w, (self.eden_used()) as u64)?;
-        put_u64(w, self.past_is_a.load(Ordering::Relaxed) as u64)?;
-        put_u64(w, self.past_survivor_used() as u64)?;
-        // Specials.
-        let mut specials = [0u64; SPECIAL_COUNT];
-        let mut i = 0;
+
+        // config
+        let mut config = Vec::with_capacity(64);
+        put_u64(&mut config, c.old_words as u64)?;
+        put_u64(&mut config, c.eden_words as u64)?;
+        put_u64(&mut config, c.survivor_words as u64)?;
+        put_u64(&mut config, c.tenure_age as u64)?;
+        put_u64(&mut config, self.old_next_value() as u64)?;
+        put_u64(&mut config, self.eden_used() as u64)?;
+        put_u64(&mut config, self.past_is_a.load(Ordering::Relaxed) as u64)?;
+        put_u64(&mut config, self.past_survivor_used() as u64)?;
+        write_section(w, &config)?;
+
+        // specials
+        let mut specials = Vec::with_capacity(SPECIAL_COUNT * 8);
         self.specials().update_all(|o| {
-            specials[i] = o.raw();
-            i += 1;
+            specials.extend_from_slice(&o.raw().to_le_bytes());
             o
         });
-        for s in specials {
-            put_u64(w, s)?;
-        }
-        // Entry table.
+        write_section(w, &specials)?;
+
+        // entries
         let entries: Vec<Oop> = self.entry_table.lock().clone();
-        put_u64(w, entries.len() as u64)?;
+        let mut buf = Vec::with_capacity(8 + entries.len() * 8);
+        put_u64(&mut buf, entries.len() as u64)?;
         for e in &entries {
-            put_u64(w, e.raw())?;
+            put_u64(&mut buf, e.raw())?;
         }
-        // Symbols.
-        let mut symbols: Vec<(String, u64)> = Vec::new();
-        {
-            let table = self.symbol_entries();
-            symbols.extend(table);
-        }
-        put_u64(w, symbols.len() as u64)?;
+        write_section(w, &buf)?;
+
+        // symbols
+        let symbols: Vec<(String, u64)> = self.symbol_entries();
+        let mut buf = Vec::new();
+        put_u64(&mut buf, symbols.len() as u64)?;
         for (name, raw) in &symbols {
-            put_u64(w, name.len() as u64)?;
-            w.write_all(name.as_bytes())?;
-            put_u64(w, *raw)?;
+            put_u64(&mut buf, name.len() as u64)?;
+            buf.extend_from_slice(name.as_bytes());
+            put_u64(&mut buf, *raw)?;
         }
-        // Heap regions: old space, eden, past survivor.
-        self.write_region(w, sp.old_start, self.old_next_value())?;
-        self.write_region(w, sp.eden_start, sp.eden_start + self.eden_used())?;
+        write_section(w, &buf)?;
+
+        // Heap regions: old space, eden, past survivor — streamed through a
+        // CRC writer rather than buffered (old space is the bulk of the
+        // image).
+        self.write_region_section(w, sp.old_start, self.old_next_value())?;
+        self.write_region_section(w, sp.eden_start, sp.eden_start + self.eden_used())?;
         let past_start = if self.past_is_a.load(Ordering::Relaxed) {
             sp.surv_a_start
         } else {
             sp.surv_b_start
         };
-        self.write_region(w, past_start, past_start + self.past_survivor_used())?;
+        self.write_region_section(w, past_start, past_start + self.past_survivor_used())?;
         Ok(())
     }
 
-    fn write_region(&self, w: &mut impl Write, start: usize, end: usize) -> io::Result<()> {
-        put_u64(w, (end - start) as u64)?;
+    fn write_region_section(&self, w: &mut impl Write, start: usize, end: usize) -> io::Result<()> {
+        let words = end - start;
+        put_u64(w, (8 + words * 8) as u64)?;
+        let mut cw = CrcWriter::new(w);
+        put_u64(&mut cw, words as u64)?;
         for idx in start..end {
-            put_u64(w, self.word(idx))?;
+            put_u64(&mut cw, self.word(idx))?;
+        }
+        let crc = cw.crc.finish();
+        put_u64(w, crc as u64)
+    }
+
+    /// Writes a snapshot durably to `path`: the image goes to a sibling
+    /// temp file first, is fsynced, then atomically renamed over `path`
+    /// (and the directory fsynced) — a crash or torn write at any point
+    /// leaves the previous image intact. Consults the
+    /// `snapshot.torn_write` chaos site, which simulates exactly that
+    /// crash: the temp file is truncated mid-image, the rename never
+    /// happens, and the save reports an error.
+    pub fn save_snapshot_to_path(&self, path: &Path) -> Result<(), SnapshotError> {
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        let err = |e| SnapshotError::io("file", 0, e);
+
+        let file = File::create(&tmp).map_err(err)?;
+        let mut w = BufWriter::new(file);
+        let result = self.save_inner(&mut w).and_then(|()| w.flush());
+        let file = match w.into_inner() {
+            Ok(f) => f,
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                return Err(err(e.into_error()));
+            }
+        };
+        if let Err(e) = result {
+            let _ = fs::remove_file(&tmp);
+            return Err(err(e));
+        }
+        if fault::torn_write() {
+            // Simulated crash mid-write: leave a torn temp file behind and
+            // never publish it. The previous image at `path` survives.
+            let torn = file.metadata().map(|m| m.len() / 2).unwrap_or(0);
+            let _ = file.set_len(torn);
+            let _ = file.sync_all();
+            return Err(SnapshotError::io(
+                "file",
+                torn,
+                io::Error::other("torn write injected (snapshot.torn_write)"),
+            ));
+        }
+        file.sync_all().map_err(err)?;
+        drop(file);
+        fs::rename(&tmp, path).map_err(err)?;
+        // Make the rename itself durable. Directory fsync is best-effort:
+        // not every filesystem supports it.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
         }
         Ok(())
     }
 
+    /// Loads a snapshot from `path` (see
+    /// [`load_snapshot`](ObjectMemory::load_snapshot)).
+    pub fn load_snapshot_from_path(
+        path: &Path,
+        config: MemoryConfig,
+    ) -> Result<ObjectMemory, SnapshotError> {
+        let file = File::open(path).map_err(|e| SnapshotError::io("file", 0, e))?;
+        ObjectMemory::load_snapshot(&mut BufReader::new(file), config)
+    }
+
     /// Loads a snapshot into a fresh memory using `config` for sync mode and
-    /// allocation policy (sizes are taken from `config` but must be at least
-    /// the snapshot's).
+    /// allocation policy (sizes must match the snapshot's exactly — oops are
+    /// space-relative indices).
+    ///
+    /// The loader trusts nothing: every section is checksum-verified, every
+    /// count, length and oop is bounds-checked, and old space gets a final
+    /// structural walk. Corruption yields a [`SnapshotError`] naming the
+    /// section and byte offset; it never panics.
     pub fn load_snapshot(
         r: &mut impl Read,
         config: MemoryConfig,
     ) -> Result<ObjectMemory, SnapshotError> {
-        if get_u64(r)? != MAGIC {
-            return Err(SnapshotError::BadMagic);
+        let r = &mut CountingReader::new(r);
+        if r.read_u64("magic")? != MAGIC {
+            return Err(SnapshotError::new("magic", 0, SnapshotErrorKind::BadMagic));
         }
-        let version = get_u64(r)?;
+        let version = r.read_u64("magic")?;
         if version != VERSION {
-            return Err(SnapshotError::BadVersion(version));
+            return Err(SnapshotError::new(
+                "magic",
+                8,
+                SnapshotErrorKind::BadVersion(version),
+            ));
         }
-        let old_words = get_u64(r)? as usize;
-        let eden_words = get_u64(r)? as usize;
-        let survivor_words = get_u64(r)? as usize;
-        let _tenure_age = get_u64(r)?;
+
+        // config — fixed size, so enforce it exactly.
+        let mut s = Section::read(r, "config", 64)?;
+        if s.data.len() != 64 {
+            return Err(SnapshotError::corrupt(
+                "config",
+                s.base,
+                format!("config section is {} bytes, expected 64", s.data.len()),
+            ));
+        }
+        let old_words = s.u64()? as usize;
+        let eden_words = s.u64()? as usize;
+        let survivor_words = s.u64()? as usize;
+        let _tenure_age = s.u64()?;
         // Snapshots store space-relative layout, so sizes must match exactly
         // for oops (absolute indices) to stay valid.
         if config.old_words != old_words
             || config.eden_words != eden_words
             || config.survivor_words != survivor_words
         {
-            return Err(SnapshotError::SizeMismatch {
-                required: (old_words, eden_words, survivor_words),
-            });
+            return Err(SnapshotError::new(
+                "config",
+                s.base,
+                SnapshotErrorKind::SizeMismatch {
+                    required: (old_words, eden_words, survivor_words),
+                },
+            ));
         }
         let mem = ObjectMemory::new(config);
         let sp = *mem.spaces();
-        let old_next = get_u64(r)? as usize;
-        let eden_used = get_u64(r)? as usize;
-        let past_is_a = get_u64(r)? != 0;
-        let past_used = get_u64(r)? as usize;
+        let heap_limit = sp.surv_b_end;
+        let at = s.offset();
+        let old_next = s.u64()? as usize;
+        if old_next < sp.old_start || old_next > sp.old_end {
+            return Err(SnapshotError::corrupt(
+                "config",
+                at,
+                format!(
+                    "old_next {old_next} outside old space [{}, {}]",
+                    sp.old_start, sp.old_end
+                ),
+            ));
+        }
+        let at = s.offset();
+        let eden_used = s.u64()? as usize;
+        if eden_used > eden_words {
+            return Err(SnapshotError::corrupt(
+                "config",
+                at,
+                format!("eden_used {eden_used} exceeds eden size {eden_words}"),
+            ));
+        }
+        let at = s.offset();
+        let past_flag = s.u64()?;
+        if past_flag > 1 {
+            return Err(SnapshotError::corrupt(
+                "config",
+                at,
+                format!("past_is_a flag is {past_flag}, expected 0 or 1"),
+            ));
+        }
+        let past_is_a = past_flag != 0;
+        let at = s.offset();
+        let past_used = s.u64()? as usize;
+        if past_used > survivor_words {
+            return Err(SnapshotError::corrupt(
+                "config",
+                at,
+                format!("past survivor fill {past_used} exceeds survivor size {survivor_words}"),
+            ));
+        }
+        s.finish()?;
+
         mem.set_old_next(old_next);
         mem.set_eden_used(eden_used);
         mem.past_is_a.store(past_is_a, Ordering::Relaxed);
@@ -193,79 +592,203 @@ impl ObjectMemory {
         };
         mem.past_fill
             .store(past_start + past_used, Ordering::Relaxed);
-        let mut specials = [0u64; SPECIAL_COUNT];
-        for s in specials.iter_mut() {
-            *s = get_u64(r)?;
+
+        // specials — fixed count of oops, each bounds-checked.
+        let mut s = Section::read(r, "specials", (SPECIAL_COUNT * 8) as u64)?;
+        if s.data.len() != SPECIAL_COUNT * 8 {
+            return Err(SnapshotError::corrupt(
+                "specials",
+                s.base,
+                format!(
+                    "specials section is {} bytes, expected {}",
+                    s.data.len(),
+                    SPECIAL_COUNT * 8
+                ),
+            ));
         }
+        let mut specials = [0u64; SPECIAL_COUNT];
+        for (i, slot) in specials.iter_mut().enumerate() {
+            let at = s.offset();
+            let raw = s.u64()?;
+            if !oop_in_bounds(raw, heap_limit) {
+                return Err(SnapshotError::corrupt(
+                    "specials",
+                    at,
+                    format!("special {i} holds out-of-range oop {raw:#x}"),
+                ));
+            }
+            *slot = raw;
+        }
+        s.finish()?;
         let mut i = 0;
         mem.specials().update_all(|_| {
             let v = Oop::from_raw(specials[i]);
             i += 1;
             v
         });
-        let n_entries = get_u64(r)? as usize;
+
+        // entries — the remembered set: old-space objects only.
+        let mut s = Section::read(r, "entries", (8 + old_words * 8) as u64)?;
+        let at = s.offset();
+        let n_entries = s.u64()?;
+        // data.len() >= 8 here (the count itself was just read from it).
+        let body = s.data.len() as u64 - 8;
+        if !body.is_multiple_of(8) || body / 8 != n_entries {
+            return Err(SnapshotError::corrupt(
+                "entries",
+                at,
+                format!(
+                    "entry count {n_entries} disagrees with section length {}",
+                    s.data.len()
+                ),
+            ));
+        }
         {
             let mut table = mem.entry_table.lock();
-            for _ in 0..n_entries {
-                table.push(Oop::from_raw(get_u64(r)?));
+            for i in 0..n_entries {
+                let at = s.offset();
+                let raw = s.u64()?;
+                let o = Oop::from_raw(raw);
+                if !o.is_object() || o.index() < sp.old_start || o.index() >= old_next {
+                    return Err(SnapshotError::corrupt(
+                        "entries",
+                        at,
+                        format!("entry {i} is not an allocated old-space object ({raw:#x})"),
+                    ));
+                }
+                table.push(o);
             }
         }
-        let n_symbols = get_u64(r)? as usize;
-        for _ in 0..n_symbols {
-            let len = get_u64(r)? as usize;
-            let mut buf = vec![0u8; len];
-            r.read_exact(&mut buf)?;
-            let name = String::from_utf8_lossy(&buf).into_owned();
-            let raw = get_u64(r)?;
-            mem.insert_symbol(&name, Oop::from_raw(raw));
+        s.finish()?;
+
+        // symbols — name/oop pairs; names capped, oops bounds-checked.
+        let mut s = Section::read(r, "symbols", (8 + old_words * 8) as u64 * 2)?;
+        let n_symbols = s.u64()?;
+        for i in 0..n_symbols {
+            let at = s.offset();
+            let len = s.u64()?;
+            if len > MAX_SYMBOL_BYTES {
+                return Err(SnapshotError::corrupt(
+                    "symbols",
+                    at,
+                    format!("symbol {i} name length {len} exceeds {MAX_SYMBOL_BYTES}"),
+                ));
+            }
+            let name = String::from_utf8_lossy(s.bytes(len as usize)?).into_owned();
+            let at = s.offset();
+            let raw = s.u64()?;
+            let o = Oop::from_raw(raw);
+            if !o.is_object() || o.index() >= heap_limit {
+                return Err(SnapshotError::corrupt(
+                    "symbols",
+                    at,
+                    format!("symbol '{name}' maps to out-of-range oop {raw:#x}"),
+                ));
+            }
+            mem.insert_symbol(&name, o);
         }
-        mem.read_region(r, sp.old_start)?;
-        mem.read_region(r, sp.eden_start)?;
-        mem.read_region(r, past_start)?;
+        s.finish()?;
+
+        // Heap regions. Their lengths are fixed by the (already validated)
+        // config section; any disagreement is corruption.
+        let old_len = old_next - sp.old_start;
+        mem.read_region_section(r, "old", sp.old_start, old_len)?;
+        mem.read_region_section(r, "eden", sp.eden_start, eden_used)?;
+        mem.read_region_section(r, "past", past_start, past_used)?;
+
+        // Final line of defense: a structural walk of old space. This
+        // catches corruption that is locally well-formed (a bit-flip inside
+        // a header length, a pointer slot aimed at nothing) before the
+        // interpreter ever dereferences it.
+        mem.validate_old_space()?;
         Ok(mem)
     }
 
-    fn read_region(&self, r: &mut impl Read, start: usize) -> io::Result<()> {
-        let len = get_u64(r)? as usize;
-        for i in 0..len {
-            self.set_word(start + i, get_u64(r)?);
+    fn read_region_section(
+        &self,
+        r: &mut CountingReader<impl Read>,
+        name: &'static str,
+        start: usize,
+        expected_words: usize,
+    ) -> Result<(), SnapshotError> {
+        let mut s = Section::read(r, name, (8 + expected_words * 8) as u64)?;
+        let at = s.offset();
+        let words = s.u64()? as usize;
+        if words != expected_words {
+            return Err(SnapshotError::corrupt(
+                name,
+                at,
+                format!("region holds {words} words but the config section says {expected_words}"),
+            ));
         }
-        Ok(())
+        for i in 0..words {
+            self.set_word(start + i, s.u64()?);
+        }
+        s.finish()
+    }
+
+    /// Walks old space checking structural invariants without panicking:
+    /// headers decode, objects stay inside the space, no scavenge/GC
+    /// transient flags are set, class words and pointer slots hold
+    /// in-bounds oops. Word indices in the error messages are heap-relative.
+    pub fn validate_old_space(&self) -> Result<usize, SnapshotError> {
+        let sp = *self.spaces();
+        let heap_limit = sp.surv_b_end;
+        let end = self.old_next_value();
+        let mut count = 0;
+        let mut scan = sp.old_start;
+        let bad = |scan: usize, msg: String| {
+            SnapshotError::corrupt(
+                "old",
+                scan as u64 * 8,
+                format!("object at word {scan}: {msg}"),
+            )
+        };
+        while scan < end {
+            let obj = Oop::from_index(scan);
+            let h = Header(self.word(scan));
+            let format = h
+                .try_format()
+                .ok_or_else(|| bad(scan, "unassigned format bits".into()))?;
+            if scan + 2 + h.body_words() > end {
+                return Err(bad(
+                    scan,
+                    format!("{}-word body overruns the space", h.body_words()),
+                ));
+            }
+            if h.is_forwarded() {
+                return Err(bad(scan, "forwarding pointer outside scavenge".into()));
+            }
+            if h.is_marked() {
+                return Err(bad(scan, "mark bit left set outside full GC".into()));
+            }
+            let class = self.word(scan + 1);
+            if !oop_in_bounds(class, heap_limit) {
+                return Err(bad(scan, format!("class word {class:#x} out of range")));
+            }
+            if format == ObjFormat::Pointers {
+                for i in 0..h.body_words() {
+                    let v = self.fetch(obj, i);
+                    if v.is_object() && v.index() >= heap_limit {
+                        return Err(bad(scan, format!("slot {i} points outside the heap")));
+                    }
+                }
+            }
+            count += 1;
+            scan += 2 + h.body_words();
+        }
+        Ok(count)
     }
 
     /// Verifies basic heap invariants; used by tests and after snapshot
-    /// loads. Walks old space and the past survivor checking that headers
-    /// parse and class words are plausible oops. Returns the object count.
+    /// loads. Panicking wrapper around
+    /// [`validate_old_space`](ObjectMemory::validate_old_space); returns
+    /// the object count.
     pub fn verify(&self) -> usize {
-        let mut count = 0;
-        let mut check_range = |start: usize, end: usize| {
-            let mut scan = start;
-            while scan < end {
-                let obj = Oop::from_index(scan);
-                let h = self.header(obj);
-                assert!(
-                    scan + 2 + h.body_words() <= end,
-                    "object at {scan} overruns its space"
-                );
-                assert!(!h.is_forwarded(), "forwarding pointer outside scavenge");
-                assert!(!h.is_marked(), "mark bit left set outside full GC");
-                if h.format() == ObjFormat::Pointers {
-                    for i in 0..h.body_words() {
-                        let v = self.fetch(obj, i);
-                        if v.is_object() {
-                            assert!(
-                                v.index() < self.spaces().surv_b_end,
-                                "slot points outside the heap"
-                            );
-                        }
-                    }
-                }
-                count += 1;
-                scan += 2 + h.body_words();
-            }
-        };
-        check_range(self.spaces().old_start, self.old_next_value());
-        count
+        match self.validate_old_space() {
+            Ok(count) => count,
+            Err(e) => panic!("heap verification failed: {e}"),
+        }
     }
 }
 
@@ -313,7 +836,7 @@ mod tests {
     fn bad_magic_is_rejected() {
         let buf = vec![0u8; 64];
         let err = ObjectMemory::load_snapshot(&mut buf.as_slice(), small_config()).unwrap_err();
-        assert!(matches!(err, SnapshotError::BadMagic));
+        assert!(matches!(err.kind, SnapshotErrorKind::BadMagic));
         assert!(err.to_string().contains("not a"));
     }
 
@@ -328,18 +851,68 @@ mod tests {
             ..small_config()
         };
         let err = ObjectMemory::load_snapshot(&mut buf.as_slice(), bigger).unwrap_err();
-        assert!(matches!(err, SnapshotError::SizeMismatch { .. }));
+        assert!(matches!(err.kind, SnapshotErrorKind::SizeMismatch { .. }));
+        assert_eq!(err.section, "config");
     }
 
     #[test]
-    fn truncated_snapshot_reports_io_error() {
+    fn truncated_snapshot_reports_io_error_with_offset() {
         let mem = ObjectMemory::new(small_config());
         bootstrap_minimal(&mem);
         let mut buf = Vec::new();
         mem.save_snapshot(&mut buf).unwrap();
-        buf.truncate(buf.len() / 2);
+        let full = buf.len();
+        buf.truncate(full / 2);
         let err = ObjectMemory::load_snapshot(&mut buf.as_slice(), small_config()).unwrap_err();
-        assert!(matches!(err, SnapshotError::Io(_)));
+        assert!(matches!(err.kind, SnapshotErrorKind::Io(_)), "{err}");
+        // The offset names where the stream ran dry, inside a real section.
+        assert!(err.offset > 0 && err.offset <= full as u64, "{err}");
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let mem = ObjectMemory::new(small_config());
+        bootstrap_minimal(&mem);
+        let mut buf = Vec::new();
+        mem.save_snapshot(&mut buf).unwrap();
+        // Exhaustive over a stride of positions (the full image is large):
+        // any one-bit flip must be rejected — the per-section CRC-32 is
+        // exact for single-bit errors — and must never panic.
+        let mut rejected = 0;
+        let mut pos = 0;
+        while pos < buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[pos] ^= 1 << (pos % 8);
+            let r = std::panic::catch_unwind(|| {
+                ObjectMemory::load_snapshot(&mut corrupt.as_slice(), small_config()).err()
+            });
+            match r {
+                Ok(Some(_)) => rejected += 1,
+                Ok(None) => panic!("bit flip at byte {pos} was accepted"),
+                Err(_) => panic!("bit flip at byte {pos} caused a panic"),
+            }
+            pos += 37; // prime stride: hits every section and byte alignment
+        }
+        assert_eq!(rejected, buf.len().div_ceil(37));
+        assert!(rejected > 20, "stride covered too little of the image");
+    }
+
+    #[test]
+    fn checksum_error_names_the_section() {
+        let mem = ObjectMemory::new(small_config());
+        bootstrap_minimal(&mem);
+        let mut buf = Vec::new();
+        mem.save_snapshot(&mut buf).unwrap();
+        // The config payload starts right after magic+version+length.
+        let flip_at = 8 + 8 + 8 + 3;
+        buf[flip_at] ^= 0x10;
+        let err = ObjectMemory::load_snapshot(&mut buf.as_slice(), small_config()).unwrap_err();
+        assert!(
+            matches!(err.kind, SnapshotErrorKind::Checksum { .. }),
+            "{err}"
+        );
+        assert_eq!(err.section, "config");
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
     }
 
     #[test]
@@ -362,5 +935,55 @@ mod tests {
         loaded.scavenge();
         let old2 = root.get();
         assert_eq!(loaded.fetch(loaded.fetch(old2, 0), 0).as_small_int(), 9);
+    }
+
+    #[test]
+    fn file_save_is_atomic_and_torn_writes_leave_the_old_image() {
+        struct Disarm;
+        impl Drop for Disarm {
+            fn drop(&mut self) {
+                fault::disable();
+            }
+        }
+        let _disarm = Disarm;
+
+        let dir = std::env::temp_dir().join(format!("mst-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("image.mss");
+
+        let mem = ObjectMemory::new(small_config());
+        bootstrap_minimal(&mem);
+        let s = mem.alloc_string_old("generation-one").unwrap();
+        mem.specials().set(So::SmalltalkDict, s);
+        mem.save_snapshot_to_path(&path).unwrap();
+        // No temp droppings on the happy path.
+        assert!(!dir.join("image.mss.tmp").exists());
+
+        // A torn write must fail loudly and leave the previous image
+        // loadable.
+        let s2 = mem.alloc_string_old("generation-two").unwrap();
+        mem.specials().set(So::SmalltalkDict, s2);
+        fault::install(fault::ChaosConfig {
+            seed: 1,
+            rate: 1.0,
+            sites: fault::FaultSite::TornWrite.bit(),
+        });
+        let err = mem.save_snapshot_to_path(&path).unwrap_err();
+        assert!(err.to_string().contains("torn write"), "{err}");
+        fault::disable();
+
+        let loaded = ObjectMemory::load_snapshot_from_path(&path, small_config()).unwrap();
+        assert_eq!(
+            loaded.str_value(loaded.specials().get(So::SmalltalkDict)),
+            "generation-one"
+        );
+        // With chaos disarmed the save goes through and the new image wins.
+        mem.save_snapshot_to_path(&path).unwrap();
+        let loaded = ObjectMemory::load_snapshot_from_path(&path, small_config()).unwrap();
+        assert_eq!(
+            loaded.str_value(loaded.specials().get(So::SmalltalkDict)),
+            "generation-two"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,119 @@
+//! In-tree CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`).
+//!
+//! The snapshot format checksums every section so a bit-flipped or torn
+//! image is rejected at load time instead of corrupting the heap. The
+//! workspace is hermetic (no external crates), so the checksum lives here:
+//! a single 256-entry table built in a `const fn`, with a streaming
+//! [`Crc32`] digest for writers that produce a section incrementally and a
+//! one-shot [`crc32`] for whole buffers.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Streaming CRC-32 digest.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh digest (over zero bytes so far).
+    pub const fn new() -> Crc32 {
+        Crc32 { state: !0 }
+    }
+
+    /// Feeds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything fed so far. Does not consume the digest;
+    /// further [`update`](Crc32::update)s continue the same stream.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut d = Crc32::new();
+    d.update(bytes);
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..=255).cycle().take(10_000).collect();
+        let whole = crc32(&data);
+        let mut d = Crc32::new();
+        for chunk in data.chunks(97) {
+            d.update(chunk);
+        }
+        assert_eq!(d.finish(), whole);
+        // finish() is a read, not a reset: updating afterwards continues.
+        let mut e = Crc32::new();
+        e.update(&data[..5000]);
+        let _mid = e.finish();
+        e.update(&data[5000..]);
+        assert_eq!(e.finish(), whole);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base: Vec<u8> = (0u8..64).collect();
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at {byte}.{bit}");
+            }
+        }
+    }
+}

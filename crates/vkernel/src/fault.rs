@@ -18,6 +18,19 @@
 //! * [`fail_alloc`] — fails a new-space allocation that had room, forcing
 //!   the caller down its scavenge-and-retry path.
 //!
+//! Two further sites are **destructive** and therefore *opt-in*: they are
+//! not part of [`ALL_SITES`] and only fire when named explicitly in the
+//! site mask (`MST_CHAOS=<seed>:<rate>:thread.panic`, or a programmatic
+//! [`install`]):
+//!
+//! * [`thread_panic`] — tells a supervised interpreter thread to panic at
+//!   its next safepoint, exercising the processor supervisor's recovery
+//!   path. Bounded by a kill budget ([`set_kill_budget`]) so a soak run
+//!   loses a planned number of processors, not all of them.
+//! * [`torn_write`] — tells the snapshot writer to tear the image file
+//!   mid-write (truncate the temp file and skip the atomic rename),
+//!   exercising the crash-consistent save path.
+//!
 //! Disabled (the default), every injection point is a single branch on one
 //! relaxed atomic load. Configuration comes from the `MST_CHAOS`
 //! environment variable (`<seed>:<rate>` with an optional `:<site,...>`
@@ -25,7 +38,7 @@
 //! Injections are counted in the telemetry registry under `chaos.*`.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use mst_telemetry as tel;
@@ -44,15 +57,23 @@ pub enum FaultSite {
     SpuriousWake = 2,
     /// Fail a new-space allocation despite available room.
     AllocFail = 3,
+    /// Panic a supervised interpreter thread at its next safepoint.
+    /// Destructive: opt-in, never part of [`ALL_SITES`].
+    ThreadPanic = 4,
+    /// Tear a snapshot write (truncate the temp file, skip the rename).
+    /// Destructive: opt-in, never part of [`ALL_SITES`].
+    TornWrite = 5,
 }
 
 impl FaultSite {
     /// All sites, in bit order.
-    pub const ALL: [FaultSite; 4] = [
+    pub const ALL: [FaultSite; 6] = [
         FaultSite::LockAcquire,
         FaultSite::SafepointPoll,
         FaultSite::SpuriousWake,
         FaultSite::AllocFail,
+        FaultSite::ThreadPanic,
+        FaultSite::TornWrite,
     ];
 
     /// The site's name as accepted by the `MST_CHAOS` site filter.
@@ -62,15 +83,22 @@ impl FaultSite {
             FaultSite::SafepointPoll => "safepoint_poll",
             FaultSite::SpuriousWake => "spurious_wake",
             FaultSite::AllocFail => "alloc_fail",
+            FaultSite::ThreadPanic => "thread.panic",
+            FaultSite::TornWrite => "snapshot.torn_write",
         }
     }
 
-    fn bit(self) -> u32 {
+    /// The site's bit in a [`ChaosConfig::sites`] mask.
+    pub fn bit(self) -> u32 {
         1 << (self as u8)
     }
 }
 
-/// Bitmask enabling every injection site.
+/// Bitmask enabling every *semantically legal* injection site. The
+/// destructive sites ([`FaultSite::ThreadPanic`], [`FaultSite::TornWrite`])
+/// are deliberately excluded: a blanket `ChaosConfig::new` soak must perturb
+/// timing, never kill processors or tear images, unless those sites are
+/// named explicitly.
 pub const ALL_SITES: u32 = 0b1111;
 
 /// Chaos configuration, mirrored by `MsConfig.chaos` at the system layer.
@@ -135,20 +163,26 @@ static CONFIG_GEN: AtomicU64 = AtomicU64::new(0);
 static NEXT_STREAM: AtomicU64 = AtomicU64::new(0);
 /// Nanoseconds a fired [`poll_stall`] sleeps.
 static STALL_NS: AtomicU64 = AtomicU64::new(200_000);
+/// Remaining [`thread_panic`] firings. Negative means unlimited; a fired
+/// kill decrements, and the site stops firing at zero. Reset by
+/// [`set_kill_budget`], defaulted to unlimited on [`install`].
+static KILL_BUDGET: AtomicI64 = AtomicI64::new(-1);
 
 thread_local! {
     /// (config generation, stream PRNG) for this thread.
     static RNG: Cell<(u64, SplitMix64)> = const { Cell::new((0, SplitMix64::new(0))) };
 }
 
-fn counters() -> &'static [&'static tel::Counter; 4] {
-    static C: OnceLock<[&'static tel::Counter; 4]> = OnceLock::new();
+fn counters() -> &'static [&'static tel::Counter; 6] {
+    static C: OnceLock<[&'static tel::Counter; 6]> = OnceLock::new();
     C.get_or_init(|| {
         [
             tel::counter("chaos.lock_delay"),
             tel::counter("chaos.poll_stall"),
             tel::counter("chaos.spurious_wake"),
             tel::counter("chaos.alloc_fail"),
+            tel::counter("chaos.thread_panic"),
+            tel::counter("chaos.torn_write"),
         ]
     })
 }
@@ -159,14 +193,23 @@ pub fn configure(seed: u64, rate: f64) {
     install(ChaosConfig::new(seed, rate));
 }
 
-/// Arms the sites in `config.sites` at `config.rate`.
+/// Arms the sites in `config.sites` at `config.rate`. Resets the kill
+/// budget to unlimited; call [`set_kill_budget`] afterwards to bound
+/// [`thread_panic`].
 pub fn install(config: ChaosConfig) {
     let ppm = (config.rate.clamp(0.0, 1.0) * 1_000_000.0) as u32;
     SEED.store(config.seed, Ordering::Relaxed);
     RATE_PPM.store(ppm, Ordering::Relaxed);
     SITE_MASK.store(config.sites, Ordering::Relaxed);
+    KILL_BUDGET.store(-1, Ordering::Relaxed);
     CONFIG_GEN.fetch_add(1, Ordering::Relaxed);
     ENABLED.store(ppm > 0 && config.sites != 0, Ordering::Relaxed);
+}
+
+/// Bounds how many times [`thread_panic`] may fire before going quiet.
+/// Negative means unlimited.
+pub fn set_kill_budget(kills: i64) {
+    KILL_BUDGET.store(kills, Ordering::Relaxed);
 }
 
 /// Disarms every injection site; each point reverts to its single relaxed
@@ -272,6 +315,39 @@ pub fn fail_alloc() -> bool {
     ENABLED.load(Ordering::Relaxed) && roll(FaultSite::AllocFail)
 }
 
+/// Injection point: a supervised interpreter thread's safepoint. Returns
+/// `true` when the thread should panic to exercise supervisor recovery.
+/// Fires only while the kill budget ([`set_kill_budget`]) has room; a
+/// firing consumes one unit of budget.
+#[inline]
+pub fn thread_panic() -> bool {
+    ENABLED.load(Ordering::Relaxed) && thread_panic_slow()
+}
+
+#[cold]
+fn thread_panic_slow() -> bool {
+    if KILL_BUDGET.load(Ordering::Relaxed) == 0 || !roll(FaultSite::ThreadPanic) {
+        return false;
+    }
+    // Claim one unit of budget; losers of the race (budget already spent
+    // by a concurrent kill) stand down. Negative budget means unlimited,
+    // and stays negative under fetch_sub until i64 wraps — effectively
+    // never.
+    let prior = KILL_BUDGET.fetch_sub(1, Ordering::Relaxed);
+    if prior == 0 {
+        KILL_BUDGET.store(0, Ordering::Relaxed);
+        return false;
+    }
+    true
+}
+
+/// Injection point: the snapshot file writer. Returns `true` when the
+/// write should be torn (temp file truncated, atomic rename skipped).
+#[inline]
+pub fn torn_write() -> bool {
+    ENABLED.load(Ordering::Relaxed) && roll(FaultSite::TornWrite)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +386,29 @@ mod tests {
         assert!(!fail_alloc());
         assert!(spurious_wake());
 
+        // Destructive sites are opt-in: a blanket ALL_SITES config never
+        // kills threads or tears writes.
+        configure(42, 1.0);
+        assert!(!thread_panic());
+        assert!(!torn_write());
+
+        // Explicitly armed, they fire...
+        install(ChaosConfig {
+            seed: 42,
+            rate: 1.0,
+            sites: FaultSite::ThreadPanic.bit() | FaultSite::TornWrite.bit(),
+        });
+        assert!(thread_panic());
+        assert!(torn_write());
+        // ...and thread.panic respects its kill budget.
+        set_kill_budget(2);
+        assert!(thread_panic());
+        assert!(thread_panic());
+        assert!(!thread_panic());
+        assert!(!thread_panic());
+        set_kill_budget(-1);
+        assert!(thread_panic());
+
         // Rate 0 disables even with sites armed.
         install(ChaosConfig::new(42, 0.0));
         assert!(!enabled());
@@ -326,6 +425,13 @@ mod tests {
         assert_eq!(
             c.sites,
             FaultSite::LockAcquire.bit() | FaultSite::AllocFail.bit()
+        );
+
+        // Destructive sites parse by their dotted names.
+        let c = ChaosConfig::parse("9:0.01:thread.panic,snapshot.torn_write").unwrap();
+        assert_eq!(
+            c.sites,
+            FaultSite::ThreadPanic.bit() | FaultSite::TornWrite.bit()
         );
 
         assert!(ChaosConfig::parse("").is_none());

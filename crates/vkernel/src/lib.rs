@@ -27,8 +27,10 @@
 //!   and the property-test harness, part of the hermetic-build policy
 //!   (no external crates anywhere in the workspace).
 //! * [`fault`] — seeded chaos injection points (lock delays, safepoint
-//!   stalls, spurious wakeups, allocation failures) the substrate consults
-//!   at its fragile moments; a relaxed-atomic no-op when disarmed.
+//!   stalls, spurious wakeups, allocation failures, plus opt-in
+//!   thread-kill and torn-write sites) the substrate consults at its
+//!   fragile moments; a relaxed-atomic no-op when disarmed.
+//! * [`crc`] — in-tree CRC-32 used by the checksummed snapshot format.
 //!
 //! # Example
 //!
@@ -40,6 +42,7 @@
 //! assert_eq!(*counter.lock(), 1);
 //! ```
 
+pub mod crc;
 pub mod fault;
 pub mod io;
 mod prng;

@@ -8,8 +8,11 @@
 //! "virtual image"); the paper's reorganization section describes filling
 //! the scheduler's `activeProcess` slot before snapshotting for
 //! compatibility with pre-MS images. This example mutates the image (a
-//! freshly compiled method and a global), snapshots it to a byte buffer,
-//! boots a second system from those bytes, and shows the state survived.
+//! freshly compiled method and a global), snapshots it to a file with the
+//! crash-consistent writer (temp file + fsync + atomic rename), boots a
+//! second system from that file, and shows the state survived. It also
+//! demonstrates the structured load errors: a corrupted copy of the image
+//! is rejected with the failing section and byte offset, never a panic.
 
 use mst_core::{MsConfig, MsSystem, Value};
 
@@ -25,19 +28,23 @@ fn main() {
         .expect("compile failed");
     assert_eq!(ms.evaluate("Benchmark answer").unwrap(), Value::Int(42));
 
-    let mut bytes = Vec::new();
-    ms.save_snapshot(&mut bytes).expect("snapshot failed");
+    let dir = std::env::temp_dir().join(format!("mst-snapshot-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let image = dir.join("example.image");
+    ms.save_snapshot_file(&image).expect("snapshot failed");
     println!(
-        "snapshot taken: {} KB ({} old-space words)",
-        bytes.len() / 1024,
+        "snapshot saved to {}: {} KB ({} old-space words)",
+        image.display(),
+        std::fs::metadata(&image)
+            .map(|m| m.len() / 1024)
+            .unwrap_or(0),
         ms.mem().old_used()
     );
     ms.shutdown();
 
-    // A new system boots from the snapshot — no bootstrap, and the
+    // A new system boots from the snapshot file — no bootstrap, and the
     // runtime-compiled method is still there.
-    let mut restored =
-        MsSystem::from_snapshot(&mut bytes.as_slice(), config).expect("restore failed");
+    let mut restored = MsSystem::from_snapshot_file(&image, config).expect("restore failed");
     let v = restored.evaluate("Benchmark answer").unwrap();
     println!("restored image answers: {v}");
     assert_eq!(v, Value::Int(42));
@@ -51,5 +58,20 @@ fn main() {
     restored.collect_garbage();
     assert_eq!(restored.evaluate("3 + 4").unwrap(), Value::Int(7));
     restored.shutdown();
+
+    // Corruption is detected, located, and reported — never a panic. Flip
+    // one byte in the middle of a copy and watch the loader name the
+    // section and offset that failed its checksum.
+    let mut bytes = std::fs::read(&image).expect("read image");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    let corrupt = dir.join("corrupt.image");
+    std::fs::write(&corrupt, &bytes).expect("write corrupt copy");
+    match MsSystem::from_snapshot_file(&corrupt, config) {
+        Ok(_) => panic!("corrupt image must not load"),
+        Err(e) => println!("corrupt copy rejected: {e}"),
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
     println!("done");
 }

@@ -228,6 +228,20 @@ impl Drop for DisarmChaos {
     }
 }
 
+/// Polls `cond` every 10ms until it holds or `limit_ms` elapses.
+fn wait_until(limit_ms: u64, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(limit_ms);
+    loop {
+        if cond() {
+            return true;
+        }
+        if std::time::Instant::now() > deadline {
+            return false;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
 #[test]
 fn chaos_soak_leaves_a_clean_heap_across_seeds() {
     let _disarm = DisarmChaos;
@@ -309,4 +323,99 @@ fn low_space_signals(ms: &mut MsSystem) -> i64 {
         Value::Int(n) => n,
         v => panic!("excessSignals answered {v:?}"),
     }
+}
+
+#[test]
+fn rendezvous_survives_panics_during_stop_the_world() {
+    use std::sync::Arc;
+    let rdv = Arc::new(mst_vkernel::Rendezvous::new());
+    let me = rdv.register();
+
+    // A participant that panics instead of parking while a stop is in
+    // flight: its RAII guard must unregister it on unwind, so the waiting
+    // stopper recounts and completes instead of wedging forever.
+    let (tx, rx) = std::sync::mpsc::channel();
+    let r2 = Arc::clone(&rdv);
+    let t = std::thread::spawn(move || {
+        let _p = r2.participant();
+        tx.send(()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        panic!("injected: participant dies instead of parking");
+    });
+    rx.recv().unwrap(); // the victim is registered; the stop must now wait on it
+    drop(rdv.stop_world(me));
+    assert!(t.join().is_err(), "the victim thread must have panicked");
+    assert_eq!(rdv.participants(), 1, "the dead participant must be gone");
+
+    // A leader that panics while *holding* the stopped world: the
+    // RendezvousGuard must release the stop on unwind.
+    rdv.unregister(me);
+    let r2 = Arc::clone(&rdv);
+    let t = std::thread::spawn(move || {
+        let p = r2.participant();
+        let _world = p.stop_world();
+        panic!("injected: leader dies mid-collection");
+    });
+    assert!(t.join().is_err());
+    assert!(
+        !rdv.poll(),
+        "a dead leader must not leave the stop flag set"
+    );
+    assert_eq!(rdv.participants(), 0);
+
+    // The rendezvous is fully functional after both deaths.
+    let me = rdv.register();
+    drop(rdv.stop_world(me));
+    rdv.unregister(me);
+}
+
+#[test]
+fn low_space_handler_process_observes_the_signal() {
+    // Same memory shape as the containment test: an old generation the
+    // bootstrap fits in but a hoard of tenured arrays exhausts.
+    let mut ms = MsSystem::new(MsConfig {
+        memory: mst_objmem::MemoryConfig {
+            old_words: 2 << 20,
+            eden_words: 64 << 10,
+            survivor_words: 24 << 10,
+            ..mst_objmem::MemoryConfig::default()
+        },
+        processors: 2,
+        ..MsConfig::default()
+    });
+    // The Blue Book low-space watcher, in the image: drain bootstrap-era
+    // excess signals, then fork a process that blocks on LowSpaceSemaphore
+    // and reports when a *fresh* signal arrives.
+    eval(
+        &mut ms,
+        "[LowSpaceSemaphore excessSignals > 0]
+             whileTrue: [LowSpaceSemaphore wait].
+         [LowSpaceSemaphore wait. Transcript show: 'low-space-handled'] fork.
+         1",
+    );
+    let handled = |ms: &MsSystem| ms.vm().transcript.lock().contains("low-space-handled");
+    assert!(
+        !handled(&ms),
+        "the handler must still be blocked before any memory pressure"
+    );
+    // Exhaust old space; the VM contains the failure and signals low space.
+    let err = ms
+        .evaluate(
+            "| c | c := OrderedCollection new.
+             [true] whileTrue: [c add: (Array new: 20000)]",
+        )
+        .expect_err("hoarding large arrays must exhaust old space");
+    assert!(
+        err.to_string().contains("outOfMemory"),
+        "expected an outOfMemory report, got: {err}"
+    );
+    // End to end: exhaustion -> LowSpaceSemaphore signal -> the waiting
+    // Smalltalk process wakes on a worker interpreter and runs its handler.
+    assert!(
+        wait_until(5_000, || handled(&ms)),
+        "the forked handler never observed the low-space signal"
+    );
+    assert_eq!(eval(&mut ms, "3 + 4"), Value::Int(7));
+    let audit = ms.audit_heap();
+    assert!(audit.is_clean(), "heap dirty after handling:\n{audit}");
 }
