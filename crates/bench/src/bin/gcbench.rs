@@ -1,0 +1,288 @@
+//! Pause time of one generation scavenge as a function of helper count.
+//!
+//! Usage: `cargo run --release -p mst-bench --bin gcbench [--smoke]`
+//!
+//! The paper's motivation for drafting stopped processors into the
+//! collector is that a scavenge pause is dominated by copying the live
+//! set, and copying parallelizes. This benchmark builds one large live
+//! graph, then scavenges it repeatedly with 1, 2, and 4 threads and
+//! reports the best pause per helper count. The tenure threshold is set
+//! above the maximum header age so the survivors ping-pong between the
+//! semispaces forever: every measured round copies exactly the same live
+//! set, and the helper count is the only variable.
+//!
+//! On a host with at least four cores the run **fails** (exit 1) if the
+//! 4-helper pause is more than 5% worse than the serial one — the
+//! regression gate for the parallel scavenger. With fewer cores the
+//! comparison is printed but only warns, since helpers then time-slice
+//! one CPU and "within noise of serial" is the best possible outcome.
+//!
+//! `--smoke` runs a short 2-helper pass with spurious condvar wakeups
+//! injected underneath a real rendezvous (the interpreter's donation
+//! path), auditing the heap after every collection. Both modes write
+//! `BENCH_gc.json` for CI artifact upload.
+
+use mst_bench::harness::ns_human;
+use mst_objmem::{MemoryConfig, ObjFormat, ObjectMemory, Oop, So};
+use mst_vkernel::SplitMix64;
+
+/// Runs a leader-supplied world-stopped closure on `helpers` scoped
+/// threads, the way the rendezvous does with drafted processors.
+fn scope_runner(helpers: usize, f: &(dyn Fn(usize) + Sync)) {
+    std::thread::scope(|s| {
+        for slot in 1..helpers {
+            s.spawn(move || f(slot));
+        }
+        f(0);
+    });
+}
+
+/// A heap whose survivor spaces comfortably hold `live_words` and whose
+/// tenure threshold can never be reached (ages saturate at `MAX_AGE`),
+/// so repeated scavenges copy an unchanging live set.
+fn bench_mem(live_words: usize) -> ObjectMemory {
+    let mem = ObjectMemory::new(MemoryConfig {
+        old_words: 256 << 10,
+        eden_words: live_words + (live_words / 2) + (16 << 10),
+        survivor_words: live_words + (live_words / 2) + (16 << 10),
+        tenure_age: u8::MAX,
+        ..MemoryConfig::default()
+    });
+    let nil = mem
+        .allocate_old(Oop::ZERO, ObjFormat::Pointers, 0, 0)
+        .expect("fresh old space");
+    mem.specials().set(So::Nil, nil);
+    mem
+}
+
+/// Builds a wide, shared object graph of roughly `live_words` heap words,
+/// reachable from `lanes` roots. Every node is attached to a free slot of
+/// an earlier node the moment it is allocated, so the whole allocation is
+/// live; leftover slots become cross-links (sharing) or small integers.
+fn build_live_graph(
+    mem: &ObjectMemory,
+    seed: u64,
+    live_words: usize,
+    lanes: usize,
+) -> Vec<mst_objmem::RootHandle> {
+    let tok = mem.new_token();
+    let mut rng = SplitMix64::new(seed);
+    let mut roots = Vec::with_capacity(lanes);
+    let mut all: Vec<Oop> = Vec::new();
+    // (object, next free slot, slot count) — parents still accepting kids.
+    let mut open: Vec<(Oop, usize, usize)> = Vec::new();
+    let mut words = 0usize;
+    while words < live_words {
+        let body = rng.gen_range(2, 24) as usize;
+        let obj = mem
+            .alloc_array(&tok, body)
+            .expect("eden sized for the live set");
+        words += body + 2;
+        if roots.len() < lanes {
+            roots.push(mem.new_root(obj));
+        } else {
+            // Attach to a random open parent so the node is reachable.
+            let pick = rng.gen_range(0, open.len() as u64) as usize;
+            let (parent, slot, nslots) = &mut open[pick];
+            mem.store(*parent, *slot, obj);
+            *slot += 1;
+            if *slot == *nslots {
+                open.swap_remove(pick);
+            }
+        }
+        all.push(obj);
+        // Reserve up to 3 child slots; the rest are filled below.
+        let kids = (rng.gen_range(1, 4) as usize).min(body);
+        open.push((obj, 0, kids));
+        for i in kids..body {
+            let v = if rng.gen_range(0, 100) < 25 {
+                *rng.choose(&all).expect("at least one node")
+            } else {
+                Oop::from_small_int(rng.gen_range_i64(-1000, 1000))
+            };
+            mem.store(obj, i, v);
+        }
+    }
+    roots
+}
+
+struct HelperRun {
+    helpers: usize,
+    best_ns: u64,
+    mean_ns: u64,
+    rounds: usize,
+}
+
+/// Scavenges `rounds` times with `helpers` threads, auditing the heap
+/// after every collection, and returns best/mean pause.
+fn measure(mem: &ObjectMemory, helpers: usize, rounds: usize) -> HelperRun {
+    let mut pauses = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let out = mem
+            .try_scavenge_parallel(helpers, scope_runner)
+            .expect("old space untouched by a tenure-free scavenge");
+        mem.verify_heap().assert_clean();
+        pauses.push(out.nanos);
+    }
+    HelperRun {
+        helpers,
+        best_ns: *pauses.iter().min().expect("rounds >= 1"),
+        mean_ns: pauses.iter().sum::<u64>() / pauses.len() as u64,
+        rounds,
+    }
+}
+
+fn write_json(path: &str, live_words: usize, cores: usize, chaos: bool, runs: &[HelperRun]) {
+    let mut out = format!(
+        "{{\"bench\":\"gcbench\",\"live_words\":{live_words},\"cores\":{cores},\
+         \"chaos\":{chaos},\"results\":["
+    );
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"helpers\":{},\"best_ns\":{},\"mean_ns\":{},\"rounds\":{}}}",
+            r.helpers, r.best_ns, r.mean_ns, r.rounds
+        ));
+    }
+    out.push_str("]}");
+    mst_telemetry::json::parse(&out).expect("generated gcbench JSON must parse");
+    std::fs::write(path, out).expect("BENCH_gc.json must be writable");
+}
+
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Short chaos pass: 2 helpers drafted through a real rendezvous while
+/// spurious condvar wakeups fire underneath every wait.
+fn smoke() {
+    use mst_vkernel::fault;
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            fault::disable();
+        }
+    }
+    let _disarm = Disarm;
+    fault::install(fault::ChaosConfig {
+        seed: 0x6CBE_4C4A,
+        rate: 0.4,
+        sites: fault::FaultSite::SpuriousWake.bit(),
+    });
+
+    let live_words = 16 << 10;
+    let mem = bench_mem(live_words);
+    let roots = build_live_graph(&mem, 0xB00C, live_words, 32);
+    let rdv = std::sync::Arc::new(mst_vkernel::Rendezvous::new());
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut pauses = Vec::new();
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let rdv = std::sync::Arc::clone(&rdv);
+            let stop = std::sync::Arc::clone(&stop);
+            s.spawn(move || {
+                let me = rdv.participant();
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    if rdv.poll() {
+                        me.park();
+                    }
+                    std::hint::spin_loop();
+                }
+            });
+        }
+        let me = rdv.participant();
+        for _ in 0..8 {
+            let guard = me.stop_world();
+            let out = mem
+                .try_scavenge_parallel(2, |n, f| {
+                    guard.run_stopped(n, f);
+                })
+                .expect("old space untouched by a tenure-free scavenge");
+            drop(guard);
+            mem.verify_heap().assert_clean();
+            pauses.push(out.nanos);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+    });
+    drop(roots);
+
+    let run = HelperRun {
+        helpers: 2,
+        best_ns: *pauses.iter().min().expect("eight rounds"),
+        mean_ns: pauses.iter().sum::<u64>() / pauses.len() as u64,
+        rounds: pauses.len(),
+    };
+    println!(
+        "smoke: {} chaotic 2-helper scavenges of {} live words, all audits clean \
+         (best {}, mean {})",
+        run.rounds,
+        live_words,
+        ns_human(run.best_ns as f64),
+        ns_human(run.mean_ns as f64)
+    );
+    write_json("BENCH_gc.json", live_words, available_cores(), true, &[run]);
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
+    let cores = available_cores();
+    let live_words = 192 << 10; // ~1.5 MB of live data per scavenge
+    let rounds = 15;
+    println!("gcbench: scavenge pause vs. helper count ({cores} cores visible)");
+    let mem = bench_mem(live_words);
+    let roots = build_live_graph(&mem, 0x6C_BE4C, live_words, 128);
+    // First scavenge evacuates eden; measured rounds ping-pong survivors.
+    mem.scavenge();
+    mem.verify_heap().assert_clean();
+
+    let mut runs = Vec::new();
+    let serial_words = mem.gc_stats().words_survived;
+    for helpers in [1usize, 2, 4] {
+        let run = measure(&mem, helpers, rounds);
+        println!(
+            "  helpers={}  best {:>10}  mean {:>10}  ({} rounds)",
+            run.helpers,
+            ns_human(run.best_ns as f64),
+            ns_human(run.mean_ns as f64),
+            run.rounds
+        );
+        runs.push(run);
+    }
+    drop(roots);
+    let copied = mem.gc_stats().words_survived - serial_words;
+    println!(
+        "  [{} words copied per scavenge; no tenuring]",
+        copied / (3 * rounds) as u64
+    );
+
+    write_json("BENCH_gc.json", live_words, cores, false, &runs);
+    println!("wrote BENCH_gc.json");
+
+    let serial = runs[0].best_ns as f64;
+    let par4 = runs[2].best_ns as f64;
+    let ratio = par4 / serial;
+    if cores >= 4 {
+        if ratio > 1.05 {
+            eprintln!(
+                "FAIL: 4-helper pause is {:.2}x serial on a {cores}-core host \
+                 (budget: 1.05x)",
+                ratio
+            );
+            std::process::exit(1);
+        }
+        println!("PASS: 4-helper pause is {ratio:.2}x serial (budget: 1.05x)");
+    } else {
+        println!(
+            "note: only {cores} core(s) visible; 4-helper pause is {ratio:.2}x serial \
+             (gate requires >= 4 cores)"
+        );
+    }
+}

@@ -152,6 +152,38 @@ fn main() {
         (mean(3) - 1.0) * 100.0
     );
     println!("\n(differences of less than 3% are not significant — paper, Table 2 note)");
+
+    write_table2_json("BENCH_table2.json", &results);
+    println!("wrote BENCH_table2.json");
+}
+
+/// Emits the full state × benchmark grid as machine-readable JSON for CI
+/// artifact upload and regression diffing, paper numbers included.
+fn write_table2_json(path: &str, results: &[Vec<Timing>]) {
+    let mut out = String::from("{\"bench\":\"table2\",\"cells\":[");
+    let mut first = true;
+    for (si, state) in SystemState::ALL.iter().enumerate() {
+        for (bi, b) in TABLE2.iter().enumerate() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let t = &results[si][bi];
+            out.push_str(&format!(
+                "{{\"state\":\"{}\",\"benchmark\":\"{}\",\"cpu_ns\":{:.1},\
+                 \"wall_ns\":{:.1},\"iters\":{},\"paper_secs\":{}}}",
+                mst_telemetry::json::escape(state.label()),
+                mst_telemetry::json::escape(b.label),
+                t.cpu_ns,
+                t.wall_ns,
+                t.iters,
+                b.paper_secs[si]
+            ));
+        }
+    }
+    out.push_str("]}");
+    mst_telemetry::json::parse(&out).expect("generated table2 JSON must parse");
+    std::fs::write(path, out).expect("BENCH_table2.json must be writable");
 }
 
 fn short(label: &str) -> String {

@@ -653,11 +653,20 @@ impl MsSystem {
         Ok(system)
     }
 
-    /// Stops the world and scavenges (for tests and harnesses).
+    /// Stops the world and scavenges (for tests and harnesses). With
+    /// `gc_helpers > 1` configured, the stopped worker interpreters are
+    /// donated to the collection as parallel scavenge helpers.
     pub fn collect_garbage(&self) {
         let me = self.vm.rendezvous.participant();
         let guard = me.stop_world();
-        self.vm.mem.scavenge();
+        let helpers = self.vm.mem.config().gc_helpers;
+        if helpers > 1 {
+            self.vm.mem.scavenge_parallel(helpers, |n, f| {
+                guard.run_stopped(n, f);
+            });
+        } else {
+            self.vm.mem.scavenge();
+        }
         self.vm.bump_cache_epoch();
         drop(guard);
     }

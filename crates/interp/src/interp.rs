@@ -369,6 +369,7 @@ impl Interpreter {
                     // Idle: no claimable process. Keep polling the GC flag —
                     // parked idle interpreters must not block a scavenge.
                     if self.vm.rendezvous.poll() {
+                        self.mem().retire_token(&self.token);
                         self.vm.rendezvous.park(participant.id());
                     }
                     mst_vkernel::delay(24);
@@ -639,12 +640,26 @@ impl Interpreter {
     /// heap is left untouched in that case so execution can continue.
     fn scavenge_world(&mut self) -> Result<(), mst_objmem::OomError> {
         let before = self.mem().gc_epoch();
+        // Exact accounting: hand the unused tail of our allocation buffer
+        // back before the collection sizes its tenure reserve.
+        self.mem().retire_token(&self.token);
         let guard = self.vm.rendezvous.stop_world(self.rdv_id());
         let mut result = Ok(());
         if self.mem().gc_epoch() == before {
             // Nobody beat us to it: collect.
             *self.vm.shared_free.lock() = FreeLists::default();
-            match self.mem().try_scavenge() {
+            let helpers = self.mem().config().gc_helpers;
+            let scavenged = if helpers > 1 {
+                // Donate the stopped interpreters: they run the scavenge
+                // closure from inside their parks (paper §5 future work —
+                // "the stopped processors could help with the collection").
+                self.mem().try_scavenge_parallel(helpers, |n, f| {
+                    guard.run_stopped(n, f);
+                })
+            } else {
+                self.mem().try_scavenge()
+            };
+            match scavenged {
                 Ok(_) => {
                     self.vm.bump_cache_epoch();
                     self.vm.global_cache.clear(self.vm.cache_epoch());
@@ -721,6 +736,9 @@ impl Interpreter {
         }
         if self.vm.rendezvous.poll() {
             self.flush_registers();
+            // The stopper may size a scavenge while we sit parked: retire
+            // the allocation buffer so eden accounting is exact.
+            self.mem().retire_token(&self.token);
             self.vm.rendezvous.park(self.rdv_id());
             self.after_gc();
         } else if self.sels_epoch != self.mem().gc_epoch() {

@@ -69,6 +69,13 @@ const HASH_BITS: u64 = 22;
 
 /// Maximum body size in words a single object may have.
 pub const MAX_BODY_WORDS: usize = (1 << SIZE_BITS) - 1;
+/// Fills abandoned tail words of a parallel scavenge's to-space copy
+/// buffers. Chosen above every bit a valid header uses below the hash field
+/// (bits 36–39 are unassigned), so a space walker can never confuse a pad
+/// with an object header; walkers skip pad words one at a time. Pads only
+/// ever appear in survivor space, are never referenced, and die with the
+/// semispace at the next scavenge.
+pub const PAD_WORD: u64 = 1 << 36;
 /// Maximum GC age before an object is tenured.
 pub const MAX_AGE: u8 = (1 << AGE_BITS) - 1;
 /// Identity hashes are confined to this many bits.
@@ -156,6 +163,34 @@ impl Header {
     #[inline]
     pub fn with_forwarded(self) -> Header {
         Header(self.0 | FLAG_FORWARDED)
+    }
+
+    /// Packs a forwarding pointer into a single header word: the `FORWARDED`
+    /// flag plus the new oop's raw bits in the low 33 bits. Unlike the
+    /// serial scavenger's two-word forwarding (flag in word 0, target in
+    /// word 1), this form installs atomically with one CAS, which the
+    /// parallel scavenger's copy race requires. Valid because object oops
+    /// are `index << 1` and every real heap index fits well below 2^32.
+    #[inline]
+    pub fn forwarding_word(target_raw: u64) -> u64 {
+        debug_assert!(target_raw < FLAG_REMEMBERED, "oop too wide to pack");
+        FLAG_FORWARDED | target_raw
+    }
+
+    /// The raw oop packed by [`forwarding_word`](Header::forwarding_word).
+    /// Only meaningful while [`is_forwarded`](Header::is_forwarded) and the
+    /// word was installed by the parallel scavenger. A result of zero means
+    /// the copy is still in flight (claimed, not yet published).
+    #[inline]
+    pub fn forwarding_target(self) -> u64 {
+        self.0 & (FLAG_FORWARDED - 1)
+    }
+
+    /// The claim sentinel: `FORWARDED` with a zero target. A helper installs
+    /// this before copying; racing readers spin until the real target lands.
+    #[inline]
+    pub fn claim_word() -> u64 {
+        FLAG_FORWARDED
     }
 
     /// Whether the object is marked (mark-compact only).
@@ -261,6 +296,23 @@ mod tests {
         for fmt in [ObjFormat::Pointers, ObjFormat::Bytes, ObjFormat::Method] {
             assert_eq!(Header::new(1, fmt, 0, 0).format(), fmt);
         }
+    }
+
+    #[test]
+    fn packed_forwarding_round_trips() {
+        let raw = 0x1234_5678u64 << 1; // an object oop: even, < 2^33
+        let w = Header::forwarding_word(raw);
+        let h = Header(w);
+        assert!(h.is_forwarded());
+        assert_eq!(h.forwarding_target(), raw);
+        // The claim sentinel is forwarded with a zero (in-flight) target.
+        let c = Header(Header::claim_word());
+        assert!(c.is_forwarded());
+        assert_eq!(c.forwarding_target(), 0);
+        // A pad word is not a plausible header: it has no flags, no size.
+        let p = Header(PAD_WORD);
+        assert!(!p.is_forwarded() && !p.is_marked() && !p.is_remembered());
+        assert_eq!(p.body_words(), 0);
     }
 
     #[test]

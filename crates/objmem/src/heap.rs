@@ -94,6 +94,9 @@ pub struct MemoryConfig {
     pub alloc_policy: AllocPolicy,
     /// Scavenge-survival count after which an object is tenured.
     pub tenure_age: u8,
+    /// Threads (including the leader) a parallel scavenge may use; `1` is
+    /// the exact serial scavenger. Defaulted from `MST_GC_THREADS`.
+    pub gc_helpers: usize,
 }
 
 impl Default for MemoryConfig {
@@ -105,8 +108,19 @@ impl Default for MemoryConfig {
             sync: SyncMode::Multiprocessor,
             alloc_policy: AllocPolicy::SharedEden,
             tenure_age: 3,
+            gc_helpers: gc_helpers_from_env(),
         }
     }
+}
+
+/// The `MST_GC_THREADS` setting, defaulting to 1 (serial scavenging) when
+/// unset or unparsable. Zero is clamped to 1.
+pub fn gc_helpers_from_env() -> usize {
+    std::env::var("MST_GC_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
 }
 
 /// Word-index boundaries of the spaces within the heap.
@@ -261,6 +275,14 @@ pub struct ObjectMemory {
     old_next: SpinMutex<usize>,
     /// Eden bump pointer — the paper's serialized allocation.
     eden_next: SpinMutex<usize>,
+    /// Eden words lost to abandoned LAB tails since the last scavenge
+    /// (`PerProcessorLab` only): carved out of `eden_next` but never
+    /// allocated, counted when a token refills or retires its buffer.
+    eden_lab_waste: AtomicUsize,
+    /// Words a failed large-object (direct-to-old) allocation needed; folded
+    /// into the next scavenge's old-space reservation so the regular
+    /// full-GC / `OomError` containment route covers large objects too.
+    large_shortfall: AtomicUsize,
     /// Bump pointer within the current *future* survivor (GC-time only).
     pub(crate) survivor_next: AtomicUsize,
     /// Which survivor currently holds last scavenge's survivors.
@@ -309,6 +331,8 @@ impl ObjectMemory {
             spaces,
             old_next: SpinMutex::named(config.sync, "old_next", spaces.old_start),
             eden_next: SpinMutex::named(config.sync, "eden_next", spaces.eden_start),
+            eden_lab_waste: AtomicUsize::new(0),
+            large_shortfall: AtomicUsize::new(0),
             survivor_next: AtomicUsize::new(spaces.surv_b_start),
             past_is_a: AtomicBool::new(true),
             past_fill: AtomicUsize::new(spaces.surv_a_start),
@@ -375,6 +399,17 @@ impl ObjectMemory {
         debug_assert!(idx < self.spaces.surv_b_end, "heap index out of range");
         // SAFETY: as `word`.
         unsafe { *self.store.base().add(idx) = v }
+    }
+
+    /// Atomic view of a heap word, for the parallel scavenger's CAS-installed
+    /// forwarding and racing slot updates.
+    #[inline]
+    pub(crate) fn word_atomic(&self, idx: usize) -> &AtomicU64 {
+        debug_assert!(idx < self.spaces.surv_b_end, "heap index out of range");
+        // SAFETY: bounds as `word`; AtomicU64 has the same layout as u64 and
+        // the plain accessors are never used concurrently on contended words
+        // (scavenge-internal protocol).
+        unsafe { &*self.store.base().add(idx).cast::<AtomicU64>() }
     }
 
     /// The object's header word.
@@ -610,7 +645,19 @@ impl ObjectMemory {
         assert!(body_words <= MAX_BODY_WORDS, "object too large");
         let total = 2 + body_words;
         if total >= Self::LARGE_OBJECT_WORDS {
-            return self.allocate_old(class, format, body_words, odd_bytes);
+            // Large objects tenure at birth. On old-space exhaustion, record
+            // the shortfall and report `None`: the caller's ordinary
+            // scavenge-and-retry path then reserves the extra words, running
+            // a full GC or raising `OomError` exactly like the small-object
+            // containment route (a full collection cannot happen here — the
+            // world is not stopped).
+            match self.allocate_old(class, format, body_words, odd_bytes) {
+                Some(obj) => return Some(obj),
+                None => {
+                    self.large_shortfall.fetch_max(total, Ordering::Relaxed);
+                    return None;
+                }
+            }
         }
         if token.epoch.get() != self.gc_epoch() {
             // A collection emptied eden; our buffer is gone with it.
@@ -640,7 +687,18 @@ impl ObjectMemory {
                     let chunk = lab_words.max(total);
                     let mut next = self.eden_next.lock();
                     if *next + chunk > self.spaces.eden_end {
+                        // Refill failed: the token keeps its old buffer (a
+                        // smaller object may still fit it), so nothing is
+                        // abandoned yet.
                         return None;
+                    }
+                    // The abandoned tail of the old buffer was carved from
+                    // eden but never allocated; account it so eden_used()
+                    // stays exact (the token's epoch was validated above, so
+                    // the remainder is from the current GC cycle).
+                    let stale = token.lab_limit.get() - token.lab_next.get();
+                    if stale > 0 {
+                        self.eden_lab_waste.fetch_add(stale, Ordering::Relaxed);
                     }
                     token.lab_next.set(*next);
                     token.lab_limit.set(*next + chunk);
@@ -887,14 +945,46 @@ impl ObjectMemory {
     // Usage queries
     // ------------------------------------------------------------------
 
-    /// Words allocated in eden since the last scavenge.
+    /// Words allocated in eden since the last scavenge, excluding LAB tails
+    /// that were carved out but abandoned unallocated (exact under both
+    /// allocation policies). Outstanding tokens may still hold unretired
+    /// remainders; interpreters retire theirs at every safepoint park, so at
+    /// stop-world — where the scavenger sizes its old-space reservation —
+    /// the figure is exact.
     pub fn eden_used(&self) -> usize {
+        self.eden_frontier() - self.eden_lab_waste.load(Ordering::Relaxed)
+    }
+
+    /// Words between eden's start and the shared bump pointer, counting
+    /// abandoned LAB tails. This is the extent walkers and the snapshotter
+    /// must use — allocated objects can live anywhere below the frontier.
+    pub fn eden_frontier(&self) -> usize {
         *self.eden_next.lock() - self.spaces.eden_start
     }
 
     /// Unallocated eden words (ignores per-token buffer remainders).
     pub fn eden_headroom(&self) -> usize {
         self.spaces.eden_end - *self.eden_next.lock()
+    }
+
+    /// Returns a token's unallocated LAB remainder to the waste account and
+    /// empties the buffer. Interpreters call this before parking at a
+    /// safepoint so eden accounting is exact while the world is stopped;
+    /// Rust-side callers should retire short-lived tokens when done.
+    /// Idempotent; a no-op under [`AllocPolicy::SharedEden`] (tokens never
+    /// hold buffers) or when the token's buffer predates the last GC.
+    pub fn retire_token(&self, token: &AllocToken) {
+        if token.epoch.get() != self.gc_epoch() {
+            token.lab_next.set(0);
+            token.lab_limit.set(0);
+            token.epoch.set(self.gc_epoch());
+            return;
+        }
+        let rem = token.lab_limit.get() - token.lab_next.get();
+        if rem > 0 {
+            self.eden_lab_waste.fetch_add(rem, Ordering::Relaxed);
+            token.lab_next.set(token.lab_limit.get());
+        }
     }
 
     /// Words allocated in old space.
@@ -919,10 +1009,20 @@ impl ObjectMemory {
 
     pub(crate) fn eden_reset(&self) {
         *self.eden_next.lock() = self.spaces.eden_start;
+        self.eden_lab_waste.store(0, Ordering::Relaxed);
     }
 
+    /// Snapshot load: positions the eden frontier. Waste resets to zero —
+    /// any pre-save LAB tails are conservatively counted as used until the
+    /// next scavenge (saves normally follow a scavenge, leaving eden empty).
     pub(crate) fn set_eden_used(&self, words: usize) {
         *self.eden_next.lock() = self.spaces.eden_start + words;
+        self.eden_lab_waste.store(0, Ordering::Relaxed);
+    }
+
+    /// Consumes the recorded large-allocation shortfall (scavenge prologue).
+    pub(crate) fn take_large_shortfall(&self) -> usize {
+        self.large_shortfall.swap(0, Ordering::Relaxed)
     }
 
     pub(crate) fn symbol_entries(&self) -> Vec<(String, u64)> {
@@ -1175,5 +1275,77 @@ pub(crate) mod tests {
         assert_eq!(mem.eden_used(), before + 10);
         assert!(mem.old_used() > 0);
         assert!(mem.old_free() > 0);
+    }
+
+    #[test]
+    fn eden_used_is_exact_under_per_processor_labs() {
+        let mem = ObjectMemory::new(MemoryConfig {
+            old_words: 64 << 10,
+            eden_words: 16 << 10,
+            survivor_words: 8 << 10,
+            alloc_policy: AllocPolicy::PerProcessorLab { lab_words: 64 },
+            ..MemoryConfig::default()
+        });
+        bootstrap_minimal(&mem);
+        let t1 = mem.new_token();
+        let t2 = mem.new_token();
+        let mut live_words = 0usize;
+        // Interleave odd-sized allocations so LAB refills strand tails.
+        for i in 0..40 {
+            let tok = if i % 2 == 0 { &t1 } else { &t2 };
+            let body = 11 + (i % 7);
+            mem.alloc_array(tok, body).unwrap();
+            live_words += 2 + body;
+        }
+        // The frontier includes carved-but-unused LAB space…
+        assert!(mem.eden_frontier() > live_words);
+        // …and the waste-adjusted figure still overcounts by the two live
+        // LAB tails, until their tokens retire.
+        assert!(mem.eden_used() >= live_words);
+        mem.retire_token(&t1);
+        mem.retire_token(&t2);
+        assert_eq!(
+            mem.eden_used(),
+            live_words,
+            "with every token retired, eden_used must be exact"
+        );
+        // Retiring twice is idempotent; allocation after retirement refills.
+        mem.retire_token(&t1);
+        assert_eq!(mem.eden_used(), live_words);
+        mem.alloc_array(&t1, 3).unwrap();
+        // The fresh LAB's unallocated remainder counts as in-use until its
+        // token retires again.
+        assert!(mem.eden_used() > live_words + 5);
+        mem.retire_token(&t1);
+        assert_eq!(mem.eden_used(), live_words + 5);
+    }
+
+    #[test]
+    fn large_object_shortfall_is_reserved_for_the_retry() {
+        let mem = ObjectMemory::new(MemoryConfig {
+            old_words: 24 << 10,
+            eden_words: 16 << 10,
+            survivor_words: 4 << 10,
+            ..MemoryConfig::default()
+        });
+        bootstrap_minimal(&mem);
+        let tok = mem.new_token();
+        // Fill old space with garbage until a large allocation cannot fit.
+        let large_body = ObjectMemory::LARGE_OBJECT_WORDS;
+        while mem.old_free() > large_body {
+            mem.alloc_array_old(1000).unwrap();
+        }
+        let nil = mem.nil();
+        let failed = mem.allocate(&tok, nil, ObjFormat::Bytes, large_body, 0);
+        assert!(failed.is_none(), "old space is too full for a large object");
+        // The scavenge folds the recorded shortfall into its reserve: old
+        // space cannot cover it by bumping, so the full collector runs and
+        // reclaims the (unreachable) filler arrays.
+        let out = mem.try_scavenge().expect("full GC must recover the room");
+        assert!(out.full_gc_ran, "shortfall must force the full collection");
+        assert!(mem.old_free() >= large_body + 2);
+        let retried = mem.allocate(&tok, nil, ObjFormat::Bytes, large_body, 0);
+        assert!(retried.is_some(), "retry after the collection must fit");
+        mem.verify_heap().assert_clean();
     }
 }

@@ -38,11 +38,13 @@ mod oop;
 mod scavenge;
 mod snapshot;
 mod special;
+mod steal;
 mod verify;
 
 pub use header::{Header, ObjFormat, MAX_AGE, MAX_BODY_WORDS};
 pub use heap::{
-    AllocPolicy, AllocToken, GcStats, MemoryConfig, ObjectMemory, OomError, RootHandle, Spaces,
+    gc_helpers_from_env, AllocPolicy, AllocToken, GcStats, MemoryConfig, ObjectMemory, OomError,
+    RootHandle, Spaces,
 };
 pub use method::MethodHeader;
 pub use oop::Oop;

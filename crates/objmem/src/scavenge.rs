@@ -14,14 +14,15 @@
 //! promoted to old space. Roots are the special objects, registered root
 //! cells, and the entry table (old objects known to reference new space).
 
-use std::sync::atomic::Ordering;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use crate::header::{ObjFormat, MAX_AGE};
+use crate::header::{Header, ObjFormat, MAX_AGE, PAD_WORD};
 use crate::heap::ObjectMemory;
 use crate::method::MethodHeader;
 use crate::oop::Oop;
+use crate::steal::StealDeque;
 
 /// Result of one scavenge.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -78,26 +79,8 @@ impl ObjectMemory {
     pub fn try_scavenge(&self) -> Result<ScavengeOutcome, crate::OomError> {
         let mut trace_span = mst_telemetry::span("gc.scavenge", "gc");
         let start = Instant::now();
-        let mut full_gc_ran = false;
-        // Worst case every live new word tenures; make room up front so the
-        // copy phase cannot fail halfway through.
-        let new_used = self.eden_used() + self.past_survivor_used();
-        if self.old_free() < new_used {
-            self.full_gc();
-            full_gc_ran = true;
-            if self.old_free() < new_used {
-                return Err(crate::OomError {
-                    requested: new_used,
-                    old_free: self.old_free(),
-                });
-            }
-        }
-
-        let (to_start, to_end) = if self.past_is_a.load(Ordering::Relaxed) {
-            (self.spaces().surv_b_start, self.spaces().surv_b_end)
-        } else {
-            (self.spaces().surv_a_start, self.spaces().surv_b_start)
-        };
+        let full_gc_ran = self.reserve_tenure_room()?;
+        let (to_start, to_end) = self.select_to_space();
         self.survivor_next.store(to_start, Ordering::Relaxed);
 
         let mut sc = Scavenger {
@@ -139,6 +122,171 @@ impl ObjectMemory {
         trace_span.set_arg("words_survived", outcome.words_survived);
         drop(trace_span);
         Ok(outcome)
+    }
+
+    /// Scavenges new space with up to `helpers` threads. **The world must be
+    /// stopped by the caller.** Panicking variant of
+    /// [`try_scavenge_parallel`](Self::try_scavenge_parallel).
+    pub fn scavenge_parallel<R>(&self, helpers: usize, run: R) -> ScavengeOutcome
+    where
+        R: FnOnce(usize, &(dyn Fn(usize) + Sync)),
+    {
+        self.try_scavenge_parallel(helpers, run)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Scavenges new space with up to `helpers` threads drawn from the
+    /// stopped world. **The world must be stopped by the caller.**
+    ///
+    /// `run` is handed the helper count and a closure; its contract is the
+    /// one [`RendezvousGuard::run_stopped`](mst_vkernel::RendezvousGuard)
+    /// fulfils: invoke the closure with distinct slot indices in
+    /// `0..helpers` (any subset is fine, but slot 0 — the leader — must
+    /// run), from at most one thread per slot, and return only once every
+    /// invocation has finished. A plain `std::thread::scope` fan-out works
+    /// too.
+    ///
+    /// With `helpers <= 1` this is *exactly* [`try_scavenge`]
+    /// (Self::try_scavenge): the serial scavenger remains the reference
+    /// implementation and the parallel path is an opt-in over it. Helpers
+    /// partition the root cells and the entry table with atomic chunk
+    /// cursors, claim from-space objects by CAS-installing a forwarding
+    /// sentinel in the object header, copy into private to-space buffers
+    /// carved from the shared survivor bump pointer, and balance the
+    /// transitive copy phase with per-helper work-stealing deques.
+    pub fn try_scavenge_parallel<R>(
+        &self,
+        helpers: usize,
+        run: R,
+    ) -> Result<ScavengeOutcome, crate::OomError>
+    where
+        R: FnOnce(usize, &(dyn Fn(usize) + Sync)),
+    {
+        if helpers <= 1 {
+            return self.try_scavenge();
+        }
+        let mut trace_span = mst_telemetry::span("gc.scavenge", "gc");
+        let start = Instant::now();
+        let full_gc_ran = self.reserve_tenure_room()?;
+        let (to_start, to_end) = self.select_to_space();
+        self.survivor_next.store(to_start, Ordering::Relaxed);
+
+        // Snapshot the root cells (pruning dropped handles) and the entry
+        // table up front: helpers partition both with atomic chunk cursors,
+        // so the work lists must stay immutable for the duration.
+        let root_cells = {
+            let mut roots = self.roots.lock();
+            let mut cells = Vec::with_capacity(roots.len());
+            roots.retain(|weak| match weak.upgrade() {
+                Some(cell) => {
+                    cells.push(cell);
+                    true
+                }
+                None => false,
+            });
+            cells
+        };
+        let entries = std::mem::take(&mut *self.entry_table.lock());
+
+        let par = ParScavenger {
+            mem: self,
+            to_start,
+            to_end,
+            root_cells,
+            entries,
+            root_cursor: AtomicUsize::new(0),
+            entry_cursor: AtomicUsize::new(0),
+            deques: (0..helpers)
+                .map(|_| StealDeque::new(DEQUE_CAPACITY))
+                .collect(),
+            entered: AtomicUsize::new(0),
+            busy: AtomicUsize::new(0),
+            rounds: AtomicUsize::new(0),
+            merge: Mutex::new(MergeState::default()),
+        };
+        run(helpers, &|slot| par.run_helper(slot));
+        let ran = par.entered.load(Ordering::SeqCst);
+        assert!(ran >= 1, "run() must invoke the scavenge closure (slot 0)");
+        let m = par.merge.into_inner().unwrap();
+        // Merge retained entries back (tenured-object entries added during
+        // the drain are already in the live table; flags prevent duplicates).
+        self.entry_table.lock().extend(m.retained);
+
+        let mut outcome = ScavengeOutcome {
+            // Pads that plug abandoned buffer tails are not survivors: count
+            // the copied words, not the to-space frontier.
+            words_survived: m.copied_words,
+            words_tenured: m.tenured_words,
+            objects_tenured: m.tenured_objects,
+            nanos: 0,
+            full_gc_ran,
+        };
+
+        // Flip: the future survivor space becomes the past one. `past_fill`
+        // is the carve frontier — every word below it is an object or a pad.
+        let past_was_a = self.past_is_a.load(Ordering::Relaxed);
+        self.past_is_a.store(!past_was_a, Ordering::Relaxed);
+        self.past_fill.store(
+            self.survivor_next.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.eden_reset();
+        self.bump_epoch();
+        self.fullgc_since_scavenge.store(false, Ordering::Relaxed);
+
+        outcome.nanos = start.elapsed().as_nanos() as u64;
+        self.stats.scavenges.incr();
+        self.stats.words_survived.add(outcome.words_survived);
+        self.stats.words_tenured.add(outcome.words_tenured);
+        self.stats.scavenge_nanos.add(outcome.nanos);
+        scavenge_pause_hist().record(outcome.nanos);
+
+        let instr = par_instruments();
+        instr.scavenges.incr();
+        instr.steals.add(m.steals);
+        instr.helpers.record(ran as u64);
+        let mut min_copied = u64::MAX;
+        let mut max_copied = 0u64;
+        for &w in &m.per_helper_copied {
+            instr.helper_words.record(w);
+            min_copied = min_copied.min(w);
+            max_copied = max_copied.max(w);
+        }
+        if max_copied > 0 && m.per_helper_copied.len() > 1 {
+            instr.balance_pct.record(min_copied * 100 / max_copied);
+        }
+
+        trace_span.set_arg("words_survived", outcome.words_survived);
+        drop(trace_span);
+        Ok(outcome)
+    }
+
+    /// Makes sure old space can absorb the worst case — every live new word
+    /// tenures, plus any recorded large-allocation shortfall the retry after
+    /// this collection will claim — running a full collection if bump
+    /// allocation alone cannot cover it. Returns whether the full GC ran.
+    fn reserve_tenure_room(&self) -> Result<bool, crate::OomError> {
+        let reserve = self.eden_used() + self.past_survivor_used() + self.take_large_shortfall();
+        if self.old_free() >= reserve {
+            return Ok(false);
+        }
+        self.full_gc();
+        if self.old_free() < reserve {
+            return Err(crate::OomError {
+                requested: reserve,
+                old_free: self.old_free(),
+            });
+        }
+        Ok(true)
+    }
+
+    /// The future survivor space for the next scavenge, as `(start, end)`.
+    fn select_to_space(&self) -> (usize, usize) {
+        if self.past_is_a.load(Ordering::Relaxed) {
+            (self.spaces().surv_b_start, self.spaces().surv_b_end)
+        } else {
+            (self.spaces().surv_a_start, self.spaces().surv_b_start)
+        }
     }
 }
 
@@ -261,6 +409,365 @@ impl Scavenger<'_> {
     #[allow(dead_code)]
     fn to_space_used(&self) -> usize {
         self.mem.survivor_next.load(Ordering::Relaxed) - self.to_start
+    }
+}
+
+/// Words each helper carves from the shared survivor bump pointer at a time.
+/// Large enough that CAS contention on `survivor_next` is rare, small enough
+/// that abandoned buffer tails (padded with [`PAD_WORD`]) waste little.
+const HELPER_BUF_WORDS: usize = 1024;
+/// Capacity of each helper's work-stealing deque (oop words). Overflow goes
+/// to a private vector, so this only bounds what thieves can see.
+const DEQUE_CAPACITY: usize = 1 << 13;
+/// Root cells / entry-table objects claimed per cursor bump.
+const ROOT_CHUNK: usize = 32;
+const ENTRY_CHUNK: usize = 32;
+
+/// Per-scavenge telemetry for the parallel path (`gc.parallel.*`).
+struct ParInstruments {
+    scavenges: &'static mst_telemetry::Counter,
+    steals: &'static mst_telemetry::Counter,
+    helpers: &'static mst_telemetry::Histogram,
+    helper_words: &'static mst_telemetry::Histogram,
+    balance_pct: &'static mst_telemetry::Histogram,
+}
+
+fn par_instruments() -> &'static ParInstruments {
+    static I: OnceLock<ParInstruments> = OnceLock::new();
+    I.get_or_init(|| ParInstruments {
+        scavenges: mst_telemetry::counter("gc.parallel.scavenges"),
+        steals: mst_telemetry::counter("gc.parallel.steals"),
+        helpers: mst_telemetry::histogram("gc.parallel.helpers"),
+        helper_words: mst_telemetry::histogram("gc.parallel.helper_copied_words"),
+        balance_pct: mst_telemetry::histogram("gc.parallel.balance_pct"),
+    })
+}
+
+/// Shared state for one parallel scavenge. Borrowed (`Sync`) by every
+/// helper; all mutation goes through atomics or the merge mutex.
+struct ParScavenger<'m> {
+    mem: &'m ObjectMemory,
+    to_start: usize,
+    to_end: usize,
+    /// Immutable snapshot of the live Rust-side root cells.
+    root_cells: Vec<Arc<AtomicU64>>,
+    /// Immutable snapshot of the entry table (remembered old objects).
+    entries: Vec<Oop>,
+    root_cursor: AtomicUsize,
+    entry_cursor: AtomicUsize,
+    /// One deque per slot; helpers push/take their own, steal the rest.
+    deques: Vec<StealDeque>,
+    /// Helpers that actually ran (any subset of the slots may).
+    entered: AtomicUsize,
+    /// Helpers currently holding or producing work (termination detection).
+    busy: AtomicUsize,
+    /// Bumped whenever a helper (re-)joins the busy set, *after* the busy
+    /// increment: an idle helper that saw `busy == 0` and empty deques can
+    /// detect a racing re-entry by re-reading this.
+    rounds: AtomicUsize,
+    merge: Mutex<MergeState>,
+}
+
+#[derive(Default)]
+struct MergeState {
+    retained: Vec<Oop>,
+    copied_words: u64,
+    tenured_words: u64,
+    tenured_objects: u64,
+    steals: u64,
+    per_helper_copied: Vec<u64>,
+}
+
+/// One helper's private state: its to-space buffer, deque-overflow list,
+/// retained entry-table slice, and statistics.
+struct HelperCtx {
+    slot: usize,
+    buf_next: usize,
+    buf_limit: usize,
+    overflow: Vec<u64>,
+    retained: Vec<Oop>,
+    copied_words: u64,
+    tenured_words: u64,
+    tenured_objects: u64,
+    steals: u64,
+}
+
+impl ParScavenger<'_> {
+    fn run_helper(&self, slot: usize) {
+        assert!(slot < self.deques.len(), "helper slot out of range");
+        let mem = self.mem;
+        let mut h = HelperCtx {
+            slot,
+            buf_next: 0,
+            buf_limit: 0,
+            overflow: Vec::new(),
+            retained: Vec::new(),
+            copied_words: 0,
+            tenured_words: 0,
+            tenured_objects: 0,
+            steals: 0,
+        };
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        self.enter();
+        // Slot 0 — the leader, guaranteed to run — owns the special objects.
+        if slot == 0 {
+            mem.specials().update_all(|o| self.forward(&mut h, o));
+        }
+        // Root cells, in exclusive chunks.
+        loop {
+            let i0 = self.root_cursor.fetch_add(ROOT_CHUNK, Ordering::SeqCst);
+            if i0 >= self.root_cells.len() {
+                break;
+            }
+            let end = (i0 + ROOT_CHUNK).min(self.root_cells.len());
+            for cell in &self.root_cells[i0..end] {
+                let old = Oop::from_raw(cell.load(Ordering::Relaxed));
+                let new = self.forward(&mut h, old);
+                cell.store(new.raw(), Ordering::Relaxed);
+            }
+        }
+        // Entry table, in exclusive chunks: scan remembered old objects,
+        // dropping the ones that no longer reference new space.
+        loop {
+            let i0 = self.entry_cursor.fetch_add(ENTRY_CHUNK, Ordering::SeqCst);
+            if i0 >= self.entries.len() {
+                break;
+            }
+            let end = (i0 + ENTRY_CHUNK).min(self.entries.len());
+            for &obj in &self.entries[i0..end] {
+                if self.scan_slots(&mut h, obj) {
+                    h.retained.push(obj);
+                } else {
+                    let hd = mem.header(obj);
+                    mem.set_header(obj, hd.with_remembered(false));
+                }
+            }
+        }
+        // Transitive copy: drain own work, steal when dry, stop when every
+        // helper is dry at once.
+        'work: loop {
+            while let Some(raw) = self.next_work(&mut h) {
+                let obj = Oop::from_raw(raw);
+                let is_old = mem.is_old(obj);
+                let has_new = self.scan_slots(&mut h, obj);
+                if is_old && has_new {
+                    mem.remember(obj);
+                }
+            }
+            // Locally dry: leave the busy set, then probe for global
+            // quiescence. The invariant making this sound: a helper only
+            // decrements `busy` with an empty deque and no work in hand, so
+            // when `busy == 0` all outstanding work is visible in deques.
+            // The `rounds` re-read catches a helper that re-entered (and may
+            // have already emptied a deque again) during the probe.
+            self.busy.fetch_sub(1, Ordering::SeqCst);
+            loop {
+                let r0 = self.rounds.load(Ordering::SeqCst);
+                if self.busy.load(Ordering::SeqCst) == 0
+                    && self.deques.iter().all(StealDeque::is_empty)
+                    && self.rounds.load(Ordering::SeqCst) == r0
+                {
+                    break 'work;
+                }
+                if self.deques.iter().any(|d| !d.is_empty()) {
+                    self.enter();
+                    continue 'work;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        // Plug the unused tail of the final buffer so to-space stays
+        // linearly walkable.
+        for w in h.buf_next..h.buf_limit {
+            mem.set_word(w, PAD_WORD);
+        }
+        let mut m = self.merge.lock().unwrap();
+        m.retained.append(&mut h.retained);
+        m.copied_words += h.copied_words;
+        m.tenured_words += h.tenured_words;
+        m.tenured_objects += h.tenured_objects;
+        m.steals += h.steals;
+        m.per_helper_copied.push(h.copied_words);
+    }
+
+    /// Joins the busy set. `busy` first, `rounds` second: the idle-probe
+    /// reads them in the opposite order, so any entry lands in at least one
+    /// of its two reads.
+    fn enter(&self) {
+        self.busy.fetch_add(1, Ordering::SeqCst);
+        self.rounds.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn in_to_space(&self, idx: usize) -> bool {
+        (self.to_start..self.to_end).contains(&idx)
+    }
+
+    fn next_work(&self, h: &mut HelperCtx) -> Option<u64> {
+        if let Some(v) = h.overflow.pop() {
+            return Some(v);
+        }
+        if let Some(v) = self.deques[h.slot].take() {
+            return Some(v);
+        }
+        let n = self.deques.len();
+        for k in 1..n {
+            if let Some(v) = self.deques[(h.slot + k) % n].steal() {
+                h.steals += 1;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn push_work(&self, h: &mut HelperCtx, oop: Oop) {
+        if !self.deques[h.slot].push(oop.raw()) {
+            h.overflow.push(oop.raw());
+        }
+    }
+
+    /// Forwards every new-space pointer in `obj`'s slots; returns whether
+    /// any slot still points into new space afterwards.
+    ///
+    /// Slot accesses are atomic: a stolen duplicate means two helpers may
+    /// scan the same object, racing to store the *same* forwarded value.
+    fn scan_slots(&self, h: &mut HelperCtx, obj: Oop) -> bool {
+        let mem = self.mem;
+        let hd = Header(mem.word_atomic(obj.index()).load(Ordering::Acquire));
+        let nslots = match hd.format() {
+            ObjFormat::Pointers => hd.body_words(),
+            ObjFormat::Method => MethodHeader::decode(mem.fetch(obj, 0)).pointer_slots(),
+            ObjFormat::Bytes => 0,
+        };
+        let mut has_new = false;
+        for i in 0..nslots {
+            let w = mem.word_atomic(obj.index() + 2 + i);
+            let v = Oop::from_raw(w.load(Ordering::Acquire));
+            if mem.is_new(v) {
+                let nv = self.forward(h, v);
+                w.store(nv.raw(), Ordering::Release);
+                has_new |= mem.is_new(nv);
+            }
+        }
+        has_new
+    }
+
+    /// Copies a from-space object (or returns its forwarding pointer).
+    ///
+    /// Ownership of the copy is decided by a CAS on the header word: the
+    /// winner installs [`Header::claim_word`] (forwarded, target 0), copies,
+    /// then publishes the real target with a release store. Losers — and any
+    /// scanner chasing a pointer mid-copy — spin on the zero target.
+    fn forward(&self, h: &mut HelperCtx, oop: Oop) -> Oop {
+        let mem = self.mem;
+        // The to-space check makes duplicate scans idempotent: a re-scanned
+        // slot already holds the copy's address, which must not be "moved"
+        // again.
+        if !mem.is_new(oop) || self.in_to_space(oop.index()) {
+            return oop;
+        }
+        let w0a = mem.word_atomic(oop.index());
+        let mut w0 = w0a.load(Ordering::Acquire);
+        loop {
+            let hd = Header(w0);
+            if hd.is_forwarded() {
+                return Self::await_target(w0a, hd);
+            }
+            match w0a.compare_exchange(
+                w0,
+                Header::claim_word(),
+                Ordering::Acquire,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(cur) => w0 = cur,
+            }
+        }
+        // We hold the claim: copy exclusively, from the pre-claim header.
+        let hd = Header(w0);
+        let total = 2 + hd.body_words();
+        let age = (hd.age() + 1).min(MAX_AGE);
+        let mut tenured = true;
+        let dest = if age >= mem.config().tenure_age {
+            None
+        } else {
+            self.alloc_survivor(h, total)
+        };
+        let dest = match dest {
+            Some(d) => {
+                tenured = false;
+                d
+            }
+            None => mem
+                .allocate_old(Oop::ZERO, ObjFormat::Bytes, hd.body_words(), 0)
+                .expect("old space exhausted during tenure (checked up front)")
+                .index(),
+        };
+        mem.set_word(dest, hd.with_age(age).0);
+        for i in 1..total {
+            mem.set_word(dest + i, mem.word(oop.index() + i));
+        }
+        let new_oop = Oop::from_index(dest);
+        if tenured {
+            h.tenured_words += total as u64;
+            h.tenured_objects += 1;
+        } else {
+            h.copied_words += total as u64;
+        }
+        // Publish the target; pairs with the acquire loads in
+        // `await_target`, so spinners observe the finished copy.
+        w0a.store(Header::forwarding_word(new_oop.raw()), Ordering::Release);
+        self.push_work(h, new_oop);
+        new_oop
+    }
+
+    /// Spins until a claimed forwarding word carries its real target.
+    fn await_target(w0a: &AtomicU64, mut hd: Header) -> Oop {
+        loop {
+            let t = hd.forwarding_target();
+            if t != 0 {
+                return Oop::from_raw(t);
+            }
+            std::hint::spin_loop();
+            hd = Header(w0a.load(Ordering::Acquire));
+        }
+    }
+
+    /// Bump-allocates `total` words of to-space from the helper's private
+    /// buffer, refilling it from the shared carve frontier when exhausted.
+    /// `None` means to-space is full and the caller tenures instead.
+    fn alloc_survivor(&self, h: &mut HelperCtx, total: usize) -> Option<usize> {
+        if h.buf_limit - h.buf_next >= total {
+            let d = h.buf_next;
+            h.buf_next += total;
+            return Some(d);
+        }
+        let mem = self.mem;
+        let mut cur = mem.survivor_next.load(Ordering::Relaxed);
+        loop {
+            // Feasibility before padding: a doomed refill must not waste the
+            // current buffer (small objects may still fit its tail).
+            if cur + total > self.to_end {
+                return None;
+            }
+            let chunk = HELPER_BUF_WORDS.max(total).min(self.to_end - cur);
+            match mem.survivor_next.compare_exchange(
+                cur,
+                cur + chunk,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    // Abandoned tail of the old buffer stays walkable.
+                    for w in h.buf_next..h.buf_limit {
+                        mem.set_word(w, PAD_WORD);
+                    }
+                    h.buf_next = cur + total;
+                    h.buf_limit = cur + chunk;
+                    return Some(cur);
+                }
+                Err(now) => cur = now,
+            }
+        }
     }
 }
 
@@ -479,6 +986,139 @@ mod tests {
         assert_eq!(m.gc_epoch(), e0 + 1);
         // Allocation after the scavenge still works (token revalidates).
         assert!(m.alloc_array(&tok, 1).is_some());
+    }
+
+    /// Drives the scavenge closure from `helpers` OS threads, the way a
+    /// stopped world of donated processors would.
+    fn scope_runner(helpers: usize, f: &(dyn Fn(usize) + Sync)) {
+        std::thread::scope(|s| {
+            for slot in 1..helpers {
+                s.spawn(move || f(slot));
+            }
+            f(0);
+        });
+    }
+
+    #[test]
+    fn parallel_scavenge_preserves_a_large_graph() {
+        let m = mem();
+        let tok = m.new_token();
+        // A wide forest of linked lists: enough fan-out that all four
+        // helpers find work, with shared structure and cycles mixed in.
+        let spine = m.alloc_array(&tok, 64).unwrap();
+        let root = m.new_root(spine);
+        let shared = m.alloc_array(&tok, 1).unwrap();
+        m.store_nocheck(shared, 0, spine); // cycle back into the spine
+        for lane in 0..64 {
+            let mut head = shared;
+            for i in 0..20 {
+                let cell = m.alloc_array(&tok, 2).unwrap();
+                m.store_nocheck(cell, 0, Oop::from_small_int(lane * 100 + i));
+                m.store_nocheck(cell, 1, head);
+                head = cell;
+            }
+            m.store_nocheck(root.get(), lane as usize, head);
+        }
+        let out = m.scavenge_parallel(4, scope_runner);
+        assert!(out.words_survived > 0);
+        m.verify_heap().assert_clean();
+        let spine2 = root.get();
+        let mut shared_seen = None;
+        for lane in 0..64u64 {
+            let mut cur = m.fetch(spine2, lane as usize);
+            for i in (0..20).rev() {
+                assert_eq!(m.fetch(cur, 0).as_small_int(), (lane * 100 + i) as i64);
+                cur = m.fetch(cur, 1);
+            }
+            // Every lane bottoms out at the one shared cell.
+            match shared_seen {
+                None => shared_seen = Some(cur),
+                Some(prev) => assert_eq!(cur, prev, "shared cell duplicated"),
+            }
+            assert_eq!(m.fetch(cur, 0), spine2, "cycle broken");
+        }
+    }
+
+    #[test]
+    fn parallel_scavenge_collects_garbage_and_pads_are_invisible() {
+        let m = mem();
+        let tok = m.new_token();
+        let keep = m.alloc_array(&tok, 2).unwrap();
+        let root = m.new_root(keep);
+        for _ in 0..200 {
+            m.alloc_array(&tok, 10).unwrap();
+        }
+        let out = m.scavenge_parallel(4, scope_runner);
+        // Only the rooted object survives; abandoned buffer tails are pads,
+        // not survivors.
+        assert_eq!(out.words_survived, 4);
+        m.verify_heap().assert_clean();
+        // A second parallel scavenge re-walks the padded past space.
+        let out2 = m.scavenge_parallel(4, scope_runner);
+        assert_eq!(out2.words_survived, 4);
+        m.verify_heap().assert_clean();
+        assert!(m.is_new(root.get()));
+    }
+
+    #[test]
+    fn parallel_scavenge_tenures_and_maintains_the_entry_table() {
+        let m = mem();
+        let tok = m.new_token();
+        let old = m.alloc_array_old(1).unwrap();
+        let young = m.alloc_array(&tok, 1).unwrap();
+        m.store(old, 0, young);
+        let holder = m.alloc_array(&tok, 1).unwrap();
+        let root = m.new_root(holder);
+        for _ in 0..4 {
+            m.scavenge_parallel(3, scope_runner);
+            m.verify_heap().assert_clean();
+        }
+        assert!(m.is_old(m.fetch(old, 0)), "entry-table target tenured");
+        assert!(m.is_old(root.get()), "rooted object tenured");
+        assert_eq!(m.entry_table_len(), 0);
+        assert!(!m.header(old).is_remembered());
+        // A tenured object that still references new space gets remembered
+        // by whichever helper drains it.
+        let fresh = m.alloc_array(&tok, 1).unwrap();
+        m.store(root.get(), 0, fresh);
+        m.scavenge_parallel(3, scope_runner);
+        m.verify_heap().assert_clean();
+        assert!(m.is_new(m.fetch(root.get(), 0)));
+        assert!(m.header(root.get()).is_remembered());
+    }
+
+    #[test]
+    fn one_helper_parallel_is_the_serial_scavenger() {
+        let m = mem();
+        let tok = m.new_token();
+        let a = m.alloc_array(&tok, 3).unwrap();
+        let _root = m.new_root(a);
+        let mut ran_inline = false;
+        let out = m
+            .try_scavenge_parallel(1, |n, f| {
+                assert_eq!(n, 1);
+                ran_inline = true;
+                f(0);
+            })
+            .unwrap();
+        // helpers <= 1 short-circuits to try_scavenge: the runner is never
+        // consulted and the corpse carries a two-word forwarding pointer.
+        assert!(!ran_inline, "serial path must not invoke the runner");
+        assert!(out.words_survived > 0);
+        m.verify_heap().assert_clean();
+    }
+
+    #[test]
+    fn parallel_scavenge_with_more_helpers_than_work() {
+        let m = mem();
+        let tok = m.new_token();
+        let a = m.alloc_array(&tok, 1).unwrap();
+        let root = m.new_root(a);
+        // 8 helpers for a single 3-word object: most find nothing to do.
+        let out = m.scavenge_parallel(8, scope_runner);
+        assert_eq!(out.words_survived, 3);
+        m.verify_heap().assert_clean();
+        assert!(m.is_new(root.get()));
     }
 
     #[test]

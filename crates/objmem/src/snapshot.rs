@@ -25,7 +25,7 @@
 //! entries  — the entry table (remembered set)
 //! symbols  — the symbol intern table
 //! old      — old space up to old_next
-//! eden     — eden up to eden_used
+//! eden     — eden up to the allocation frontier
 //! past     — the past survivor space up to its fill
 //! ```
 //!
@@ -364,7 +364,9 @@ impl ObjectMemory {
         put_u64(&mut config, c.survivor_words as u64)?;
         put_u64(&mut config, c.tenure_age as u64)?;
         put_u64(&mut config, self.old_next_value() as u64)?;
-        put_u64(&mut config, self.eden_used() as u64)?;
+        // The frontier, not `eden_used()`: under per-processor LABs the
+        // wasted buffer tails are part of the raw extent being copied.
+        put_u64(&mut config, self.eden_frontier() as u64)?;
         put_u64(&mut config, self.past_is_a.load(Ordering::Relaxed) as u64)?;
         put_u64(&mut config, self.past_survivor_used() as u64)?;
         write_section(w, &config)?;
@@ -401,7 +403,7 @@ impl ObjectMemory {
         // CRC writer rather than buffered (old space is the bulk of the
         // image).
         self.write_region_section(w, sp.old_start, self.old_next_value())?;
-        self.write_region_section(w, sp.eden_start, sp.eden_start + self.eden_used())?;
+        self.write_region_section(w, sp.eden_start, sp.eden_start + self.eden_frontier())?;
         let past_start = if self.past_is_a.load(Ordering::Relaxed) {
             sp.surv_a_start
         } else {

@@ -25,7 +25,7 @@
 
 use std::collections::HashSet;
 
-use crate::header::Header;
+use crate::header::{Header, PAD_WORD};
 use crate::heap::{AllocPolicy, ObjectMemory};
 use crate::method::MethodHeader;
 use crate::oop::Oop;
@@ -123,7 +123,9 @@ impl ObjectMemory {
         let mut v = Verifier {
             mem: self,
             old_used: (sp.old_start, self.old_next_value()),
-            eden_used: (sp.eden_start, sp.eden_start + self.eden_used()),
+            // The frontier, not `eden_used()`: LAB waste is unreachable but
+            // still part of the allocated extent.
+            eden_used: (sp.eden_start, sp.eden_start + self.eden_frontier()),
             past_used: (past_start, past_fill),
             entry_set,
             audit: HeapAudit::default(),
@@ -183,6 +185,12 @@ impl Verifier<'_> {
         let mem = self.mem;
         let mut scan = start;
         while scan < end {
+            // Parallel scavenges plug abandoned copy-buffer tails with
+            // one-word pads; they are not objects, just walkable filler.
+            if mem.word(scan) == PAD_WORD {
+                scan += 1;
+                continue;
+            }
             let h = mem.header(Oop::from_index(scan));
             let total = 2 + h.body_words();
             if raw_format_bits(h) == 0b11 {

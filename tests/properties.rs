@@ -433,3 +433,291 @@ fn verifier_rejects_a_corrupted_remembered_set() {
         },
     );
 }
+
+// ---------------------------------------------------------------------
+// Parallel scavenging oracle: the serial scavenger
+// ---------------------------------------------------------------------
+
+/// Drives the scavenge closure from `helpers` OS threads, the way a stopped
+/// world of donated processors would.
+fn scope_runner(helpers: usize, f: &(dyn Fn(usize) + Sync)) {
+    std::thread::scope(|s| {
+        for slot in 1..helpers {
+            s.spawn(move || f(slot));
+        }
+        f(0);
+    });
+}
+
+/// A `scratch_mem` with survivor room sized so overflow tenuring cannot
+/// trigger (its victim choice is timing-dependent under parallel copying,
+/// and these tests demand determinism).
+fn scratch_mem_roomy() -> mst_objmem::ObjectMemory {
+    use mst_objmem::{MemoryConfig, ObjFormat, ObjectMemory, Oop, So};
+    let mem = ObjectMemory::new(MemoryConfig {
+        old_words: 128 << 10,
+        eden_words: 8 << 10,
+        survivor_words: 32 << 10,
+        ..MemoryConfig::default()
+    });
+    let nil = mem
+        .allocate_old(Oop::ZERO, ObjFormat::Pointers, 0, 0)
+        .unwrap();
+    mem.specials().set(So::Nil, nil);
+    mem
+}
+
+/// Applies a schedule like [`apply_heap_ops`], scavenging with `helpers`
+/// threads (1 = the exact serial path).
+fn apply_heap_ops_par(
+    mem: &mst_objmem::ObjectMemory,
+    ops: &[HeapOp],
+    helpers: usize,
+) -> Vec<mst_objmem::RootHandle> {
+    let scavenge = |mem: &mst_objmem::ObjectMemory| {
+        let _ = mem.try_scavenge_parallel(helpers, scope_runner);
+    };
+    let tok = mem.new_token();
+    let mut roots: Vec<mst_objmem::RootHandle> = Vec::new();
+    for op in ops {
+        match op {
+            HeapOp::AllocNew { words, rooted } => {
+                let obj = mem.alloc_array(&tok, *words).or_else(|| {
+                    scavenge(mem);
+                    mem.alloc_array(&tok, *words)
+                });
+                if let (Some(o), true) = (obj, *rooted) {
+                    roots.push(mem.new_root(o));
+                }
+            }
+            HeapOp::AllocOld { words } => {
+                if let Some(o) = mem.alloc_array_old(*words) {
+                    roots.push(mem.new_root(o));
+                }
+            }
+            HeapOp::Link { from, to } => {
+                if !roots.is_empty() {
+                    let from = roots[from % roots.len()].get();
+                    let to = roots[to % roots.len()].get();
+                    mem.store(from, 0, to);
+                }
+            }
+            HeapOp::DropRoot(i) => {
+                if !roots.is_empty() {
+                    let i = i % roots.len();
+                    roots.swap_remove(i);
+                }
+            }
+            HeapOp::Scavenge => scavenge(mem),
+            HeapOp::FullGc => {
+                mem.full_gc();
+            }
+        }
+    }
+    roots
+}
+
+/// One node of the canonical reachable-graph signature: generation, age,
+/// size, and each slot rendered as a heap-independent token (a visit index
+/// for references, the value for small integers).
+#[derive(Debug, PartialEq, Eq)]
+struct SigNode {
+    is_old: bool,
+    age: u8,
+    body_words: usize,
+    slots: Vec<SigSlot>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum SigSlot {
+    Int(i64),
+    Nil,
+    Zero,
+    Ref(usize),
+}
+
+/// Depth-first signature of everything reachable from `roots`, in root
+/// order. Two heaps that executed the same schedule must produce identical
+/// signatures regardless of how (or how parallel) their scavenges ran.
+fn graph_signature(
+    mem: &mst_objmem::ObjectMemory,
+    roots: &[mst_objmem::RootHandle],
+) -> Vec<SigNode> {
+    use mst_objmem::Oop;
+    use std::collections::HashMap;
+    let nil = mem.nil();
+    let mut visit: HashMap<u64, usize> = HashMap::new();
+    let mut order: Vec<Oop> = Vec::new();
+    let mut stack: Vec<Oop> = roots.iter().rev().map(|r| r.get()).collect();
+    while let Some(obj) = stack.pop() {
+        if obj == Oop::ZERO || obj.is_small_int() || obj == nil {
+            continue;
+        }
+        if visit.contains_key(&obj.raw()) {
+            continue;
+        }
+        visit.insert(obj.raw(), order.len());
+        order.push(obj);
+        let h = mem.header(obj);
+        for i in (0..h.body_words()).rev() {
+            stack.push(mem.fetch(obj, i));
+        }
+    }
+    order
+        .iter()
+        .map(|&obj| {
+            let h = mem.header(obj);
+            let slots = (0..h.body_words())
+                .map(|i| {
+                    let v = mem.fetch(obj, i);
+                    if v.is_small_int() {
+                        SigSlot::Int(v.as_small_int())
+                    } else if v == nil {
+                        SigSlot::Nil
+                    } else if v == Oop::ZERO {
+                        SigSlot::Zero
+                    } else {
+                        SigSlot::Ref(visit[&v.raw()])
+                    }
+                })
+                .collect();
+            SigNode {
+                is_old: mem.is_old(obj),
+                age: h.age(),
+                body_words: h.body_words(),
+                slots,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_scavenge_is_observationally_serial() {
+    Runner::with_cases(16).run(
+        "parallel_scavenge_is_observationally_serial",
+        &heap_ops(),
+        |ops| {
+            let serial = scratch_mem_roomy();
+            let parallel = scratch_mem_roomy();
+            let sroots = apply_heap_ops_par(&serial, ops, 1);
+            let proots = apply_heap_ops_par(&parallel, ops, 4);
+            for (mem, name) in [(&serial, "serial"), (&parallel, "parallel")] {
+                let audit = mem.verify_heap();
+                if !audit.is_clean() {
+                    return Err(format!(
+                        "dirty {name} heap after {} ops:\n{audit}",
+                        ops.len()
+                    ));
+                }
+            }
+            if sroots.len() != proots.len() {
+                return Err(format!(
+                    "root survival diverged: serial {} vs parallel {}",
+                    sroots.len(),
+                    proots.len()
+                ));
+            }
+            let ssig = graph_signature(&serial, &sroots);
+            let psig = graph_signature(&parallel, &proots);
+            if ssig != psig {
+                let at = ssig
+                    .iter()
+                    .zip(psig.iter())
+                    .position(|(a, b)| a != b)
+                    .map(|i| {
+                        format!(
+                            "first divergence at node {i}: {:?} vs {:?}",
+                            ssig[i], psig[i]
+                        )
+                    })
+                    .unwrap_or_else(|| {
+                        format!(
+                            "node counts: serial {} vs parallel {}",
+                            ssig.len(),
+                            psig.len()
+                        )
+                    });
+                return Err(format!(
+                    "reachable graphs diverged after {} ops; {at}",
+                    ops.len()
+                ));
+            }
+            // The same tenure decisions imply identical generation stats.
+            let (s, p) = (serial.gc_stats(), parallel.gc_stats());
+            prop_assert_eq!(s.words_survived, p.words_survived);
+            prop_assert_eq!(s.words_tenured, p.words_tenured);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn parallel_scavenge_survives_spurious_wakeups() {
+    use mst_vkernel::fault;
+    // The fault registry is process-global; take the same care the
+    // supervisor tests do and disarm on every exit path.
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            fault::disable();
+        }
+    }
+    let _disarm = Disarm;
+    fault::install(fault::ChaosConfig {
+        seed: 0x5CAF_F01D,
+        rate: 0.4,
+        sites: fault::FaultSite::SpuriousWake.bit(),
+    });
+
+    // Drive the parallel scavenge the way the interpreter does: through a
+    // real rendezvous whose parked participants get drafted as helpers,
+    // with the condvar waits being spuriously woken underneath them.
+    let rdv = std::sync::Arc::new(mst_vkernel::Rendezvous::new());
+    let mem = scratch_mem_roomy();
+    let tok = mem.new_token();
+    let mut head = mem.nil();
+    for i in 0..300 {
+        let cell = mem
+            .alloc_array(&tok, 2)
+            .expect("eden sized for the whole list");
+        mem.store_nocheck(cell, 0, mst_objmem::Oop::from_small_int(i));
+        mem.store_nocheck(cell, 1, head);
+        head = cell;
+    }
+    let root = mem.new_root(head);
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let rdv = std::sync::Arc::clone(&rdv);
+            let stop = std::sync::Arc::clone(&stop);
+            s.spawn(move || {
+                let me = rdv.participant();
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    if rdv.poll() {
+                        me.park();
+                    }
+                    std::hint::spin_loop();
+                }
+            });
+        }
+        let me = rdv.participant();
+        for _ in 0..10 {
+            let guard = me.stop_world();
+            mem.try_scavenge_parallel(4, |n, f| {
+                guard.run_stopped(n, f);
+            })
+            .expect("plenty of old space");
+            drop(guard);
+            mem.verify_heap().assert_clean();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+    });
+
+    let mut cur = root.get();
+    for i in (0..300).rev() {
+        assert_eq!(mem.fetch(cur, 0).as_small_int(), i);
+        cur = mem.fetch(cur, 1);
+    }
+    assert_eq!(cur, mem.nil());
+}
