@@ -1,6 +1,6 @@
 //! Pause time of one generation scavenge as a function of helper count.
 //!
-//! Usage: `cargo run --release -p mst-bench --bin gcbench [--smoke]`
+//! Usage: `cargo run --release -p mst-bench --bin gcbench [--smoke | --fullgc]`
 //!
 //! The paper's motivation for drafting stopped processors into the
 //! collector is that a scavenge pause is dominated by copying the live
@@ -21,6 +21,15 @@
 //! injected underneath a real rendezvous (the interpreter's donation
 //! path), auditing the heap after every collection. Both modes write
 //! `BENCH_gc.json` for CI artifact upload.
+//!
+//! `--fullgc` measures the mark-compact collector instead: the mark phase
+//! of a full collection over a pinned old-space live set with 1, 2, and 4
+//! helpers, plus one incremental collection whose longest mark slice is
+//! compared against the monolithic mark pause. Writes `BENCH_fullgc.json`.
+//! On a host with at least four cores the run fails (exit 1) if the
+//! 4-helper mark is slower than 0.7x serial; the incremental slice bound
+//! (longest slice strictly below the monolithic mark) is enforced on any
+//! host.
 
 use mst_bench::harness::ns_human;
 use mst_objmem::{MemoryConfig, ObjFormat, ObjectMemory, Oop, So};
@@ -227,9 +236,260 @@ fn smoke() {
     write_json("BENCH_gc.json", live_words, available_cores(), true, &[run]);
 }
 
+/// A heap whose old space comfortably holds `live_words` of pinned live
+/// data plus compaction headroom; eden stays small (full GC is the
+/// subject, not scavenging).
+fn fullgc_mem(live_words: usize) -> ObjectMemory {
+    let mem = ObjectMemory::new(MemoryConfig {
+        old_words: live_words + (live_words / 2) + (64 << 10),
+        eden_words: 16 << 10,
+        survivor_words: 8 << 10,
+        ..MemoryConfig::default()
+    });
+    let nil = mem
+        .allocate_old(Oop::ZERO, ObjFormat::Pointers, 0, 0)
+        .expect("fresh old space");
+    mem.specials().set(So::Nil, nil);
+    mem
+}
+
+/// Like [`build_live_graph`] but allocating directly in old space, so the
+/// graph is the mark phase's workload rather than the scavenger's.
+fn build_old_live_graph(
+    mem: &ObjectMemory,
+    seed: u64,
+    live_words: usize,
+    lanes: usize,
+) -> Vec<mst_objmem::RootHandle> {
+    let mut rng = SplitMix64::new(seed);
+    let mut roots = Vec::with_capacity(lanes);
+    let mut all: Vec<Oop> = Vec::new();
+    let mut open: Vec<(Oop, usize, usize)> = Vec::new();
+    let mut words = 0usize;
+    while words < live_words {
+        let body = rng.gen_range(2, 24) as usize;
+        let obj = mem
+            .alloc_array_old(body)
+            .expect("old space sized for the live set");
+        words += body + 2;
+        if roots.len() < lanes {
+            roots.push(mem.new_root(obj));
+        } else {
+            let pick = rng.gen_range(0, open.len() as u64) as usize;
+            let (parent, slot, nslots) = &mut open[pick];
+            mem.store(*parent, *slot, obj);
+            *slot += 1;
+            if *slot == *nslots {
+                open.swap_remove(pick);
+            }
+        }
+        all.push(obj);
+        let kids = (rng.gen_range(1, 4) as usize).min(body);
+        open.push((obj, 0, kids));
+        for i in kids..body {
+            let v = if rng.gen_range(0, 100) < 25 {
+                *rng.choose(&all).expect("at least one node")
+            } else {
+                Oop::from_small_int(rng.gen_range_i64(-1000, 1000))
+            };
+            mem.store(obj, i, v);
+        }
+    }
+    roots
+}
+
+struct FullGcRun {
+    helpers: usize,
+    best_mark_ns: u64,
+    mean_mark_ns: u64,
+    best_total_ns: u64,
+    rounds: usize,
+}
+
+/// Runs `rounds` full collections with `helpers` marking threads over the
+/// same (fully live, so unchanging) heap, auditing after each, and
+/// returns best/mean mark-phase pause.
+fn measure_fullgc(mem: &ObjectMemory, helpers: usize, rounds: usize) -> FullGcRun {
+    let mut marks = Vec::with_capacity(rounds);
+    let mut totals = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let out = mem.full_gc_with(helpers, scope_runner);
+        assert!(out.report.is_clean(), "{}", out.report);
+        mem.verify_heap().assert_clean();
+        marks.push(out.mark_nanos);
+        totals.push(out.total_nanos);
+    }
+    FullGcRun {
+        helpers,
+        best_mark_ns: *marks.iter().min().expect("rounds >= 1"),
+        mean_mark_ns: marks.iter().sum::<u64>() / marks.len() as u64,
+        best_total_ns: *totals.iter().min().expect("rounds >= 1"),
+        rounds,
+    }
+}
+
+struct IncrementalRun {
+    slice_budget_words: usize,
+    slices: usize,
+    max_slice_ns: u64,
+    finish_ns: u64,
+    mark_ns: u64,
+}
+
+/// One incremental collection over the same pinned live set, timing every
+/// bounded mark slice individually (the number the pause-bound gate cares
+/// about) plus the monolithic finish.
+fn measure_incremental(mem: &ObjectMemory, budget_words: usize) -> IncrementalRun {
+    assert!(mem.full_gc_begin(), "window must open on a scavenged heap");
+    let mut slices = 0usize;
+    let mut max_slice_ns = 0u64;
+    let mut mark_ns = 0u64;
+    loop {
+        let t = std::time::Instant::now();
+        let done = mem.full_gc_mark_slice(budget_words);
+        let ns = t.elapsed().as_nanos() as u64;
+        slices += 1;
+        max_slice_ns = max_slice_ns.max(ns);
+        mark_ns += ns;
+        if done {
+            break;
+        }
+    }
+    let t = std::time::Instant::now();
+    let out = mem.full_gc_finish();
+    let finish_ns = t.elapsed().as_nanos() as u64;
+    assert!(out.report.is_clean(), "{}", out.report);
+    mem.verify_heap().assert_clean();
+    IncrementalRun {
+        slice_budget_words: budget_words,
+        slices,
+        max_slice_ns,
+        finish_ns,
+        mark_ns,
+    }
+}
+
+fn write_fullgc_json(
+    path: &str,
+    live_words: usize,
+    cores: usize,
+    runs: &[FullGcRun],
+    incr: &IncrementalRun,
+) {
+    let mut out = format!(
+        "{{\"bench\":\"gcbench-fullgc\",\"live_words\":{live_words},\"cores\":{cores},\
+         \"results\":["
+    );
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"helpers\":{},\"best_mark_ns\":{},\"mean_mark_ns\":{},\
+             \"best_total_ns\":{},\"rounds\":{}}}",
+            r.helpers, r.best_mark_ns, r.mean_mark_ns, r.best_total_ns, r.rounds
+        ));
+    }
+    out.push_str(&format!(
+        "],\"incremental\":{{\"slice_budget_words\":{},\"slices\":{},\
+         \"max_slice_ns\":{},\"finish_ns\":{},\"mark_ns\":{}}}}}",
+        incr.slice_budget_words, incr.slices, incr.max_slice_ns, incr.finish_ns, incr.mark_ns
+    ));
+    mst_telemetry::json::parse(&out).expect("generated fullgc JSON must parse");
+    std::fs::write(path, out).expect("BENCH_fullgc.json must be writable");
+}
+
+fn fullgc_bench() {
+    let cores = available_cores();
+    let live_words = 192 << 10; // ~1.5 MB of pinned old-space live data
+    let rounds = 10;
+    println!("gcbench --fullgc: mark-compact pause vs. helper count ({cores} cores visible)");
+    let mem = fullgc_mem(live_words);
+    let roots = build_old_live_graph(&mem, 0x6C_BE4C, live_words, 128);
+    // One collection up front settles the heap (everything is live, so
+    // later rounds mark and slide an unchanging object population).
+    mem.full_gc();
+    mem.verify_heap().assert_clean();
+
+    let mut runs = Vec::new();
+    for helpers in [1usize, 2, 4] {
+        let run = measure_fullgc(&mem, helpers, rounds);
+        println!(
+            "  helpers={}  mark best {:>10}  mean {:>10}  total best {:>10}  ({} rounds)",
+            run.helpers,
+            ns_human(run.best_mark_ns as f64),
+            ns_human(run.mean_mark_ns as f64),
+            ns_human(run.best_total_ns as f64),
+            run.rounds
+        );
+        runs.push(run);
+    }
+
+    // The incremental window needs a scavenge-fresh heap (a monolithic
+    // full GC parks the no-scavenge latch that `full_gc_begin` respects).
+    mem.try_scavenge().expect("old space has headroom");
+    let incr = measure_incremental(&mem, 32 << 10);
+    println!(
+        "  incremental: {} slices of <= {} words; max slice {:>10}, finish {:>10}, mark {:>10}",
+        incr.slices,
+        incr.slice_budget_words,
+        ns_human(incr.max_slice_ns as f64),
+        ns_human(incr.finish_ns as f64),
+        ns_human(incr.mark_ns as f64)
+    );
+    drop(roots);
+
+    write_fullgc_json("BENCH_fullgc.json", live_words, cores, &runs, &incr);
+    println!("wrote BENCH_fullgc.json");
+
+    let serial_mark = runs[0].best_mark_ns as f64;
+    let par4_mark = runs[2].best_mark_ns as f64;
+    let ratio = par4_mark / serial_mark;
+    let mut failed = false;
+    if cores >= 4 {
+        if ratio > 0.7 {
+            eprintln!(
+                "FAIL: 4-helper mark is {ratio:.2}x serial on a {cores}-core host \
+                 (budget: 0.70x)"
+            );
+            failed = true;
+        } else {
+            println!("PASS: 4-helper mark is {ratio:.2}x serial (budget: 0.70x)");
+        }
+    } else {
+        println!(
+            "note: only {cores} core(s) visible; 4-helper mark is {ratio:.2}x serial \
+             (gate requires >= 4 cores)"
+        );
+    }
+    // The slice bound holds on any host: that is the point of incremental
+    // marking, and it does not depend on parallelism.
+    if incr.max_slice_ns >= serial_mark as u64 {
+        eprintln!(
+            "FAIL: longest incremental mark slice ({}) is not below the monolithic \
+             mark pause ({})",
+            ns_human(incr.max_slice_ns as f64),
+            ns_human(serial_mark)
+        );
+        failed = true;
+    } else {
+        println!(
+            "PASS: longest incremental mark slice is {:.2}x the monolithic mark pause",
+            incr.max_slice_ns as f64 / serial_mark
+        );
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--smoke") {
         smoke();
+        return;
+    }
+    if std::env::args().any(|a| a == "--fullgc") {
+        fullgc_bench();
         return;
     }
 

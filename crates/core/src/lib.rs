@@ -329,6 +329,12 @@ impl MsSystem {
         }
         let policy = self.config.supervisor;
         for p in 1..self.config.processors {
+            // Register before the thread exists: the roster must reflect
+            // every processor the system has committed to, or a caller
+            // polling `processors_online()` right after construction races
+            // against worker startup and sees an empty roster (observable
+            // on a single-core host, where the spawner wins every time).
+            self.vm.roster_register(p);
             let vm = Arc::clone(&self.vm);
             let handle = spawn_lightweight(Processor(p), "interp", move || {
                 supervise(vm, p, policy);
@@ -671,6 +677,31 @@ impl MsSystem {
         drop(guard);
     }
 
+    /// Stops the world and runs a full mark-compact collection (for tests
+    /// and harnesses). The stopped worker interpreters are donated to the
+    /// mark phase as parallel helpers; the helper count adapts to the live
+    /// set, so a small heap marks serially even on a big machine. Any
+    /// dangling references the compactor neutralized are drained into the
+    /// VM error log — the same containment surface the supervisor uses —
+    /// instead of crashing the system.
+    pub fn full_collect(&self) -> mst_objmem::FullGcOutcome {
+        let me = self.vm.rendezvous.participant();
+        let guard = me.stop_world();
+        // The calling thread marks too, so it counts alongside the online
+        // workers when sizing the helper pool.
+        let available = self.vm.processors_online() + 1;
+        let helpers = self.vm.mem.adaptive_full_gc_helpers(available);
+        let outcome = self.vm.mem.full_gc_with(helpers, |n, f| {
+            guard.run_stopped(n, f);
+        });
+        self.vm.bump_cache_epoch();
+        drop(guard);
+        for d in self.vm.mem.take_fullgc_dangling() {
+            self.vm.error_log.lock().push(format!("heap: {d}"));
+        }
+        outcome
+    }
+
     /// Stops the world and runs the heap verifier ([`mst_objmem`]'s
     /// [`HeapAudit`](mst_objmem::HeapAudit)): every reachable region is
     /// walked and headers, class pointers, slot targets, the remembered
@@ -765,6 +796,21 @@ mod tests {
         }
         // The system still works afterwards.
         assert_eq!(ms.evaluate("1 + 1").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn full_collect_keeps_the_system_running() {
+        let mut ms = MsSystem::new(small_config());
+        let root = ms.evaluate_to_root("'survives' , ' compaction'").unwrap();
+        let outcome = ms.full_collect();
+        assert!(outcome.report.is_clean(), "{}", outcome.report);
+        assert!(ms.audit_heap().is_clean());
+        // The rooted result survived compaction and the system still runs.
+        assert_eq!(
+            ms.value_of(root.get()),
+            Value::Str("survives compaction".into())
+        );
+        assert_eq!(ms.evaluate("2 + 2").unwrap(), Value::Int(4));
     }
 
     #[test]

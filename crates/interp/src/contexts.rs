@@ -99,6 +99,38 @@ impl FreeLists {
         self.heads.iter().all(|h| h.is_none())
     }
 
+    /// Severs the recycling chains before a full collection: every link
+    /// (the `sender` slot threading dead contexts together) is nilled, and
+    /// the lists are emptied.
+    ///
+    /// Without this, a scavenge-triggered full GC leaks: the chained
+    /// contexts are garbage, but any stale reference to *one* of them — say
+    /// a dead slot above a live context's stack pointer, which the collector
+    /// conservatively traces — retains the **entire chain** through the
+    /// sender links. Severing costs one nil store per recycled context and
+    /// restores the invariant that a dead context keeps nothing else alive.
+    ///
+    /// The chains are only walked when the list is valid for the current GC
+    /// epoch (`epoch == mem.gc_epoch()`); a stale list holds pre-collection
+    /// oops that must not be dereferenced, and its heads are simply dropped.
+    pub fn sever(&mut self, mem: &ObjectMemory) {
+        if self.epoch == mem.gc_epoch() {
+            for head in self.heads.iter().flatten() {
+                let mut cur = *head;
+                loop {
+                    let next = mem.fetch(cur, method_ctx::SENDER);
+                    if next == mem.nil() {
+                        break;
+                    }
+                    // nil is old: no store check needed.
+                    mem.store_nocheck(cur, method_ctx::SENDER, mem.nil());
+                    cur = next;
+                }
+            }
+        }
+        self.heads = [None; 4];
+    }
+
     /// Splices every context from `other` onto this list's chains, leaving
     /// `other` empty. Used by the processor supervisor to donate a dead
     /// interpreter's replicated lists back to the shared pool. Both lists
@@ -290,6 +322,105 @@ mod tests {
             .allocate(&tok, Oop::ZERO, ObjFormat::Pointers, 3, 0)
             .unwrap();
         assert_eq!(kind_of(&mem, arr), None);
+    }
+
+    #[test]
+    fn sever_breaks_chains_and_empties_lists() {
+        let mem = mem_with_ctx_classes();
+        let mut fl = FreeLists::default();
+        fl.clear(mem.gc_epoch());
+        let a = new_ctx(&mem, CtxKind::MethodSmall);
+        let b = new_ctx(&mem, CtxKind::MethodSmall);
+        let c = new_ctx(&mem, CtxKind::MethodSmall);
+        for ctx in [a, b, c] {
+            fl.push(&mem, CtxKind::MethodSmall, ctx);
+        }
+        // Chained: c -> b -> a -> nil.
+        assert_eq!(mem.fetch(c, method_ctx::SENDER), b);
+        assert_eq!(mem.fetch(b, method_ctx::SENDER), a);
+        fl.sever(&mem);
+        assert!(fl.is_empty());
+        for ctx in [a, b, c] {
+            assert_eq!(mem.fetch(ctx, method_ctx::SENDER), mem.nil());
+        }
+    }
+
+    #[test]
+    fn sever_does_not_dereference_a_stale_list() {
+        let mem = mem_with_ctx_classes();
+        let mut fl = FreeLists::default();
+        fl.clear(mem.gc_epoch());
+        let a = new_ctx(&mem, CtxKind::BlockSmall);
+        let b = new_ctx(&mem, CtxKind::BlockSmall);
+        fl.push(&mem, CtxKind::BlockSmall, a);
+        fl.push(&mem, CtxKind::BlockSmall, b);
+        // A collection happened: the chained oops are no longer valid, so a
+        // sever must drop the heads without walking (b -> a stays linked in
+        // the heap image, which is fine — both are dead post-GC).
+        mem.scavenge();
+        assert_ne!(fl.epoch, mem.gc_epoch());
+        fl.sever(&mem);
+        assert!(fl.is_empty());
+    }
+
+    /// The leak `sever` exists to stop: contexts recycled onto a free list
+    /// in **old space** are garbage, yet one stale reference into the chain
+    /// retains every context on it through the sender links.
+    #[test]
+    fn severed_free_list_chains_are_reclaimed_by_full_gc() {
+        let mem = mem_with_ctx_classes();
+
+        // Builds a chain of 8 recycled contexts and returns its *head* (the
+        // last pushed context — the sender links run head → tail), plus the
+        // chain's total footprint in words.
+        let build_chain = |fl: &mut FreeLists| -> (Oop, usize) {
+            fl.clear(mem.gc_epoch());
+            let mut head = Oop::ZERO;
+            for _ in 0..8 {
+                let class = mem.specials().get(So::ClassMethodContext);
+                head = mem
+                    .allocate_old(
+                        class,
+                        ObjFormat::Pointers,
+                        CtxKind::MethodSmall.body_slots(),
+                        0,
+                    )
+                    .unwrap();
+                fl.push(&mem, CtxKind::MethodSmall, head);
+            }
+            (head, 8 * (2 + CtxKind::MethodSmall.body_slots()))
+        };
+
+        // A live old object holds a stale reference to the *first* recycled
+        // context (modeling a dead stack slot the collector traces
+        // conservatively). Compaction moves it, so re-fetch via the root
+        // handle after every collection.
+        let root = mem.new_root(mem.alloc_array_old(1).unwrap());
+
+        // Unsevered: the stale reference retains the whole chain.
+        let mut fl = FreeLists::default();
+        let (first, chain_words) = build_chain(&mut fl);
+        mem.store_nocheck(root.get(), 0, first);
+        mem.full_gc();
+        let used_leaky = mem.old_used();
+        mem.store_nocheck(root.get(), 0, mem.nil());
+        mem.full_gc();
+        let used_baseline = mem.old_used();
+        assert!(
+            used_leaky >= used_baseline + chain_words - (2 + CtxKind::MethodSmall.body_slots()),
+            "unsevered chain should have been retained (leak): {used_leaky} vs {used_baseline}"
+        );
+
+        // Severed: only the directly referenced context survives.
+        let (first2, _) = build_chain(&mut fl);
+        mem.store_nocheck(root.get(), 0, first2);
+        fl.sever(&mem);
+        mem.full_gc();
+        assert_eq!(
+            mem.old_used(),
+            used_baseline + 2 + CtxKind::MethodSmall.body_slots(),
+            "severed chain must be reclaimed except the referenced context"
+        );
     }
 
     #[test]

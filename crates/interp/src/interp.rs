@@ -77,7 +77,11 @@ pub struct Interpreter {
     pub id: u64,
     token: AllocToken,
     cache: LocalCache,
-    free: FreeLists,
+    /// Replicated free-context lists (paper §3.2). `Arc`-wrapped so a
+    /// pre-full-GC hook can sever the chains from whichever thread triggers
+    /// the collection (the owner is parked at a safepoint then, so the lock
+    /// is uncontended in ordinary execution).
+    free: Arc<mst_vkernel::SpinMutex<FreeLists>>,
     special_sels: [Oop; 32],
     sels_epoch: u64,
     /// Rooted current process.
@@ -128,12 +132,29 @@ impl Interpreter {
         let token = vm.mem.new_token();
         let epoch = vm.mem.gc_epoch();
         let proc_root = vm.mem.new_root(Oop::ZERO);
+        let free = Arc::new(mst_vkernel::SpinMutex::new(
+            vm.options.sync,
+            FreeLists::default(),
+        ));
+        // Sever this interpreter's recycling chains before any full
+        // collection (scavenge-triggered ones included) so recycled-but-
+        // chained contexts cannot be retained by a stale reference. Weak:
+        // the hook prunes itself once the interpreter is dropped.
+        let weak = Arc::downgrade(&free);
+        vm.mem
+            .register_pre_fullgc_hook(move |m| match weak.upgrade() {
+                Some(lists) => {
+                    lists.lock().sever(m);
+                    true
+                }
+                None => false,
+            });
         let mut it = Interpreter {
             vm,
             id,
             token,
             cache: LocalCache::new(epoch),
-            free: FreeLists::default(),
+            free,
             special_sels: [Oop::ZERO; 32],
             sels_epoch: u64::MAX,
             proc_root,
@@ -426,13 +447,16 @@ impl Interpreter {
             self.proc_root.set(Oop::ZERO);
         }
         let epoch = self.mem().gc_epoch();
-        if self.free.epoch == epoch && !self.free.is_empty() {
-            let mut shared = self.vm.shared_free.lock();
-            if shared.epoch == epoch {
-                shared.absorb(self.mem(), &mut self.free);
+        {
+            let mut mine = self.free.lock();
+            if mine.epoch == epoch && !mine.is_empty() {
+                let mut shared = self.vm.shared_free.lock();
+                if shared.epoch == epoch {
+                    shared.absorb(self.mem(), &mut mine);
+                }
             }
+            mine.clear(epoch);
         }
-        self.free.clear(epoch);
         drop(me);
         self.flush_counters();
         self.gc_streak = 0;
@@ -710,9 +734,51 @@ impl Interpreter {
 
     fn after_gc(&mut self) {
         self.cache.clear(self.vm.cache_epoch());
-        self.free.clear(self.mem().gc_epoch());
+        self.free.lock().clear(self.mem().gc_epoch());
         self.refresh_special_selectors();
         self.reload_registers();
+    }
+
+    /// Drives the incremental full collector from the safepoint (no-op
+    /// under [`mst_objmem::FullGcMode::Stw`]). One call performs at most one
+    /// bounded stop-the-world step: *begin* (arm the write barrier) when the
+    /// low-space latch is set and no window is open, otherwise one mark
+    /// slice, finishing — plan/update/move, the only unbounded pause — once
+    /// the trace converges. Mutators run between calls, which is the whole
+    /// point: the monolithic mark pause is diced into `slice_words`-sized
+    /// pieces.
+    fn incremental_full_gc_step(&mut self) {
+        let mem = self.mem();
+        let mst_objmem::FullGcMode::Incremental { slice_words } = mem.config().full_gc_mode else {
+            return;
+        };
+        let marking = mem.incremental_mark_active();
+        if !marking && !self.vm.low_space.load(Ordering::Relaxed) {
+            return;
+        }
+        let before = mem.gc_epoch();
+        self.flush_registers();
+        self.mem().retire_token(&self.token);
+        let guard = self.vm.rendezvous.stop_world(self.rdv_id());
+        if !mem.incremental_mark_active() {
+            // Re-check under stop-world: another interpreter may have begun
+            // (or finished) a window while we raced here. `full_gc_begin`
+            // refuses on its own when preconditions fail (LAB policy, or a
+            // monolithic full GC since the last scavenge).
+            if self.vm.low_space.load(Ordering::Relaxed) {
+                mem.full_gc_begin();
+            }
+        } else if mem.full_gc_mark_slice(slice_words) {
+            mem.full_gc_finish();
+            self.vm.bump_cache_epoch();
+            self.vm.global_cache.clear(self.vm.cache_epoch());
+        }
+        drop(guard);
+        if mem.gc_epoch() != before {
+            // The finish compacted old space: every cached oop moved.
+            self.after_gc();
+            self.check_low_space();
+        }
     }
 
     /// The safepoint: polls stop-the-world, shutdown, and preemption.
@@ -746,6 +812,7 @@ impl Interpreter {
             // (possible when we were parked inside a lock delay).
             self.after_gc();
         }
+        self.incremental_full_gc_step();
         if !self.vm.running() {
             self.flush_registers();
             return Step::Event(Event::Shutdown);
@@ -1208,10 +1275,11 @@ impl Interpreter {
         let recycled = match self.vm.options.context_policy {
             FreeListPolicy::Disabled => None,
             FreeListPolicy::Replicated => {
-                if self.free.epoch != epoch {
-                    self.free.clear(epoch);
+                let mut mine = self.free.lock();
+                if mine.epoch != epoch {
+                    mine.clear(epoch);
                 }
-                self.free.pop(self.mem(), kind)
+                mine.pop(self.mem(), kind)
             }
             FreeListPolicy::Shared => {
                 let mut shared = self.vm.shared_free.lock();
@@ -1246,10 +1314,11 @@ impl Interpreter {
             FreeListPolicy::Disabled => {}
             FreeListPolicy::Replicated => {
                 let epoch = self.mem().gc_epoch();
-                if self.free.epoch != epoch {
-                    self.free.clear(epoch);
+                let mut mine = self.free.lock();
+                if mine.epoch != epoch {
+                    mine.clear(epoch);
                 }
-                self.free.push(self.mem(), kind, ctx);
+                mine.push(self.mem(), kind, ctx);
             }
             FreeListPolicy::Shared => {
                 let mut shared = self.vm.shared_free.lock();

@@ -6,6 +6,7 @@
 //! three adaptation strategies.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use mst_objmem::{MemoryConfig, ObjectMemory};
 use mst_telemetry as tel;
@@ -159,7 +160,10 @@ pub struct Vm {
     pub(crate) start: std::time::Instant,
     pub(crate) global_cache: GlobalCache,
     /// Shared free-context lists (used under [`FreeListPolicy::Shared`]).
-    pub(crate) shared_free: SpinMutex<crate::contexts::FreeLists>,
+    /// `Arc`-wrapped so a pre-full-GC hook on the object memory can sever
+    /// the recycling chains (see [`crate::contexts::FreeLists::sever`])
+    /// without holding a reference into the `Vm` itself.
+    pub(crate) shared_free: Arc<SpinMutex<crate::contexts::FreeLists>>,
     /// A Process only its watcher may claim (measurement pinning; see
     /// `scheduler::claim_next` and `Interpreter::run`).
     pub(crate) reserved: SpinMutex<Option<mst_objmem::RootHandle>>,
@@ -193,6 +197,24 @@ impl Vm {
 
     /// Builds a VM around existing object memory (e.g. a loaded snapshot).
     pub fn with_memory(mem: ObjectMemory, options: VmOptions) -> Vm {
+        let shared_free = Arc::new(SpinMutex::named(
+            options.sync,
+            "free_contexts",
+            crate::contexts::FreeLists::default(),
+        ));
+        // Before any full collection marks its roots, sever the shared
+        // free-context chains: the recycled contexts are garbage, but a
+        // single stale reference into a chain would otherwise retain all of
+        // it through the sender links. Registered weakly so a dropped Vm's
+        // hook prunes itself.
+        let weak = Arc::downgrade(&shared_free);
+        mem.register_pre_fullgc_hook(move |m| match weak.upgrade() {
+            Some(lists) => {
+                lists.lock().sever(m);
+                true
+            }
+            None => false,
+        });
         Vm {
             mem,
             rendezvous: Rendezvous::new(),
@@ -208,11 +230,7 @@ impl Vm {
             cache_epoch: AtomicU64::new(0),
             start: std::time::Instant::now(),
             global_cache: GlobalCache::new(options.sync),
-            shared_free: SpinMutex::named(
-                options.sync,
-                "free_contexts",
-                crate::contexts::FreeLists::default(),
-            ),
+            shared_free,
             reserved: SpinMutex::new(options.sync, None),
             low_space: AtomicBool::new(false),
             next_interp_id: AtomicU64::new(0),
@@ -286,7 +304,10 @@ impl Vm {
         self.roster.lock().iter().filter(|p| p.online).count()
     }
 
-    pub(crate) fn roster_register(&self, processor: usize) {
+    /// Marks `processor` online in the roster, adding a row if this is its
+    /// first registration. Idempotent; the system layer calls it before
+    /// spawning each supervised worker so the roster never lags startup.
+    pub fn roster_register(&self, processor: usize) {
         let mut roster = self.roster.lock();
         match roster.iter_mut().find(|r| r.processor == processor) {
             Some(row) => {

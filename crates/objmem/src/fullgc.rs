@@ -15,31 +15,359 @@
 //! New-space objects are never moved by a full collection; unreachable ones
 //! are simply never scanned again (the next scavenge abandons them).
 //!
-//! **The world must be stopped by the caller**, and any free-context lists
-//! must be cleared first (they hold dead contexts by design).
+//! The mark phase — the only pass that scales with the *live set* rather
+//! than with live-data-moved — comes in three interchangeable front-ends
+//! over one shared compactor:
+//!
+//! * **Serial** ([`ObjectMemory::full_gc`]): the reference implementation.
+//! * **Parallel** ([`ObjectMemory::full_gc_with`]): stopped processors are
+//!   drafted as helpers (the same `run_stopped` contract as the parallel
+//!   scavenger); roots are partitioned with atomic chunk cursors, mark bits
+//!   are claimed with an atomic `fetch_or` on the header word, and the
+//!   transitive trace is balanced with per-helper work-stealing deques.
+//! * **Incremental** ([`ObjectMemory::full_gc_begin`] /
+//!   [`full_gc_mark_slice`](ObjectMemory::full_gc_mark_slice) /
+//!   [`full_gc_finish`](ObjectMemory::full_gc_finish)): marking proceeds in
+//!   bounded stop-the-world slices interleaved with mutator execution; a
+//!   snapshot-at-the-beginning write barrier in [`ObjectMemory::store`]
+//!   records both the overwritten and the newly written value, so the final
+//!   pause is bounded by live-data-moved, not old-space-scanned.
+//!
+//! **The world must be stopped by the caller** for every entry point here
+//! (for the incremental mode: during each slice and the finish). Free
+//! context lists hold dead contexts by design; the registered pre-full-GC
+//! hooks ([`ObjectMemory::register_pre_fullgc_hook`]) sever them before any
+//! marking starts, so a full collection triggered from *inside* a scavenge
+//! honors the same precondition as a deliberate one.
 
-use std::sync::atomic::Ordering;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-use crate::header::ObjFormat;
-use crate::heap::ObjectMemory;
+use crate::header::{Header, ObjFormat, PAD_WORD};
+use crate::heap::{AllocPolicy, ObjectMemory};
 use crate::method::MethodHeader;
 use crate::oop::Oop;
+use crate::steal::StealDeque;
 
-/// Process-wide full-collection pause distribution.
-fn full_gc_pause_hist() -> &'static mst_telemetry::Histogram {
-    static H: std::sync::OnceLock<&'static mst_telemetry::Histogram> = std::sync::OnceLock::new();
-    H.get_or_init(|| mst_telemetry::histogram("gc.full_pause_ns"))
+/// The leader-drafts-helpers runner contract shared with the parallel
+/// scavenger: call the closure with distinct slots in `0..helpers`, slot 0
+/// included, and return once every invocation has finished.
+pub(crate) type HelperRunner<'a> = &'a dyn Fn(usize, &(dyn Fn(usize) + Sync));
+
+/// Live old-space words per drafted mark helper: below one helper's worth,
+/// fan-out costs more than it saves, so [`adaptive_full_gc_helpers`]
+/// (ObjectMemory::adaptive_full_gc_helpers) marks serially.
+const FULL_GC_WORDS_PER_HELPER: usize = 128 << 10; // 1 MB
+
+/// Capacity of each mark helper's work-stealing deque (oop words). Overflow
+/// goes to a private vector, so this only bounds what thieves can see.
+const MARK_DEQUE_CAPACITY: usize = 1 << 13;
+/// Root oops claimed per cursor bump during the parallel root scan.
+const MARK_ROOT_CHUNK: usize = 32;
+/// Dangling-reference diagnostics recorded per collection; counting
+/// continues past the cap (mirrors `HeapAudit`'s error cap).
+const MAX_DANGLING: usize = 16;
+
+/// Telemetry for the full collector (`gc.full*`).
+struct FullGcInstruments {
+    pause_ns: &'static mst_telemetry::Histogram,
+    mark_slice_ns: &'static mst_telemetry::Histogram,
+    parallel_collections: &'static mst_telemetry::Counter,
+    parallel_steals: &'static mst_telemetry::Counter,
+    parallel_helpers: &'static mst_telemetry::Histogram,
+    helper_marked_words: &'static mst_telemetry::Histogram,
+    satb_recorded: &'static mst_telemetry::Counter,
+    incremental_collections: &'static mst_telemetry::Counter,
+    incremental_slices: &'static mst_telemetry::Counter,
+    forced_finish: &'static mst_telemetry::Counter,
+    dangling_refs: &'static mst_telemetry::Counter,
+}
+
+fn instruments() -> &'static FullGcInstruments {
+    static I: OnceLock<FullGcInstruments> = OnceLock::new();
+    I.get_or_init(|| FullGcInstruments {
+        pause_ns: mst_telemetry::histogram("gc.full_pause_ns"),
+        mark_slice_ns: mst_telemetry::histogram("gc.full_mark_slice_ns"),
+        parallel_collections: mst_telemetry::counter("gc.full.parallel.collections"),
+        parallel_steals: mst_telemetry::counter("gc.full.parallel.steals"),
+        parallel_helpers: mst_telemetry::histogram("gc.full.parallel.helpers"),
+        helper_marked_words: mst_telemetry::histogram("gc.full.parallel.helper_marked_words"),
+        satb_recorded: mst_telemetry::counter("gc.full.satb.recorded"),
+        incremental_collections: mst_telemetry::counter("gc.full.incremental.collections"),
+        incremental_slices: mst_telemetry::counter("gc.full.incremental.slices"),
+        forced_finish: mst_telemetry::counter("gc.full.incremental.forced_finish"),
+        dangling_refs: mst_telemetry::counter("gc.full.dangling_refs"),
+    })
+}
+
+/// Where a dangling old-space reference was found during the update phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DanglingSlot {
+    /// Body pointer slot `i` of the referrer.
+    Body(usize),
+    /// The referrer's class word.
+    Class,
+    /// A Rust-side root cell.
+    Root,
+    /// A special-objects table entry.
+    Special,
+    /// A symbol-table entry.
+    Symbol,
+    /// An entry-table (remembered set) entry.
+    Entry,
+}
+
+impl std::fmt::Display for DanglingSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DanglingSlot::Body(i) => write!(f, "slot {i}"),
+            DanglingSlot::Class => write!(f, "class word"),
+            DanglingSlot::Root => write!(f, "root cell"),
+            DanglingSlot::Special => write!(f, "special-object entry"),
+            DanglingSlot::Symbol => write!(f, "symbol-table entry"),
+            DanglingSlot::Entry => write!(f, "entry-table entry"),
+        }
+    }
+}
+
+/// One dangling reference the compactor neutralized: a marked slot whose
+/// target is not the start of any marked old object (a pointer into the
+/// middle of an object, or similar corruption). The referrer/target
+/// addresses are as of the start of the update phase — diagnostic
+/// coordinates, not live oops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DanglingRef {
+    /// The object holding the bad reference ([`Oop::ZERO`] for table slots).
+    pub referrer: Oop,
+    /// Which slot of the referrer held it.
+    pub slot: DanglingSlot,
+    /// The unrelocatable target.
+    pub target: Oop,
+}
+
+impl std::fmt::Display for DanglingRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dangling old reference: {} of @{} held {:#x} (not a marked object start); slot nilled",
+            self.slot,
+            self.referrer.index(),
+            self.target.raw()
+        )
+    }
+}
+
+/// HeapAudit-style report of what the compactor had to neutralize. A clean
+/// collection leaves it empty; a dirty one names each referrer, slot, and
+/// target so the supervisor/containment layer can log it instead of the old
+/// behavior (an `unreachable!` abort from inside stop-the-world).
+#[derive(Debug, Clone, Default)]
+pub struct FullGcReport {
+    /// Recorded diagnostics, capped at [`MAX_DANGLING`].
+    pub dangling: Vec<DanglingRef>,
+    /// Total dangling references found (may exceed `dangling.len()`).
+    pub dangling_count: usize,
+}
+
+impl FullGcReport {
+    /// Whether the collection found nothing to neutralize.
+    pub fn is_clean(&self) -> bool {
+        self.dangling_count == 0
+    }
+
+    fn record(&mut self, d: DanglingRef) {
+        self.dangling_count += 1;
+        if self.dangling.len() < MAX_DANGLING {
+            self.dangling.push(d);
+        }
+    }
+}
+
+impl std::fmt::Display for FullGcReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "full GC: {} dangling reference(s)", self.dangling_count)?;
+        for d in &self.dangling {
+            write!(f, "\n  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// What one full collection did.
+#[derive(Debug, Clone, Default)]
+pub struct FullGcOutcome {
+    /// Old-space words reclaimed.
+    pub reclaimed_words: usize,
+    /// Stop-the-world nanoseconds spent marking (summed over slices for the
+    /// incremental mode).
+    pub mark_nanos: u64,
+    /// Wall nanoseconds from begin to finish (equals the pause for the
+    /// monolithic modes; spans mutator execution for the incremental one).
+    pub total_nanos: u64,
+    /// The longest single stop-the-world pause this collection imposed.
+    pub max_pause_nanos: u64,
+    /// Mark slices taken (1 for monolithic marking).
+    pub slices: u64,
+    /// Helper threads that actually entered the mark phase (1 = serial).
+    pub helpers: usize,
+    /// Dangling-reference diagnostics (see [`FullGcReport`]).
+    pub report: FullGcReport,
+}
+
+/// State of an in-progress incremental mark, parked on the `ObjectMemory`
+/// between slices while mutators run against the write barrier.
+#[derive(Debug)]
+pub(crate) struct FullMarkState {
+    /// Marked-but-untraced objects (old space only).
+    gray: Vec<Oop>,
+    /// Every object marked so far, for the plan/update/clear phases.
+    marked: Vec<Oop>,
+    /// Old objects allocated (black) during the window; re-traced at finish
+    /// because fresh-object initialization legally bypasses the barrier.
+    alloc_black: Vec<Oop>,
+    slices: u64,
+    mark_nanos: u64,
+    max_slice_nanos: u64,
+    started: Instant,
+}
+
+/// Relocation oracle for the update phase: the sorted from→to plan plus the
+/// diagnostic report for targets that are not marked-object starts.
+struct Relocator<'m> {
+    mem: &'m ObjectMemory,
+    map: Vec<(usize, usize)>,
+    /// The post-compaction address of `nil`, substituted for dangling slots
+    /// (the pre-move `nil` would itself dangle once bodies slide).
+    nil_new: Oop,
+    report: RefCell<FullGcReport>,
+}
+
+impl Relocator<'_> {
+    /// The target's post-compaction address; `None` when the target is old
+    /// but not the start of any marked object. Non-old oops pass through.
+    fn lookup(&self, oop: Oop) -> Option<Oop> {
+        if !oop.is_object() || !self.mem.spaces().is_old(oop.index()) {
+            return Some(oop);
+        }
+        self.map
+            .binary_search_by_key(&oop.index(), |&(from, _)| from)
+            .ok()
+            .map(|i| Oop::from_index(self.map[i].1))
+    }
+
+    /// Relocates, neutralizing failures to (relocated) `nil` with a recorded
+    /// diagnostic instead of aborting the VM from inside stop-the-world.
+    fn reloc(&self, referrer: Oop, slot: DanglingSlot, oop: Oop) -> Oop {
+        match self.lookup(oop) {
+            Some(n) => n,
+            None => {
+                instruments().dangling_refs.incr();
+                self.report.borrow_mut().record(DanglingRef {
+                    referrer,
+                    slot,
+                    target: oop,
+                });
+                self.nil_new
+            }
+        }
+    }
 }
 
 impl ObjectMemory {
-    /// Runs a full mark-compact collection. Returns reclaimed old-space words.
+    /// Runs a full mark-compact collection with serial marking. Returns
+    /// reclaimed old-space words. **The world must be stopped by the
+    /// caller.**
     pub fn full_gc(&self) -> usize {
+        self.full_gc_with(1, |_n, f: &(dyn Fn(usize) + Sync)| f(0))
+            .reclaimed_words
+    }
+
+    /// Runs a full collection, marking with up to `helpers` threads drawn
+    /// from the stopped world. **The world must be stopped by the caller.**
+    ///
+    /// `run`'s contract is the one the parallel scavenger uses (and
+    /// `RendezvousGuard::run_stopped` fulfils): invoke the closure with
+    /// distinct slot indices in `0..helpers` — any subset, but slot 0 must
+    /// run — from at most one thread per slot, returning only once every
+    /// invocation has finished. With `helpers <= 1` marking is serial and
+    /// `run` is never consulted.
+    ///
+    /// An incremental mark already in flight is completed instead (its
+    /// snapshot must not be mixed with a fresh trace).
+    pub fn full_gc_with<R>(&self, helpers: usize, run: R) -> FullGcOutcome
+    where
+        R: Fn(usize, &(dyn Fn(usize) + Sync)),
+    {
+        self.full_gc_impl(helpers, &run)
+    }
+
+    pub(crate) fn full_gc_impl(&self, helpers: usize, run: HelperRunner) -> FullGcOutcome {
+        if self.incremental_mark_active() {
+            return self.full_gc_force_finish();
+        }
+        self.run_pre_fullgc_hooks();
         let mut trace_span = mst_telemetry::span("gc.full", "gc");
         let start = Instant::now();
-        let old_used_before = self.old_used();
 
-        // --- Phase 1: mark ---------------------------------------------
+        let mark_start = Instant::now();
+        let (marked, entered, steals, per_helper_words) = if helpers <= 1 {
+            (self.serial_mark(), 1, 0, Vec::new())
+        } else {
+            self.parallel_mark(helpers, run)
+        };
+        let mark_nanos = mark_start.elapsed().as_nanos() as u64;
+
+        let (reclaimed, report) = self.compact_marked(&marked, false);
+
+        self.bump_epoch();
+        // Until the next completed scavenge, dead new-space objects may hold
+        // dangling references to compacted-away old objects (abandoned by
+        // design); the heap verifier consults this flag.
+        self.fullgc_since_scavenge.store(true, Ordering::Relaxed);
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.stats.full_gcs.incr();
+        self.stats.full_gc_nanos.add(nanos);
+        let instr = instruments();
+        instr.pause_ns.record(nanos);
+        if entered > 1 {
+            instr.parallel_collections.incr();
+            instr.parallel_steals.add(steals);
+            instr.parallel_helpers.record(entered as u64);
+            for w in per_helper_words {
+                instr.helper_marked_words.record(w);
+            }
+        }
+        self.publish_fullgc_report(&report);
+        trace_span.set_arg("reclaimed_words", reclaimed as u64);
+        drop(trace_span);
+        FullGcOutcome {
+            reclaimed_words: reclaimed,
+            mark_nanos,
+            total_nanos: nanos,
+            max_pause_nanos: nanos,
+            slices: 1,
+            helpers: entered,
+            report,
+        }
+    }
+
+    /// Picks the mark-helper count for a full collection from the live-set
+    /// estimate (used old space): one thread per [`FULL_GC_WORDS_PER_HELPER`],
+    /// clamped to `available` — the processors the caller can actually
+    /// draft, e.g. `processors_online() + 1`. Small heaps mark serially.
+    pub fn adaptive_full_gc_helpers(&self, available: usize) -> usize {
+        (self.old_used() / FULL_GC_WORDS_PER_HELPER)
+            .max(1)
+            .min(available.max(1))
+    }
+
+    // ------------------------------------------------------------------
+    // Mark front-end 1: serial
+    // ------------------------------------------------------------------
+
+    fn serial_mark(&self) -> Vec<Oop> {
         let mut stack: Vec<Oop> = Vec::with_capacity(4096);
         let mut marked: Vec<Oop> = Vec::with_capacity(4096);
         let mark = |mem: &ObjectMemory, oop: Oop, stack: &mut Vec<Oop>, marked: &mut Vec<Oop>| {
@@ -79,6 +407,302 @@ impl ObjectMemory {
                 mark(self, self.fetch(obj, i), &mut stack, &mut marked);
             }
         }
+        marked
+    }
+
+    // ------------------------------------------------------------------
+    // Mark front-end 2: parallel (stopped processors as helpers)
+    // ------------------------------------------------------------------
+
+    fn parallel_mark(&self, helpers: usize, run: HelperRunner) -> (Vec<Oop>, usize, u64, Vec<u64>) {
+        // Snapshot every root oop up front; helpers partition the flat list
+        // with an atomic chunk cursor. (Unlike the scavenger, marking never
+        // rewrites roots, so raw values suffice.)
+        let mut roots_snap: Vec<u64> = Vec::with_capacity(256);
+        self.specials().update_all(|o| {
+            roots_snap.push(o.raw());
+            o
+        });
+        {
+            let roots = self.roots.lock();
+            for weak in roots.iter() {
+                if let Some(cell) = weak.upgrade() {
+                    roots_snap.push(cell.load(Ordering::Relaxed));
+                }
+            }
+        }
+        self.each_symbol(|sym| roots_snap.push(sym.raw()));
+
+        let par = ParMarker {
+            mem: self,
+            roots: roots_snap,
+            root_cursor: AtomicUsize::new(0),
+            deques: (0..helpers)
+                .map(|_| StealDeque::new(MARK_DEQUE_CAPACITY))
+                .collect(),
+            entered: AtomicUsize::new(0),
+            busy: AtomicUsize::new(0),
+            rounds: AtomicUsize::new(0),
+            merge: Mutex::new(MarkMerge::default()),
+        };
+        run(helpers, &|slot| par.run_helper(slot));
+        let entered = par.entered.load(Ordering::SeqCst);
+        assert!(entered >= 1, "run() must invoke the mark closure (slot 0)");
+        let m = par.merge.into_inner().unwrap();
+        (m.marked, entered, m.steals, m.per_helper_words)
+    }
+
+    // ------------------------------------------------------------------
+    // Mark front-end 3: incremental slices with a SATB write barrier
+    // ------------------------------------------------------------------
+
+    /// Whether an incremental mark window is open (mutators are running
+    /// against the snapshot-at-the-beginning write barrier).
+    #[inline]
+    pub fn incremental_mark_active(&self) -> bool {
+        self.mark_active.load(Ordering::Acquire)
+    }
+
+    /// Opens an incremental full collection: runs the pre-full-GC hooks,
+    /// marks the roots, and arms the write barrier. **The world must be
+    /// stopped by the caller** for this call (mutators may run between the
+    /// slices that follow).
+    ///
+    /// Returns `false` without side effects when a window is already open,
+    /// when a monolithic full GC ran since the last scavenge (dead new-space
+    /// objects may dangle, and the finish walk would trace them), or under
+    /// [`AllocPolicy::PerProcessorLab`] (the finish's conservative new-space
+    /// scan needs a linearly walkable eden).
+    pub fn full_gc_begin(&self) -> bool {
+        if self.incremental_mark_active()
+            || self.fullgc_since_scavenge.load(Ordering::Relaxed)
+            || matches!(
+                self.config().alloc_policy,
+                AllocPolicy::PerProcessorLab { .. }
+            )
+        {
+            return false;
+        }
+        self.run_pre_fullgc_hooks();
+        let mut st = FullMarkState {
+            gray: Vec::with_capacity(4096),
+            marked: Vec::with_capacity(4096),
+            alloc_black: Vec::new(),
+            slices: 0,
+            mark_nanos: 0,
+            max_slice_nanos: 0,
+            started: Instant::now(),
+        };
+        self.mark_roots_incr(&mut st);
+        self.satb.lock().clear();
+        *self.full_mark.lock() = Some(st);
+        self.mark_active.store(true, Ordering::Release);
+        instruments().incremental_collections.incr();
+        true
+    }
+
+    /// Traces up to `budget_words` object words from the gray set, draining
+    /// the write-barrier log as the gray set runs dry. **The world must be
+    /// stopped by the caller.** Returns `true` when marking is complete
+    /// (gray set and barrier log both empty) — call
+    /// [`full_gc_finish`](Self::full_gc_finish) then. A no-op returning
+    /// `true` when no window is open.
+    pub fn full_gc_mark_slice(&self, budget_words: usize) -> bool {
+        let start = Instant::now();
+        let mut guard = self.full_mark.lock();
+        let Some(st) = guard.as_mut() else {
+            return true;
+        };
+        let mut traced = 0usize;
+        while traced < budget_words.max(1) {
+            if let Some(obj) = st.gray.pop() {
+                traced += self.trace_incr(st, obj);
+                continue;
+            }
+            // Gray set dry: pull what the write barrier recorded.
+            let drained = std::mem::take(&mut *self.satb.lock());
+            if drained.is_empty() {
+                break;
+            }
+            for raw in drained {
+                self.mark_incr(st, Oop::from_raw(raw));
+            }
+        }
+        st.slices += 1;
+        let ns = start.elapsed().as_nanos() as u64;
+        st.mark_nanos += ns;
+        st.max_slice_nanos = st.max_slice_nanos.max(ns);
+        let instr = instruments();
+        instr.mark_slice_ns.record(ns);
+        instr.incremental_slices.incr();
+        st.gray.is_empty() && self.satb.lock().is_empty()
+    }
+
+    /// Closes the incremental window: re-scans the roots, re-traces black
+    /// allocations, conservatively marks every old object referenced from
+    /// new space, drains the remaining gray set, then compacts. **The world
+    /// must be stopped by the caller.** A no-op (default outcome) when no
+    /// window is open.
+    ///
+    /// Unlike the monolithic collector, this path rewrites *every* new-space
+    /// slot (the same walk that marked them), so it leaves no dangling
+    /// references behind and `fullgc_since_scavenge` stays clear.
+    pub fn full_gc_finish(&self) -> FullGcOutcome {
+        let taken = self.full_mark.lock().take();
+        let Some(mut st) = taken else {
+            return FullGcOutcome::default();
+        };
+        let mut trace_span = mst_telemetry::span("gc.full", "gc");
+        let finish_start = Instant::now();
+
+        // Anything that became a root during the window.
+        self.mark_roots_incr(&mut st);
+        // Objects allocated black: their slots may have been initialized
+        // with `store_nocheck` (legal for fresh objects), which the write
+        // barrier never sees — re-trace them from scratch.
+        let blacks = std::mem::take(&mut st.alloc_black);
+        st.gray.extend(blacks);
+        // Conservative new-space scan: every old object referenced from new
+        // space (live or dead) stays, and every such slot gets rewritten in
+        // the update phase below.
+        self.each_new_object(|mem, obj| {
+            mem.mark_incr_raw(&mut st, mem.class_of(obj));
+            for i in 0..mem.pointer_slot_count(obj) {
+                mem.mark_incr_raw(&mut st, mem.fetch(obj, i));
+            }
+        });
+        // Drain the rest of the trace and the barrier log.
+        loop {
+            while let Some(obj) = st.gray.pop() {
+                self.trace_incr(&mut st, obj);
+            }
+            let drained = std::mem::take(&mut *self.satb.lock());
+            if drained.is_empty() {
+                break;
+            }
+            for raw in drained {
+                self.mark_incr(&mut st, Oop::from_raw(raw));
+            }
+        }
+        self.mark_active.store(false, Ordering::Release);
+
+        let (reclaimed, report) = self.compact_marked(&st.marked, true);
+        self.bump_epoch();
+
+        let finish_ns = finish_start.elapsed().as_nanos() as u64;
+        let stw_nanos = st.mark_nanos + finish_ns;
+        self.stats.full_gcs.incr();
+        self.stats.full_gc_nanos.add(stw_nanos);
+        instruments().pause_ns.record(finish_ns);
+        self.publish_fullgc_report(&report);
+        trace_span.set_arg("reclaimed_words", reclaimed as u64);
+        drop(trace_span);
+        FullGcOutcome {
+            reclaimed_words: reclaimed,
+            mark_nanos: st.mark_nanos,
+            total_nanos: st.started.elapsed().as_nanos() as u64,
+            max_pause_nanos: st.max_slice_nanos.max(finish_ns),
+            slices: st.slices,
+            helpers: 1,
+            report,
+        }
+    }
+
+    /// [`full_gc_finish`](Self::full_gc_finish), recorded as *forced*: a
+    /// scavenge or monolithic full GC needed the heap and could not wait for
+    /// the mutators to finish the mark at their own pace.
+    pub fn full_gc_force_finish(&self) -> FullGcOutcome {
+        if self.incremental_mark_active() {
+            instruments().forced_finish.incr();
+        }
+        self.full_gc_finish()
+    }
+
+    /// Write-barrier slow path: records `v` for the in-progress mark if it
+    /// is an unmarked old object. Called by [`store`](Self::store) for both
+    /// the overwritten value (snapshot-at-the-beginning: everything
+    /// reachable when the window opened must be traced) and the new value
+    /// (insertion into an already-traced object would otherwise hide it).
+    pub(crate) fn satb_record(&self, v: Oop) {
+        if v.is_object() && self.spaces().is_old(v.index()) && !self.header(v).is_marked() {
+            self.satb.lock().push(v.raw());
+            instruments().satb_recorded.incr();
+        }
+    }
+
+    /// Marks an old object allocated while the incremental window is open
+    /// ("allocate black"): it must survive this collection, and its slots
+    /// are re-traced at finish. Called by `allocate_old`.
+    pub(crate) fn mark_allocate_black(&self, obj: Oop) {
+        let mut guard = self.full_mark.lock();
+        if let Some(st) = guard.as_mut() {
+            let h = self.header(obj);
+            if !h.is_marked() {
+                self.set_header(obj, h.with_marked(true));
+                st.marked.push(obj);
+                st.alloc_black.push(obj);
+            }
+        }
+    }
+
+    fn mark_roots_incr(&self, st: &mut FullMarkState) {
+        self.specials().update_all(|o| {
+            self.mark_incr_raw(st, o);
+            o
+        });
+        {
+            let roots = self.roots.lock();
+            for weak in roots.iter() {
+                if let Some(cell) = weak.upgrade() {
+                    self.mark_incr_raw(st, Oop::from_raw(cell.load(Ordering::Relaxed)));
+                }
+            }
+        }
+        self.each_symbol(|sym| self.mark_incr_raw(st, sym));
+    }
+
+    /// Marks `oop` if it is an unmarked *old* object (the incremental
+    /// collector reclaims only old space; new-space liveness is the
+    /// scavenger's business).
+    fn mark_incr(&self, st: &mut FullMarkState, oop: Oop) {
+        self.mark_incr_raw(st, oop);
+    }
+
+    fn mark_incr_raw(&self, st: &mut FullMarkState, oop: Oop) {
+        if !oop.is_object() || !self.spaces().is_old(oop.index()) {
+            return;
+        }
+        let h = self.header(oop);
+        if !h.is_marked() {
+            self.set_header(oop, h.with_marked(true));
+            st.gray.push(oop);
+            st.marked.push(oop);
+        }
+    }
+
+    /// Traces one gray object; returns the words visited (for slice
+    /// budgeting).
+    fn trace_incr(&self, st: &mut FullMarkState, obj: Oop) -> usize {
+        self.mark_incr_raw(st, self.class_of(obj));
+        let n = self.pointer_slot_count(obj);
+        for i in 0..n {
+            self.mark_incr_raw(st, self.fetch(obj, i));
+        }
+        n + 2
+    }
+
+    // ------------------------------------------------------------------
+    // Shared back-end: plan, update, move, clear
+    // ------------------------------------------------------------------
+
+    /// Phases 2–5 over a completed mark: plan slid-down addresses, update
+    /// every reference, move the bodies, clear the marks. When
+    /// `update_new_walk` is set, every formatted new-space object's slots
+    /// are rewritten too (the incremental path, whose `marked` list holds
+    /// only old objects); otherwise the marked list itself covers the live
+    /// new-space referrers (the monolithic path).
+    fn compact_marked(&self, marked: &[Oop], update_new_walk: bool) -> (usize, FullGcReport) {
+        let old_used_before = self.old_used();
 
         // --- Phase 2: plan new addresses --------------------------------
         // Sorted by construction (linear walk), enabling binary search.
@@ -96,47 +720,66 @@ impl ObjectMemory {
             }
             scan += total;
         }
-        let relocate = |oop: Oop| -> Oop {
-            if !oop.is_object() || !self.spaces().is_old(oop.index()) {
-                return oop;
-            }
-            match map.binary_search_by_key(&oop.index(), |&(from, _)| from) {
-                Ok(i) => Oop::from_index(map[i].1),
-                Err(_) => unreachable!("live reference to an unmarked old object: {oop:?}"),
-            }
+        let mut rel = Relocator {
+            mem: self,
+            map,
+            nil_new: Oop::ZERO,
+            report: RefCell::new(FullGcReport::default()),
         };
+        // `nil` is a special object, hence always marked and relocatable.
+        rel.nil_new = rel
+            .lookup(self.nil())
+            .expect("nil must be marked by every full collection");
 
         // --- Phase 3: update references ----------------------------------
-        for &obj in &marked {
+        for &obj in marked {
             for i in 0..self.pointer_slot_count(obj) {
                 let v = self.fetch(obj, i);
-                self.store_nocheck(obj, i, relocate(v));
+                self.store_nocheck(obj, i, rel.reloc(obj, DanglingSlot::Body(i), v));
             }
             let class = self.class_of(obj);
-            self.set_class(obj, relocate(class));
+            self.set_class(obj, rel.reloc(obj, DanglingSlot::Class, class));
         }
-        self.specials().update_all(&relocate);
+        if update_new_walk {
+            self.each_new_object(|mem, obj| {
+                for i in 0..mem.pointer_slot_count(obj) {
+                    let v = mem.fetch(obj, i);
+                    mem.store_nocheck(obj, i, rel.reloc(obj, DanglingSlot::Body(i), v));
+                }
+                let class = mem.class_of(obj);
+                mem.set_class(obj, rel.reloc(obj, DanglingSlot::Class, class));
+            });
+        }
+        self.specials()
+            .update_all(|o| rel.reloc(Oop::ZERO, DanglingSlot::Special, o));
         {
             let roots = self.roots.lock();
             for weak in roots.iter() {
                 if let Some(cell) = weak.upgrade() {
                     let old = Oop::from_raw(cell.load(Ordering::Relaxed));
-                    cell.store(relocate(old).raw(), Ordering::Relaxed);
+                    cell.store(
+                        rel.reloc(Oop::ZERO, DanglingSlot::Root, old).raw(),
+                        Ordering::Relaxed,
+                    );
                 }
             }
         }
-        self.update_symbols(&relocate);
+        self.update_symbols(|o| rel.reloc(Oop::ZERO, DanglingSlot::Symbol, o));
         {
             let mut table = self.entry_table.lock();
             table.retain(|&obj| self.header(obj).is_marked());
             for entry in table.iter_mut() {
-                *entry = relocate(*entry);
+                *entry = rel.reloc(Oop::ZERO, DanglingSlot::Entry, *entry);
             }
         }
-        let relocated_marks: Vec<Oop> = marked.iter().map(|&o| relocate(o)).collect();
+        // Marks whose "object" cannot be relocated (a marked mid-object
+        // word) are dropped: their original address may be overwritten by
+        // the slide, and blindly clearing a bit at a stale address would
+        // corrupt whatever lives there afterwards.
+        let relocated_marks: Vec<Oop> = marked.iter().filter_map(|&o| rel.lookup(o)).collect();
 
         // --- Phase 4: move bodies ---------------------------------------
-        for &(from, to) in &map {
+        for &(from, to) in &rel.map {
             if from != to {
                 let total = 2 + self.header(Oop::from_index(from)).body_words();
                 for i in 0..total {
@@ -152,19 +795,62 @@ impl ObjectMemory {
             self.set_header(obj, h.with_marked(false));
         }
 
-        self.bump_epoch();
-        // Until the next completed scavenge, dead new-space objects may hold
-        // dangling references to compacted-away old objects (abandoned by
-        // design); the heap verifier consults this flag.
-        self.fullgc_since_scavenge.store(true, Ordering::Relaxed);
         let reclaimed = old_used_before - (dest - self.spaces().old_start);
-        let nanos = start.elapsed().as_nanos() as u64;
-        self.stats.full_gcs.incr();
-        self.stats.full_gc_nanos.add(nanos);
-        full_gc_pause_hist().record(nanos);
-        trace_span.set_arg("reclaimed_words", reclaimed as u64);
-        drop(trace_span);
-        reclaimed
+        (reclaimed, rel.report.into_inner())
+    }
+
+    /// Linearly walks every formatted new-space object — eden (only under
+    /// [`AllocPolicy::SharedEden`]; LAB carving leaves unformatted gaps)
+    /// followed by the past survivor space — skipping pad words.
+    pub(crate) fn each_new_object(&self, mut f: impl FnMut(&ObjectMemory, Oop)) {
+        let sp = *self.spaces();
+        if matches!(self.config().alloc_policy, AllocPolicy::SharedEden) {
+            let end = sp.eden_start + self.eden_frontier();
+            let mut scan = sp.eden_start;
+            while scan < end {
+                if self.word(scan) == PAD_WORD {
+                    scan += 1;
+                    continue;
+                }
+                let obj = Oop::from_index(scan);
+                let total = 2 + self.header(obj).body_words();
+                f(self, obj);
+                scan += total;
+            }
+        }
+        let past_start = if self.past_is_a.load(Ordering::Relaxed) {
+            sp.surv_a_start
+        } else {
+            sp.surv_b_start
+        };
+        let past_fill = self.past_fill.load(Ordering::Relaxed).max(past_start);
+        let mut scan = past_start;
+        while scan < past_fill {
+            if self.word(scan) == PAD_WORD {
+                scan += 1;
+                continue;
+            }
+            let obj = Oop::from_index(scan);
+            let total = 2 + self.header(obj).body_words();
+            f(self, obj);
+            scan += total;
+        }
+    }
+
+    /// Stashes a dirty report where the interpreter layer can collect it for
+    /// the error log (the containment surface), and keeps the counter hot.
+    fn publish_fullgc_report(&self, report: &FullGcReport) {
+        if !report.is_clean() {
+            let mut sink = self.fullgc_dangling.lock();
+            sink.extend(report.dangling.iter().copied());
+        }
+    }
+
+    /// Drains the dangling-reference diagnostics accumulated by full
+    /// collections since the last call (the supervisor/interpreter logs
+    /// them; an empty result is the common case).
+    pub fn take_fullgc_dangling(&self) -> Vec<DanglingRef> {
+        std::mem::take(&mut *self.fullgc_dangling.lock())
     }
 
     /// Number of leading pointer slots in an object's body.
@@ -178,11 +864,180 @@ impl ObjectMemory {
     }
 }
 
+/// Shared state for one parallel mark. Borrowed (`Sync`) by every helper;
+/// all mutation goes through atomics or the merge mutex. The termination
+/// protocol (busy/rounds) is the parallel scavenger's.
+struct ParMarker<'m> {
+    mem: &'m ObjectMemory,
+    /// Flat snapshot of every root oop (specials, root cells, symbols).
+    roots: Vec<u64>,
+    root_cursor: AtomicUsize,
+    /// One deque per slot; helpers push/take their own, steal the rest.
+    deques: Vec<StealDeque>,
+    /// Helpers that actually ran (any subset of the slots may).
+    entered: AtomicUsize,
+    /// Helpers currently holding or producing work (termination detection).
+    busy: AtomicUsize,
+    /// Bumped whenever a helper (re-)joins the busy set, *after* the busy
+    /// increment: an idle helper that saw `busy == 0` and empty deques can
+    /// detect a racing re-entry by re-reading this.
+    rounds: AtomicUsize,
+    merge: Mutex<MarkMerge>,
+}
+
+#[derive(Default)]
+struct MarkMerge {
+    marked: Vec<Oop>,
+    steals: u64,
+    per_helper_words: Vec<u64>,
+}
+
+/// One mark helper's private state.
+struct MarkCtx {
+    slot: usize,
+    overflow: Vec<u64>,
+    marked: Vec<Oop>,
+    marked_words: u64,
+    steals: u64,
+}
+
+impl ParMarker<'_> {
+    fn run_helper(&self, slot: usize) {
+        assert!(slot < self.deques.len(), "helper slot out of range");
+        let mut h = MarkCtx {
+            slot,
+            overflow: Vec::new(),
+            marked: Vec::with_capacity(1024),
+            marked_words: 0,
+            steals: 0,
+        };
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        self.enter();
+        // Roots, in exclusive chunks.
+        loop {
+            let i0 = self
+                .root_cursor
+                .fetch_add(MARK_ROOT_CHUNK, Ordering::SeqCst);
+            if i0 >= self.roots.len() {
+                break;
+            }
+            let end = (i0 + MARK_ROOT_CHUNK).min(self.roots.len());
+            for &raw in &self.roots[i0..end] {
+                self.mark(&mut h, Oop::from_raw(raw));
+            }
+        }
+        // Transitive trace: drain own work, steal when dry, stop when every
+        // helper is dry at once.
+        'work: loop {
+            while let Some(raw) = self.next_work(&mut h) {
+                self.trace(&mut h, Oop::from_raw(raw));
+            }
+            // Locally dry: leave the busy set, then probe for global
+            // quiescence. The invariant making this sound: a helper only
+            // decrements `busy` with an empty deque and no work in hand, so
+            // when `busy == 0` all outstanding work is visible in deques.
+            // The `rounds` re-read catches a helper that re-entered (and may
+            // have already emptied a deque again) during the probe.
+            self.busy.fetch_sub(1, Ordering::SeqCst);
+            loop {
+                let r0 = self.rounds.load(Ordering::SeqCst);
+                if self.busy.load(Ordering::SeqCst) == 0
+                    && self.deques.iter().all(StealDeque::is_empty)
+                    && self.rounds.load(Ordering::SeqCst) == r0
+                {
+                    break 'work;
+                }
+                if self.deques.iter().any(|d| !d.is_empty()) {
+                    self.enter();
+                    continue 'work;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        let mut m = self.merge.lock().unwrap();
+        m.marked.append(&mut h.marked);
+        m.steals += h.steals;
+        m.per_helper_words.push(h.marked_words);
+    }
+
+    /// Joins the busy set. `busy` first, `rounds` second: the idle-probe
+    /// reads them in the opposite order, so any entry lands in at least one
+    /// of its two reads.
+    fn enter(&self) {
+        self.busy.fetch_add(1, Ordering::SeqCst);
+        self.rounds.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn next_work(&self, h: &mut MarkCtx) -> Option<u64> {
+        if let Some(v) = h.overflow.pop() {
+            return Some(v);
+        }
+        if let Some(v) = self.deques[h.slot].take() {
+            return Some(v);
+        }
+        let n = self.deques.len();
+        for k in 1..n {
+            if let Some(v) = self.deques[(h.slot + k) % n].steal() {
+                h.steals += 1;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn push_work(&self, h: &mut MarkCtx, oop: Oop) {
+        if !self.deques[h.slot].push(oop.raw()) {
+            h.overflow.push(oop.raw());
+        }
+    }
+
+    /// Claims the mark bit with one atomic `fetch_or` on the header word;
+    /// the winner owns the object (pushes it for tracing and onto its
+    /// private marked list), losers see the bit already set. A stolen
+    /// duplicate in a deque is benign: the second claim loses.
+    fn mark(&self, h: &mut MarkCtx, oop: Oop) {
+        if !oop.is_object() {
+            return;
+        }
+        let prev = self
+            .mem
+            .word_atomic(oop.index())
+            .fetch_or(Header::mark_bit(), Ordering::AcqRel);
+        if prev & Header::mark_bit() == 0 {
+            h.marked.push(oop);
+            h.marked_words += Header(prev).body_words() as u64 + 2;
+            self.push_work(h, oop);
+        }
+    }
+
+    /// Traces one marked object's class word and pointer slots.
+    ///
+    /// Reads go through raw `word` loads rather than `fetch`: another helper
+    /// may concurrently `fetch_or` this object's *header* word (re-marking),
+    /// so the header is re-read atomically; slot words are never written
+    /// during the mark phase, so plain loads are race-free.
+    fn trace(&self, h: &mut MarkCtx, obj: Oop) {
+        let mem = self.mem;
+        let hd = Header(mem.word_atomic(obj.index()).load(Ordering::Acquire));
+        self.mark(h, Oop::from_raw(mem.word(obj.index() + 1)));
+        let nslots = match hd.format() {
+            ObjFormat::Pointers => hd.body_words(),
+            ObjFormat::Method => {
+                MethodHeader::decode(Oop::from_raw(mem.word(obj.index() + 2))).pointer_slots()
+            }
+            ObjFormat::Bytes => 0,
+        };
+        for i in 0..nslots {
+            self.mark(h, Oop::from_raw(mem.word(obj.index() + 2 + i)));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::heap::tests::bootstrap_minimal;
-    use crate::heap::{MemoryConfig, ObjectMemory};
+    use crate::heap::{FullGcMode, MemoryConfig, ObjectMemory};
 
     fn mem() -> ObjectMemory {
         let m = ObjectMemory::new(MemoryConfig {
@@ -194,6 +1049,17 @@ mod tests {
         });
         bootstrap_minimal(&m);
         m
+    }
+
+    /// Drives the mark closure from `helpers` OS threads, the way a stopped
+    /// world of donated processors would.
+    fn scope_runner(helpers: usize, f: &(dyn Fn(usize) + Sync)) {
+        std::thread::scope(|s| {
+            for slot in 1..helpers {
+                s.spawn(move || f(slot));
+            }
+            f(0);
+        });
     }
 
     #[test]
@@ -343,5 +1209,333 @@ mod tests {
         // And a second collection still finds it live.
         m.full_gc();
         assert!(m.fetch(root.get(), 0) == m.nil());
+    }
+
+    /// Builds a deterministic old-space graph (spine of lanes of cons cells
+    /// with shared structure and a cycle) and returns the spine root plus
+    /// the expected per-lane checksums.
+    fn build_old_graph(m: &ObjectMemory, lanes: usize, depth: usize) -> crate::heap::RootHandle {
+        let spine = m.alloc_array_old(lanes).unwrap();
+        let root = m.new_root(spine);
+        let shared = m.alloc_array_old(1).unwrap();
+        m.store_nocheck(shared, 0, spine); // cycle back into the spine
+        for lane in 0..lanes {
+            let mut head = shared;
+            for i in 0..depth {
+                let cell = m.alloc_array_old(2).unwrap();
+                m.store_nocheck(cell, 0, Oop::from_small_int((lane * 1000 + i) as i64));
+                m.store_nocheck(cell, 1, head);
+                head = cell;
+                if i % 3 == 0 {
+                    // Interleave garbage so live objects actually slide.
+                    m.alloc_array_old(5).unwrap();
+                }
+            }
+            m.store_nocheck(spine, lane, head);
+        }
+        root
+    }
+
+    /// Walks the lane graph and folds a structural signature.
+    fn graph_signature(m: &ObjectMemory, spine: Oop, lanes: usize, depth: usize) -> u64 {
+        let mut sig = 0u64;
+        let mut shared_seen: Option<Oop> = None;
+        for lane in 0..lanes {
+            let mut cur = m.fetch(spine, lane);
+            for _ in 0..depth {
+                sig = sig
+                    .wrapping_mul(1099511628211)
+                    .wrapping_add(m.fetch(cur, 0).as_small_int() as u64);
+                cur = m.fetch(cur, 1);
+            }
+            match shared_seen {
+                None => shared_seen = Some(cur),
+                Some(prev) => assert_eq!(cur, prev, "shared cell duplicated"),
+            }
+            assert_eq!(m.fetch(cur, 0), spine, "cycle broken");
+        }
+        sig
+    }
+
+    #[test]
+    fn parallel_full_gc_matches_serial() {
+        let build = |m: &ObjectMemory| build_old_graph(m, 32, 12);
+        // Serial reference run.
+        let m1 = mem();
+        let r1 = build(&m1);
+        let serial = m1.full_gc_with(1, scope_runner);
+        let sig1 = graph_signature(&m1, r1.get(), 32, 12);
+        // Parallel run on an identically built memory.
+        let m2 = mem();
+        let r2 = build(&m2);
+        let parallel = m2.full_gc_with(4, scope_runner);
+        let sig2 = graph_signature(&m2, r2.get(), 32, 12);
+        assert_eq!(serial.reclaimed_words, parallel.reclaimed_words);
+        assert_eq!(sig1, sig2, "object graphs diverged");
+        assert_eq!(m1.old_used(), m2.old_used());
+        assert!(parallel.helpers >= 1);
+        assert!(serial.report.is_clean() && parallel.report.is_clean());
+        m1.verify_heap().assert_clean();
+        m2.verify_heap().assert_clean();
+    }
+
+    #[test]
+    fn parallel_full_gc_with_more_helpers_than_work() {
+        let m = mem();
+        let a = m.alloc_array_old(3).unwrap();
+        let root = m.new_root(a);
+        m.alloc_array_old(500).unwrap(); // garbage
+        let out = m.full_gc_with(8, scope_runner);
+        assert!(out.reclaimed_words >= 502);
+        assert!(m.is_old(root.get()));
+        m.verify_heap().assert_clean();
+        // Marks all cleared, a second collection is idempotent.
+        let out2 = m.full_gc_with(8, scope_runner);
+        assert_eq!(out2.reclaimed_words, 0);
+        m.verify_heap().assert_clean();
+    }
+
+    #[test]
+    fn adaptive_helper_count_scales_with_live_set() {
+        let m = mem();
+        // Small live set: serial regardless of how many processors offer.
+        assert_eq!(m.adaptive_full_gc_helpers(8), 1);
+        assert_eq!(m.adaptive_full_gc_helpers(0), 1, "clamped to at least 1");
+        // A big memory with a large live set uses what is available.
+        let big = ObjectMemory::new(MemoryConfig {
+            old_words: 2 << 20,
+            eden_words: 16 << 10,
+            survivor_words: 8 << 10,
+            ..MemoryConfig::default()
+        });
+        bootstrap_minimal(&big);
+        while big.old_used() < 600 << 10 {
+            big.alloc_array_old(1000).unwrap();
+        }
+        assert_eq!(big.adaptive_full_gc_helpers(8), 4);
+        assert_eq!(big.adaptive_full_gc_helpers(2), 2, "capped by availability");
+    }
+
+    #[test]
+    fn dangling_reference_is_neutralized_not_fatal() {
+        let m = mem();
+        let holder = m.alloc_array_old(2).unwrap();
+        let root = m.new_root(holder);
+        let victim = m.alloc_array_old(4).unwrap();
+        // Forge a corrupt pointer into the *middle* of `victim`: its body
+        // slot 0 plays "header" for the phantom object. Shape that word as
+        // an empty Bytes object so the trace terminates there, and park a
+        // real old oop in the next slot (the phantom's "class word").
+        m.store_nocheck(victim, 0, Oop::from_raw(1 << 24));
+        m.store_nocheck(victim, 1, m.nil());
+        let phantom = Oop::from_index(victim.index() + 2);
+        m.store_nocheck(holder, 0, phantom);
+        m.store_nocheck(holder, 1, Oop::from_small_int(5));
+
+        // The old implementation hit `unreachable!` here; now the slot is
+        // nilled and the incident reported.
+        let out = m.full_gc_with(1, scope_runner);
+        assert_eq!(out.report.dangling_count, 1);
+        let d = out.report.dangling[0];
+        assert_eq!(d.slot, DanglingSlot::Body(0));
+        assert_eq!(d.target, phantom);
+        assert!(d.to_string().contains("dangling old reference"));
+        let holder2 = root.get();
+        assert_eq!(m.fetch(holder2, 0), m.nil(), "bad slot nilled");
+        assert_eq!(m.fetch(holder2, 1).as_small_int(), 5, "good slot kept");
+        // The diagnostics are queued for the containment layer, once.
+        let drained = m.take_fullgc_dangling();
+        assert_eq!(drained.len(), 1);
+        assert!(m.take_fullgc_dangling().is_empty());
+        m.verify_heap().assert_clean();
+    }
+
+    #[test]
+    fn pre_fullgc_hooks_run_and_prune() {
+        use std::sync::atomic::AtomicUsize;
+        let m = mem();
+        let runs = std::sync::Arc::new(AtomicUsize::new(0));
+        let r1 = std::sync::Arc::clone(&runs);
+        // A one-shot hook (returns false: pruned after first use).
+        m.register_pre_fullgc_hook(move |_mem| {
+            r1.fetch_add(1, Ordering::Relaxed);
+            false
+        });
+        let r2 = std::sync::Arc::clone(&runs);
+        // A persistent hook.
+        m.register_pre_fullgc_hook(move |_mem| {
+            r2.fetch_add(10, Ordering::Relaxed);
+            true
+        });
+        m.full_gc();
+        assert_eq!(runs.load(Ordering::Relaxed), 11);
+        m.full_gc();
+        assert_eq!(runs.load(Ordering::Relaxed), 21, "one-shot hook pruned");
+    }
+
+    fn incr_mem() -> ObjectMemory {
+        let m = ObjectMemory::new(MemoryConfig {
+            old_words: 64 << 10,
+            eden_words: 16 << 10,
+            survivor_words: 8 << 10,
+            tenure_age: 2,
+            full_gc_mode: FullGcMode::Incremental { slice_words: 64 },
+            ..MemoryConfig::default()
+        });
+        bootstrap_minimal(&m);
+        m
+    }
+
+    #[test]
+    fn incremental_mark_completes_and_compacts() {
+        let m = incr_mem();
+        let before = m.old_used();
+        for _ in 0..50 {
+            m.alloc_array_old(20).unwrap();
+        }
+        let root = build_old_graph(&m, 8, 6);
+        assert!(m.full_gc_begin());
+        assert!(m.incremental_mark_active());
+        let mut slices = 0;
+        while !m.full_gc_mark_slice(64) {
+            slices += 1;
+            assert!(slices < 10_000, "mark failed to converge");
+        }
+        let out = m.full_gc_finish();
+        assert!(!m.incremental_mark_active());
+        assert!(out.reclaimed_words >= 50 * 22, "garbage reclaimed");
+        assert!(out.slices > 1, "marking actually proceeded in slices");
+        assert_eq!(graph_signature(&m, root.get(), 8, 6), {
+            let m2 = incr_mem();
+            for _ in 0..50 {
+                m2.alloc_array_old(20).unwrap();
+            }
+            let r2 = build_old_graph(&m2, 8, 6);
+            m2.full_gc();
+            graph_signature(&m2, r2.get(), 8, 6)
+        });
+        assert!(before <= m.old_used());
+        m.verify_heap().assert_clean();
+        assert_eq!(m.gc_stats().full_gcs, 1);
+    }
+
+    #[test]
+    fn satb_barrier_keeps_hidden_objects_alive() {
+        let m = incr_mem();
+        // `shelf` is a root-reachable old object; `hidden` hangs off
+        // `donor`. After the roots are marked (and with a tiny budget,
+        // before `donor` is traced), move `hidden` to `shelf` and sever the
+        // donor path: without a barrier the trace would never see it.
+        let shelf = m.alloc_array_old(1).unwrap();
+        let shelf_root = m.new_root(shelf);
+        let donor = m.alloc_array_old(1).unwrap();
+        let donor_root = m.new_root(donor);
+        let hidden = m.alloc_array_old(1).unwrap();
+        m.store_nocheck(hidden, 0, Oop::from_small_int(424242));
+        m.store(donor, 0, hidden);
+        m.alloc_array_old(300).unwrap(); // garbage, so compaction moves things
+
+        assert!(m.full_gc_begin());
+        // Mutator runs between slices: hide the object behind the wavefront.
+        m.store(shelf, 0, hidden);
+        m.store(donor, 0, m.nil());
+        while !m.full_gc_mark_slice(32) {}
+        let out = m.full_gc_finish();
+        assert!(out.report.is_clean());
+        let shelf2 = shelf_root.get();
+        let hidden2 = m.fetch(shelf2, 0);
+        assert_eq!(
+            m.fetch(hidden2, 0).as_small_int(),
+            424242,
+            "barrier lost the hidden object"
+        );
+        assert_eq!(m.fetch(donor_root.get(), 0), m.nil());
+        m.verify_heap().assert_clean();
+    }
+
+    #[test]
+    fn incremental_finish_updates_new_space_and_clears_no_scavenge_flag() {
+        let m = incr_mem();
+        let tok = m.new_token();
+        m.alloc_array_old(200).unwrap(); // garbage below the live target
+        let old_target = m.alloc_array_old(1).unwrap();
+        m.store_nocheck(old_target, 0, Oop::from_small_int(7));
+        let young = m.alloc_array(&tok, 1).unwrap();
+        m.store_nocheck(young, 0, old_target);
+        let root = m.new_root(young);
+        assert!(m.full_gc_begin());
+        while !m.full_gc_mark_slice(64) {}
+        m.full_gc_finish();
+        // The conservative walk rewrote the new-space slot...
+        let target2 = m.fetch(root.get(), 0);
+        assert!(target2.index() < old_target.index(), "slot updated");
+        assert_eq!(m.fetch(target2, 0).as_small_int(), 7);
+        // ...so the audit can validate new-space references immediately.
+        let audit = m.verify_heap();
+        assert!(!audit.new_refs_unchecked);
+        audit.assert_clean();
+    }
+
+    #[test]
+    fn scavenge_force_finishes_an_active_mark() {
+        let m = incr_mem();
+        let tok = m.new_token();
+        m.alloc_array_old(100).unwrap();
+        let keep = m.alloc_array(&tok, 2).unwrap();
+        let _root = m.new_root(keep);
+        assert!(m.full_gc_begin());
+        m.full_gc_mark_slice(8); // deliberately unfinished
+        let out = m.scavenge();
+        assert!(out.full_gc_ran, "scavenge completed the pending full GC");
+        assert!(!m.incremental_mark_active());
+        assert_eq!(m.gc_stats().full_gcs, 1);
+        m.verify_heap().assert_clean();
+    }
+
+    #[test]
+    fn begin_refuses_when_preconditions_fail() {
+        let m = incr_mem();
+        assert!(m.full_gc_begin());
+        assert!(!m.full_gc_begin(), "window already open");
+        m.full_gc_finish();
+        // After a *monolithic* full GC, dead new objects may dangle: the
+        // finish walk would trace them, so begin refuses until a scavenge.
+        m.full_gc();
+        assert!(!m.full_gc_begin());
+        m.scavenge();
+        assert!(m.full_gc_begin());
+        m.full_gc_finish();
+        // LAB eden is not linearly walkable.
+        let lab = ObjectMemory::new(MemoryConfig {
+            old_words: 64 << 10,
+            eden_words: 16 << 10,
+            survivor_words: 8 << 10,
+            alloc_policy: crate::AllocPolicy::PerProcessorLab { lab_words: 512 },
+            ..MemoryConfig::default()
+        });
+        bootstrap_minimal(&lab);
+        assert!(!lab.full_gc_begin());
+    }
+
+    #[test]
+    fn old_allocation_during_window_is_black_and_retraced() {
+        let m = incr_mem();
+        m.alloc_array_old(100).unwrap(); // garbage
+        let anchor = m.alloc_array_old(1).unwrap();
+        let anchor_root = m.new_root(anchor);
+        assert!(m.full_gc_begin());
+        // Mutator allocates in old space mid-window and initializes a slot
+        // with a raw store (fresh-object idiom, invisible to the barrier).
+        let fresh = m.alloc_array_old(2).unwrap();
+        assert!(m.header(fresh).is_marked(), "allocated black");
+        m.store_nocheck(fresh, 0, anchor);
+        m.store(anchor_root.get(), 0, fresh);
+        while !m.full_gc_mark_slice(64) {}
+        let out = m.full_gc_finish();
+        assert!(out.report.is_clean());
+        let fresh2 = m.fetch(anchor_root.get(), 0);
+        assert!(!m.header(fresh2).is_marked(), "mark cleared");
+        assert_eq!(m.fetch(fresh2, 0), anchor_root.get(), "retrace fixed slot");
+        m.verify_heap().assert_clean();
     }
 }

@@ -199,6 +199,15 @@ impl Header {
         self.0 & FLAG_MARKED != 0
     }
 
+    /// The raw mark flag, for atomic `fetch_or` marking: the parallel mark
+    /// phase sets the bit directly on the header word so racing helpers
+    /// resolve ownership with one RMW instead of a read-modify-write of the
+    /// whole header. OR-ing this bit in never disturbs any other field.
+    #[inline]
+    pub(crate) fn mark_bit() -> u64 {
+        FLAG_MARKED
+    }
+
     /// Sets or clears the mark bit.
     #[inline]
     pub fn with_marked(self, on: bool) -> Header {

@@ -97,6 +97,9 @@ pub struct MemoryConfig {
     /// Threads (including the leader) a parallel scavenge may use; `1` is
     /// the exact serial scavenger. Defaulted from `MST_GC_THREADS`.
     pub gc_helpers: usize,
+    /// Full-collection scheduling (monolithic vs incremental marking).
+    /// Defaulted from `MST_FULLGC`.
+    pub full_gc_mode: FullGcMode,
 }
 
 impl Default for MemoryConfig {
@@ -109,6 +112,7 @@ impl Default for MemoryConfig {
             alloc_policy: AllocPolicy::SharedEden,
             tenure_age: 3,
             gc_helpers: gc_helpers_from_env(),
+            full_gc_mode: full_gc_mode_from_env(),
         }
     }
 }
@@ -121,6 +125,45 @@ pub fn gc_helpers_from_env() -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .unwrap_or(1)
         .max(1)
+}
+
+/// How the mark phase of a full collection is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FullGcMode {
+    /// One monolithic stop-the-world mark-compact pause.
+    #[default]
+    Stw,
+    /// Marking proceeds in bounded stop-the-world slices interleaved with
+    /// mutator execution, under a snapshot-at-the-beginning write barrier;
+    /// only the final plan/update/move pass stops the world for real. See
+    /// `ObjectMemory::full_gc_begin`.
+    Incremental {
+        /// Object words traced per mark slice.
+        slice_words: usize,
+    },
+}
+
+/// Default mark-slice budget for [`FullGcMode::Incremental`], in words.
+pub const DEFAULT_MARK_SLICE_WORDS: usize = 32 << 10;
+
+/// The `MST_FULLGC` setting: `incremental` or `incremental:<words>` selects
+/// sliced marking (with an optional per-slice word budget, floored at 256);
+/// anything else — including unset — is the monolithic default.
+pub fn full_gc_mode_from_env() -> FullGcMode {
+    let Ok(v) = std::env::var("MST_FULLGC") else {
+        return FullGcMode::Stw;
+    };
+    let v = v.trim();
+    if let Some(rest) = v.strip_prefix("incremental") {
+        let slice_words = rest
+            .strip_prefix(':')
+            .and_then(|w| w.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_MARK_SLICE_WORDS)
+            .max(256);
+        FullGcMode::Incremental { slice_words }
+    } else {
+        FullGcMode::Stw
+    }
 }
 
 /// Word-index boundaries of the spaces within the heap.
@@ -302,6 +345,25 @@ pub struct ObjectMemory {
     /// compacted-away old objects (full GC abandons them by design), so the
     /// heap verifier must not treat those as corruption.
     pub(crate) fullgc_since_scavenge: AtomicBool,
+    /// In-progress incremental mark (between `full_gc_begin` and
+    /// `full_gc_finish`); `None` otherwise.
+    pub(crate) full_mark: SpinMutex<Option<crate::fullgc::FullMarkState>>,
+    /// Fast-path flag mirroring `full_mark.is_some()`: tested by every
+    /// `store` to decide whether the SATB write barrier applies.
+    pub(crate) mark_active: AtomicBool,
+    /// Snapshot-at-the-beginning write-barrier log: raw oops of unmarked old
+    /// objects overwritten or stored while an incremental mark is active,
+    /// drained by the next mark slice.
+    pub(crate) satb: SpinMutex<Vec<u64>>,
+    /// Callbacks run (world stopped) before any full collection marks its
+    /// roots — e.g. the interpreter severing free-context lists so recycled
+    /// garbage is not conservatively retained. A hook returning `false` is
+    /// pruned after the call.
+    #[allow(clippy::type_complexity)]
+    pre_fullgc_hooks: SpinMutex<Vec<Box<dyn Fn(&ObjectMemory) -> bool + Send + Sync>>>,
+    /// Dangling-reference diagnostics queued for the containment layer (see
+    /// `ObjectMemory::take_fullgc_dangling`).
+    pub(crate) fullgc_dangling: SpinMutex<Vec<crate::fullgc::DanglingRef>>,
     pub(crate) stats: GcCounters,
 }
 
@@ -342,8 +404,30 @@ impl ObjectMemory {
             symbols: SpinMutex::new(config.sync, HashMap::new()),
             gc_epoch: AtomicU64::new(0),
             fullgc_since_scavenge: AtomicBool::new(false),
+            full_mark: SpinMutex::new(config.sync, None),
+            mark_active: AtomicBool::new(false),
+            satb: SpinMutex::named(config.sync, "satb", Vec::new()),
+            pre_fullgc_hooks: SpinMutex::new(config.sync, Vec::new()),
+            fullgc_dangling: SpinMutex::new(config.sync, Vec::new()),
             stats: GcCounters::default(),
         }
+    }
+
+    /// Registers a callback run (with the world stopped) before every full
+    /// collection starts marking. Hooks must break artificial liveness —
+    /// e.g. sever recycled-context chains — so conservative marking does not
+    /// retain garbage. Returning `false` prunes the hook (used by owners
+    /// registering weak self-references).
+    pub fn register_pre_fullgc_hook(
+        &self,
+        hook: impl Fn(&ObjectMemory) -> bool + Send + Sync + 'static,
+    ) {
+        self.pre_fullgc_hooks.lock().push(Box::new(hook));
+    }
+
+    pub(crate) fn run_pre_fullgc_hooks(&self) {
+        let mut hooks = self.pre_fullgc_hooks.lock();
+        hooks.retain(|h| h(self));
     }
 
     /// The configuration this memory was built with.
@@ -450,9 +534,18 @@ impl ObjectMemory {
     }
 
     /// Writes body pointer slot `i`, performing the generation-scavenging
-    /// store check (entry-table maintenance, paper §3.1).
+    /// store check (entry-table maintenance, paper §3.1) and — while an
+    /// incremental full-GC mark is active — the snapshot-at-the-beginning
+    /// write barrier, piggybacked on the same pre-write fast path: both the
+    /// overwritten value (so everything reachable at mark start gets traced)
+    /// and the new value (so a store into an already-traced object cannot
+    /// hide it) are logged if they are unmarked old objects.
     #[inline]
     pub fn store(&self, obj: Oop, i: usize, v: Oop) {
+        if self.mark_active.load(Ordering::Relaxed) {
+            self.satb_record(Oop::from_raw(self.word(obj.index() + 2 + i)));
+            self.satb_record(v);
+        }
         self.store_nocheck(obj, i, v);
         self.store_check(obj, v);
     }
@@ -732,7 +825,14 @@ impl ObjectMemory {
             *next += total;
             idx
         };
-        Some(self.format_object(idx, class, format, body_words, odd_bytes))
+        let obj = self.format_object(idx, class, format, body_words, odd_bytes);
+        // Allocate black while an incremental mark is running: the new
+        // object must survive the in-progress collection, and its slots are
+        // re-traced at finish (initializing stores may bypass the barrier).
+        if self.mark_active.load(Ordering::Relaxed) {
+            self.mark_allocate_black(obj);
+        }
+        Some(obj)
     }
 
     fn format_object(

@@ -41,10 +41,11 @@ mod special;
 mod steal;
 mod verify;
 
+pub use fullgc::{DanglingRef, DanglingSlot, FullGcOutcome, FullGcReport};
 pub use header::{Header, ObjFormat, MAX_AGE, MAX_BODY_WORDS};
 pub use heap::{
-    gc_helpers_from_env, AllocPolicy, AllocToken, GcStats, MemoryConfig, ObjectMemory, OomError,
-    RootHandle, Spaces,
+    full_gc_mode_from_env, gc_helpers_from_env, AllocPolicy, AllocToken, FullGcMode, GcStats,
+    MemoryConfig, ObjectMemory, OomError, RootHandle, Spaces, DEFAULT_MARK_SLICE_WORDS,
 };
 pub use method::MethodHeader;
 pub use oop::Oop;

@@ -79,7 +79,15 @@ impl ObjectMemory {
     pub fn try_scavenge(&self) -> Result<ScavengeOutcome, crate::OomError> {
         let mut trace_span = mst_telemetry::span("gc.scavenge", "gc");
         let start = Instant::now();
-        let full_gc_ran = self.reserve_tenure_room()?;
+        // An unfinished incremental mark cannot survive a scavenge (eden
+        // empties and survivors flip under the mark's feet): complete it
+        // now — its compaction may itself free the room this scavenge needs.
+        let mut full_gc_ran = false;
+        if self.incremental_mark_active() {
+            self.full_gc_force_finish();
+            full_gc_ran = true;
+        }
+        full_gc_ran |= self.reserve_tenure_room(None)?;
         let (to_start, to_end) = self.select_to_space();
         self.survivor_next.store(to_start, Ordering::Relaxed);
 
@@ -129,7 +137,7 @@ impl ObjectMemory {
     /// [`try_scavenge_parallel`](Self::try_scavenge_parallel).
     pub fn scavenge_parallel<R>(&self, helpers: usize, run: R) -> ScavengeOutcome
     where
-        R: FnOnce(usize, &(dyn Fn(usize) + Sync)),
+        R: Fn(usize, &(dyn Fn(usize) + Sync)),
     {
         self.try_scavenge_parallel(helpers, run)
             .unwrap_or_else(|e| panic!("{e}"))
@@ -160,14 +168,23 @@ impl ObjectMemory {
         run: R,
     ) -> Result<ScavengeOutcome, crate::OomError>
     where
-        R: FnOnce(usize, &(dyn Fn(usize) + Sync)),
+        R: Fn(usize, &(dyn Fn(usize) + Sync)),
     {
         if helpers <= 1 {
             return self.try_scavenge();
         }
         let mut trace_span = mst_telemetry::span("gc.scavenge", "gc");
         let start = Instant::now();
-        let full_gc_ran = self.reserve_tenure_room()?;
+        // As in `try_scavenge`: an open incremental mark window must be
+        // closed before new space is rearranged.
+        let mut full_gc_ran = false;
+        if self.incremental_mark_active() {
+            self.full_gc_force_finish();
+            full_gc_ran = true;
+        }
+        // A scavenge-triggered full GC borrows the same stopped helpers the
+        // scavenge itself was handed, sized down to its live-set estimate.
+        full_gc_ran |= self.reserve_tenure_room(Some((helpers, &run)))?;
         let (to_start, to_end) = self.select_to_space();
         self.survivor_next.store(to_start, Ordering::Relaxed);
 
@@ -265,12 +282,29 @@ impl ObjectMemory {
     /// tenures, plus any recorded large-allocation shortfall the retry after
     /// this collection will claim — running a full collection if bump
     /// allocation alone cannot cover it. Returns whether the full GC ran.
-    fn reserve_tenure_room(&self) -> Result<bool, crate::OomError> {
+    ///
+    /// When the caller is a parallel scavenge, `par` carries its stopped
+    /// helpers so the emergency full GC can mark in parallel too (clamped by
+    /// [`adaptive_full_gc_helpers`](Self::adaptive_full_gc_helpers)). The
+    /// full collector runs its registered pre-GC hooks itself, so free
+    /// context lists are severed on this path exactly as on a deliberate
+    /// full collection.
+    fn reserve_tenure_room(
+        &self,
+        par: Option<(usize, crate::fullgc::HelperRunner)>,
+    ) -> Result<bool, crate::OomError> {
         let reserve = self.eden_used() + self.past_survivor_used() + self.take_large_shortfall();
         if self.old_free() >= reserve {
             return Ok(false);
         }
-        self.full_gc();
+        match par {
+            None => {
+                self.full_gc();
+            }
+            Some((available, run)) => {
+                self.full_gc_impl(self.adaptive_full_gc_helpers(available), run);
+            }
+        }
         if self.old_free() < reserve {
             return Err(crate::OomError {
                 requested: reserve,
@@ -1093,17 +1127,20 @@ mod tests {
         let tok = m.new_token();
         let a = m.alloc_array(&tok, 3).unwrap();
         let _root = m.new_root(a);
-        let mut ran_inline = false;
+        let ran_inline = std::sync::atomic::AtomicBool::new(false);
         let out = m
             .try_scavenge_parallel(1, |n, f| {
                 assert_eq!(n, 1);
-                ran_inline = true;
+                ran_inline.store(true, Ordering::Relaxed);
                 f(0);
             })
             .unwrap();
         // helpers <= 1 short-circuits to try_scavenge: the runner is never
         // consulted and the corpse carries a two-word forwarding pointer.
-        assert!(!ran_inline, "serial path must not invoke the runner");
+        assert!(
+            !ran_inline.load(Ordering::Relaxed),
+            "serial path must not invoke the runner"
+        );
         assert!(out.words_survived > 0);
         m.verify_heap().assert_clean();
     }

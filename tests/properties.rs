@@ -721,3 +721,182 @@ fn parallel_scavenge_survives_spurious_wakeups() {
     }
     assert_eq!(cur, mem.nil());
 }
+
+// ---------------------------------------------------------------------
+// Parallel and incremental full GC oracles: the serial mark-compactor
+// ---------------------------------------------------------------------
+
+#[test]
+fn parallel_full_gc_is_observationally_serial() {
+    Runner::with_cases(12).run(
+        "parallel_full_gc_is_observationally_serial",
+        &heap_ops(),
+        |ops| {
+            // Grow two identical heaps with the exact same (serial)
+            // schedule, then compact one with the serial marker and one
+            // with four helper threads stealing from each other's deques.
+            let serial = scratch_mem_roomy();
+            let parallel = scratch_mem_roomy();
+            let sroots = apply_heap_ops_par(&serial, ops, 1);
+            let proots = apply_heap_ops_par(&parallel, ops, 1);
+            let s_reclaimed = serial.full_gc();
+            let p_out = parallel.full_gc_with(4, scope_runner);
+            if !p_out.report.is_clean() {
+                return Err(format!("parallel compactor reported: {}", p_out.report));
+            }
+            prop_assert_eq!(s_reclaimed, p_out.reclaimed_words);
+            for (mem, name) in [(&serial, "serial"), (&parallel, "parallel")] {
+                let audit = mem.verify_heap();
+                if !audit.is_clean() {
+                    return Err(format!("dirty {name} heap after full collection:\n{audit}"));
+                }
+            }
+            let ssig = graph_signature(&serial, &sroots);
+            let psig = graph_signature(&parallel, &proots);
+            if ssig != psig {
+                let at = ssig
+                    .iter()
+                    .zip(psig.iter())
+                    .position(|(a, b)| a != b)
+                    .map(|i| {
+                        format!(
+                            "first divergence at node {i}: {:?} vs {:?}",
+                            ssig[i], psig[i]
+                        )
+                    })
+                    .unwrap_or_else(|| {
+                        format!(
+                            "node counts: serial {} vs parallel {}",
+                            ssig.len(),
+                            psig.len()
+                        )
+                    });
+                return Err(format!(
+                    "reachable graphs diverged after {} ops; {at}",
+                    ops.len()
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// A roomy scratch memory configured for incremental full collections with
+/// deliberately tiny mark slices, so random schedules interleave many
+/// mutator steps inside each marking window.
+fn scratch_mem_incremental() -> mst_objmem::ObjectMemory {
+    use mst_objmem::{FullGcMode, MemoryConfig, ObjFormat, ObjectMemory, Oop, So};
+    let mem = ObjectMemory::new(MemoryConfig {
+        old_words: 128 << 10,
+        eden_words: 8 << 10,
+        survivor_words: 32 << 10,
+        full_gc_mode: FullGcMode::Incremental { slice_words: 256 },
+        ..MemoryConfig::default()
+    });
+    let nil = mem
+        .allocate_old(Oop::ZERO, ObjFormat::Pointers, 0, 0)
+        .unwrap();
+    mem.specials().set(So::Nil, nil);
+    mem
+}
+
+#[test]
+fn incremental_mark_survives_random_mutator_interleavings() {
+    Runner::with_cases(16).run(
+        "incremental_mark_survives_random_mutator_interleavings",
+        &heap_ops(),
+        |ops| {
+            let mem = scratch_mem_incremental();
+            let tok = mem.new_token();
+            let mut roots: Vec<mst_objmem::RootHandle> = Vec::new();
+            let mut finishes = 0usize;
+            for (step, op) in ops.iter().enumerate() {
+                match op {
+                    HeapOp::AllocNew { words, rooted } => {
+                        let obj = mem.alloc_array(&tok, *words).or_else(|| {
+                            let _ = mem.try_scavenge();
+                            mem.alloc_array(&tok, *words)
+                        });
+                        if let (Some(o), true) = (obj, *rooted) {
+                            roots.push(mem.new_root(o));
+                        }
+                    }
+                    HeapOp::AllocOld { words } => {
+                        // During a window this exercises allocate-black.
+                        if let Some(o) = mem.alloc_array_old(*words) {
+                            roots.push(mem.new_root(o));
+                        }
+                    }
+                    HeapOp::Link { from, to } => {
+                        // During a window this store runs the SATB barrier.
+                        if !roots.is_empty() {
+                            let from = roots[from % roots.len()].get();
+                            let to = roots[to % roots.len()].get();
+                            mem.store(from, 0, to);
+                        }
+                    }
+                    HeapOp::DropRoot(i) => {
+                        if !roots.is_empty() {
+                            let i = i % roots.len();
+                            roots.swap_remove(i);
+                        }
+                    }
+                    HeapOp::Scavenge => {
+                        // Scavenge must force-finish any open window first.
+                        let _ = mem.try_scavenge();
+                        if mem.incremental_mark_active() {
+                            return Err(format!(
+                                "mark window still open across a scavenge at step {step}"
+                            ));
+                        }
+                    }
+                    HeapOp::FullGc => {
+                        // One incremental step: open a window, advance it a
+                        // slice, or finish it — whichever state we are in.
+                        if !mem.incremental_mark_active() {
+                            let _ = mem.full_gc_begin();
+                        } else if mem.full_gc_mark_slice(256) {
+                            let outcome = mem.full_gc_finish();
+                            if !outcome.report.is_clean() {
+                                return Err(format!(
+                                    "compactor reported at step {step}: {}",
+                                    outcome.report
+                                ));
+                            }
+                            finishes += 1;
+                        }
+                    }
+                }
+                // The heap must verify clean after *every* step, including
+                // mid-window (the verifier tolerates mark bits only while a
+                // window is open).
+                let audit = mem.verify_heap();
+                if !audit.is_clean() {
+                    return Err(format!(
+                        "dirty heap after step {step} ({op:?}), {} finishes so far:\n{audit}",
+                        finishes
+                    ));
+                }
+            }
+            // Drive any open window to completion and collect once more so
+            // every schedule ends with at least one full incremental cycle.
+            if !mem.incremental_mark_active() {
+                let _ = mem.try_scavenge();
+                let _ = mem.full_gc_begin();
+            }
+            if mem.incremental_mark_active() {
+                while !mem.full_gc_mark_slice(256) {}
+                let outcome = mem.full_gc_finish();
+                if !outcome.report.is_clean() {
+                    return Err(format!("final compactor report: {}", outcome.report));
+                }
+            }
+            let audit = mem.verify_heap();
+            if !audit.is_clean() {
+                return Err(format!("dirty heap after final collection:\n{audit}"));
+            }
+            drop(roots);
+            Ok(())
+        },
+    );
+}
