@@ -1,0 +1,317 @@
+//! Compares two benchmark/profile row documents and gates on regressions.
+//!
+//! Usage:
+//!
+//! ```text
+//! benchcmp OLD.json NEW.json [--threshold 1.15] [--only SUBSTR] [--skip SUBSTR]
+//! benchcmp --inject FACTOR --out FILE OLD.json
+//! ```
+//!
+//! Accepts any document with a top-level `rows` array on the shared row
+//! schema (`{name, value, unit, n}`) — both `mst-bench-rows/1` files
+//! (`BENCH_*.json`) and `mst-profile/1` files (`PROFILE.json`). Rows with
+//! unit `"ns"` are lower-is-better durations and are **gated**: if
+//! `new / old > threshold` for any gated row present in both files, the
+//! tool prints the offenders and exits 1. Other units (counts, percents,
+//! paper seconds) are compared informationally only.
+//!
+//! `--only` / `--skip` filter gated rows by substring (repeatable); CI
+//! uses `--skip` to exclude helper-scaling rows on small runners.
+//!
+//! `--inject FACTOR` writes a copy of `OLD.json` with every gated row
+//! multiplied by `FACTOR` — a deterministic self-check that the gate
+//! actually fires (CI injects a 2x regression and asserts exit != 0).
+//!
+//! Exit codes: 0 clean, 1 regression detected, 2 usage or I/O error.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use mst_telemetry::json::{self, Json};
+use mst_telemetry::profile::fmt_f64;
+
+const DEFAULT_THRESHOLD: f64 = 1.15;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("benchcmp: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `Ok(true)` = clean, `Ok(false)` = regression, `Err` = usage/IO.
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut only: Vec<String> = Vec::new();
+    let mut skip: Vec<String> = Vec::new();
+    let mut inject: Option<f64> = None;
+    let mut out: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--threshold" => {
+                threshold = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --threshold: {e}"))?
+            }
+            "--only" => only.push(take(&mut i)?),
+            "--skip" => skip.push(take(&mut i)?),
+            "--inject" => {
+                inject = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --inject: {e}"))?,
+                )
+            }
+            "--out" => out = Some(take(&mut i)?),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            file => files.push(file.to_string()),
+        }
+        i += 1;
+    }
+
+    if let Some(factor) = inject {
+        let out = out.ok_or("--inject requires --out FILE")?;
+        let [src] = files.as_slice() else {
+            return Err("--inject takes exactly one input file".into());
+        };
+        let doc = load(src)?;
+        let doctored = inject_regression(&doc, factor);
+        std::fs::write(&out, write_json(&doctored)).map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("wrote {out} with ns rows x{factor}");
+        return Ok(true);
+    }
+
+    let [old_path, new_path] = files.as_slice() else {
+        return Err(
+            "usage: benchcmp OLD.json NEW.json [--threshold X] [--only S] [--skip S]".into(),
+        );
+    };
+    let old_rows = rows_of(&load(old_path)?)?;
+    let new_rows = rows_of(&load(new_path)?)?;
+
+    let gated = |name: &str, unit: &str| -> bool {
+        unit == "ns"
+            && (only.is_empty() || only.iter().any(|s| name.contains(s.as_str())))
+            && !skip.iter().any(|s| name.contains(s.as_str()))
+    };
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    println!(
+        "{:<44} {:>14} {:>14} {:>7}  verdict (threshold {threshold:.2}x)",
+        "row", "old", "new", "ratio"
+    );
+    for (name, (old_v, unit)) in &old_rows {
+        let Some((new_v, new_unit)) = new_rows.get(name) else {
+            continue;
+        };
+        if unit != new_unit {
+            return Err(format!("{name}: unit changed {unit} -> {new_unit}"));
+        }
+        let ratio = if *old_v > 0.0 { new_v / old_v } else { 1.0 };
+        let is_gated = gated(name, unit);
+        let verdict = if !is_gated {
+            "info"
+        } else if ratio > threshold {
+            regressions += 1;
+            "REGRESSION"
+        } else {
+            compared += 1;
+            "ok"
+        };
+        // Keep the table focused: print info rows only when interesting.
+        if is_gated || ratio > threshold {
+            println!(
+                "{name:<44} {:>12}{unit} {:>12}{unit} {ratio:>6.2}x  {verdict}",
+                fmt_f64(*old_v),
+                fmt_f64(*new_v)
+            );
+        }
+    }
+    for name in new_rows.keys().filter(|n| !old_rows.contains_key(*n)) {
+        println!("{name:<44} (new row, not gated)");
+    }
+
+    if regressions > 0 {
+        eprintln!("benchcmp: {regressions} regression(s) above {threshold:.2}x");
+        Ok(false)
+    } else {
+        eprintln!("benchcmp: {compared} gated row(s) within {threshold:.2}x");
+        Ok(true)
+    }
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `name -> (value, unit)` from a document's top-level `rows` array.
+fn rows_of(doc: &Json) -> Result<BTreeMap<String, (f64, String)>, String> {
+    let rows = doc
+        .get("rows")
+        .and_then(|r| r.as_arr())
+        .ok_or("document has no top-level rows array")?;
+    let mut map = BTreeMap::new();
+    for row in rows {
+        let name = row
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or("row without a name")?;
+        let value = row
+            .get("value")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("row {name} without a numeric value"))?;
+        let unit = row.get("unit").and_then(|u| u.as_str()).unwrap_or("");
+        map.insert(name.to_string(), (value, unit.to_string()));
+    }
+    Ok(map)
+}
+
+/// A copy of `doc` with every `ns`-unit row's value multiplied by `factor`.
+fn inject_regression(doc: &Json, factor: f64) -> Json {
+    match doc {
+        Json::Obj(m) => {
+            let mut out = m.clone();
+            if let Some(Json::Arr(rows)) = m.get("rows") {
+                let rows = rows
+                    .iter()
+                    .map(|row| {
+                        let is_ns = row.get("unit").and_then(|u| u.as_str()) == Some("ns");
+                        match (row, is_ns) {
+                            (Json::Obj(fields), true) => {
+                                let mut fields = fields.clone();
+                                if let Some(Json::Num(v)) = fields.get_mut("value") {
+                                    *v *= factor;
+                                }
+                                Json::Obj(fields)
+                            }
+                            _ => row.clone(),
+                        }
+                    })
+                    .collect();
+                out.insert("rows".to_string(), Json::Arr(rows));
+            }
+            Json::Obj(out)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Minimal JSON writer for doctored copies (sorted object keys, same as
+/// the parser's representation).
+fn write_json(j: &Json) -> String {
+    match j {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => fmt_f64(*n),
+        Json::Str(s) => format!("\"{}\"", json::escape(s)),
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(write_json).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Json::Obj(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", json::escape(k), write_json(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(pause_ns: f64) -> String {
+        format!(
+            "{{\"schema\":\"mst-bench-rows/1\",\"bench\":\"t\",\"meta\":{{}},\"rows\":[\
+             {{\"name\":\"gc.pause.p99_ns\",\"value\":{pause_ns},\"unit\":\"ns\",\"n\":10}},\
+             {{\"name\":\"gc.count\",\"value\":7,\"unit\":\"count\",\"n\":1}}]}}"
+        )
+    }
+
+    fn write_tmp(name: &str, text: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, text).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let a = write_tmp("benchcmp_same_a.json", &doc(1000.0));
+        let b = write_tmp("benchcmp_same_b.json", &doc(1000.0));
+        assert_eq!(run(&[a, b]), Ok(true));
+    }
+
+    #[test]
+    fn injected_2x_regression_fails() {
+        let old = write_tmp("benchcmp_reg_old.json", &doc(1000.0));
+        let new = write_tmp("benchcmp_reg_new.json", &doc(2000.0));
+        assert_eq!(run(&[old, new]), Ok(false), "2x pause must trip the gate");
+    }
+
+    #[test]
+    fn inject_flag_doctors_ns_rows_only() {
+        let old = write_tmp("benchcmp_inj_old.json", &doc(1000.0));
+        let out = std::env::temp_dir()
+            .join("benchcmp_inj_out.json")
+            .to_string_lossy()
+            .into_owned();
+        let args = [
+            "--inject".to_string(),
+            "2".to_string(),
+            "--out".to_string(),
+            out.clone(),
+            old.clone(),
+        ];
+        assert_eq!(run(&args), Ok(true));
+        // The doctored copy vs the original must now trip the gate...
+        assert_eq!(run(&[old.clone(), out.clone()]), Ok(false));
+        // ...and the non-ns row must be untouched.
+        let doctored = load(&out).unwrap();
+        let rows = rows_of(&doctored).unwrap();
+        assert_eq!(rows["gc.count"].0, 7.0);
+        assert_eq!(rows["gc.pause.p99_ns"].0, 2000.0);
+    }
+
+    #[test]
+    fn skip_and_only_filter_gated_rows() {
+        let old = write_tmp("benchcmp_filt_old.json", &doc(1000.0));
+        let new = write_tmp("benchcmp_filt_new.json", &doc(2000.0));
+        let skip = [
+            old.clone(),
+            new.clone(),
+            "--skip".to_string(),
+            "pause".to_string(),
+        ];
+        assert_eq!(run(&skip), Ok(true), "--skip must exempt the row");
+        let only = [old, new, "--only".to_string(), "unrelated".to_string()];
+        assert_eq!(run(&only), Ok(true), "--only must exclude the row");
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let old = write_tmp("benchcmp_thr_old.json", &doc(1000.0));
+        let new = write_tmp("benchcmp_thr_new.json", &doc(1100.0));
+        assert_eq!(run(&[old.clone(), new.clone()]), Ok(true), "1.10x < 1.15x");
+        let tight = [new, old, "--threshold".to_string(), "1.05".to_string()];
+        // Reversed order: 1000/1100 improves, still passes a tight gate.
+        assert_eq!(run(&tight), Ok(true));
+    }
+}

@@ -33,6 +33,7 @@
 
 use mst_bench::harness::ns_human;
 use mst_objmem::{MemoryConfig, ObjFormat, ObjectMemory, Oop, So};
+use mst_telemetry::Row;
 use mst_vkernel::SplitMix64;
 
 /// Runs a leader-supplied world-stopped closure on `helpers` scoped
@@ -142,22 +143,33 @@ fn measure(mem: &ObjectMemory, helpers: usize, rounds: usize) -> HelperRun {
 }
 
 fn write_json(path: &str, live_words: usize, cores: usize, chaos: bool, runs: &[HelperRun]) {
-    let mut out = format!(
-        "{{\"bench\":\"gcbench\",\"live_words\":{live_words},\"cores\":{cores},\
-         \"chaos\":{chaos},\"results\":["
-    );
-    for (i, r) in runs.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "{{\"helpers\":{},\"best_ns\":{},\"mean_ns\":{},\"rounds\":{}}}",
-            r.helpers, r.best_ns, r.mean_ns, r.rounds
+    let mut rows = Vec::new();
+    for r in runs {
+        let h = r.helpers;
+        let n = r.rounds as u64;
+        rows.push(Row::new(
+            format!("scavenge.h{h}.best_ns"),
+            r.best_ns as f64,
+            "ns",
+            n,
+        ));
+        rows.push(Row::new(
+            format!("scavenge.h{h}.mean_ns"),
+            r.mean_ns as f64,
+            "ns",
+            n,
         ));
     }
-    out.push_str("]}");
-    mst_telemetry::json::parse(&out).expect("generated gcbench JSON must parse");
-    std::fs::write(path, out).expect("BENCH_gc.json must be writable");
+    mst_bench::rows::write_rows(
+        path,
+        "gcbench",
+        &[
+            ("live_words", live_words.to_string()),
+            ("cores", cores.to_string()),
+            ("chaos", chaos.to_string()),
+        ],
+        &rows,
+    );
 }
 
 fn available_cores() -> usize {
@@ -376,27 +388,64 @@ fn write_fullgc_json(
     runs: &[FullGcRun],
     incr: &IncrementalRun,
 ) {
-    let mut out = format!(
-        "{{\"bench\":\"gcbench-fullgc\",\"live_words\":{live_words},\"cores\":{cores},\
-         \"results\":["
-    );
-    for (i, r) in runs.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "{{\"helpers\":{},\"best_mark_ns\":{},\"mean_mark_ns\":{},\
-             \"best_total_ns\":{},\"rounds\":{}}}",
-            r.helpers, r.best_mark_ns, r.mean_mark_ns, r.best_total_ns, r.rounds
+    let mut rows = Vec::new();
+    for r in runs {
+        let h = r.helpers;
+        let n = r.rounds as u64;
+        rows.push(Row::new(
+            format!("fullgc.h{h}.best_mark_ns"),
+            r.best_mark_ns as f64,
+            "ns",
+            n,
+        ));
+        rows.push(Row::new(
+            format!("fullgc.h{h}.mean_mark_ns"),
+            r.mean_mark_ns as f64,
+            "ns",
+            n,
+        ));
+        rows.push(Row::new(
+            format!("fullgc.h{h}.best_total_ns"),
+            r.best_total_ns as f64,
+            "ns",
+            n,
         ));
     }
-    out.push_str(&format!(
-        "],\"incremental\":{{\"slice_budget_words\":{},\"slices\":{},\
-         \"max_slice_ns\":{},\"finish_ns\":{},\"mark_ns\":{}}}}}",
-        incr.slice_budget_words, incr.slices, incr.max_slice_ns, incr.finish_ns, incr.mark_ns
+    let slices = incr.slices as u64;
+    rows.push(Row::new(
+        "fullgc.incr.max_slice_ns",
+        incr.max_slice_ns as f64,
+        "ns",
+        slices,
     ));
-    mst_telemetry::json::parse(&out).expect("generated fullgc JSON must parse");
-    std::fs::write(path, out).expect("BENCH_fullgc.json must be writable");
+    rows.push(Row::new(
+        "fullgc.incr.mark_ns",
+        incr.mark_ns as f64,
+        "ns",
+        slices,
+    ));
+    rows.push(Row::new(
+        "fullgc.incr.finish_ns",
+        incr.finish_ns as f64,
+        "ns",
+        1,
+    ));
+    rows.push(Row::new(
+        "fullgc.incr.slices",
+        incr.slices as f64,
+        "count",
+        1,
+    ));
+    mst_bench::rows::write_rows(
+        path,
+        "gcbench-fullgc",
+        &[
+            ("live_words", live_words.to_string()),
+            ("cores", cores.to_string()),
+            ("slice_budget_words", incr.slice_budget_words.to_string()),
+        ],
+        &rows,
+    );
 }
 
 fn fullgc_bench() {

@@ -14,6 +14,7 @@ use mst_bench::harness::{
     bar, ms_str, system_for_state, time_prepared, warm_process, Timing, TABLE2,
 };
 use mst_core::SystemState;
+use mst_telemetry::Row;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -157,33 +158,37 @@ fn main() {
     println!("wrote BENCH_table2.json");
 }
 
-/// Emits the full state × benchmark grid as machine-readable JSON for CI
-/// artifact upload and regression diffing, paper numbers included.
+/// Emits the full state × benchmark grid on the shared `mst-bench-rows/1`
+/// row schema for CI artifact upload and regression diffing, paper
+/// numbers included as informational (`s`-unit) rows.
 fn write_table2_json(path: &str, results: &[Vec<Timing>]) {
-    let mut out = String::from("{\"bench\":\"table2\",\"cells\":[");
-    let mut first = true;
+    let mut rows = Vec::new();
     for (si, state) in SystemState::ALL.iter().enumerate() {
+        let state_key = mst_bench::rows::slug(state.label());
         for (bi, b) in TABLE2.iter().enumerate() {
-            if !first {
-                out.push(',');
-            }
-            first = false;
+            let key = format!("table2.{state_key}.{}", mst_bench::rows::slug(b.label));
             let t = &results[si][bi];
-            out.push_str(&format!(
-                "{{\"state\":\"{}\",\"benchmark\":\"{}\",\"cpu_ns\":{:.1},\
-                 \"wall_ns\":{:.1},\"iters\":{},\"paper_secs\":{}}}",
-                mst_telemetry::json::escape(state.label()),
-                mst_telemetry::json::escape(b.label),
+            rows.push(Row::new(
+                format!("{key}.cpu_ns"),
                 t.cpu_ns,
+                "ns",
+                t.iters as u64,
+            ));
+            rows.push(Row::new(
+                format!("{key}.wall_ns"),
                 t.wall_ns,
-                t.iters,
-                b.paper_secs[si]
+                "ns",
+                t.iters as u64,
+            ));
+            rows.push(Row::new(
+                format!("{key}.paper_secs"),
+                b.paper_secs[si],
+                "s",
+                1,
             ));
         }
     }
-    out.push_str("]}");
-    mst_telemetry::json::parse(&out).expect("generated table2 JSON must parse");
-    std::fs::write(path, out).expect("BENCH_table2.json must be writable");
+    mst_bench::rows::write_rows(path, "table2", &[], &rows);
 }
 
 fn short(label: &str) -> String {

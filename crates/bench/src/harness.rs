@@ -272,27 +272,29 @@ fn micro_results() -> &'static Mutex<Vec<(String, MicroResult)>> {
     &RESULTS
 }
 
-/// Writes all recorded micro-benchmark results as machine-readable JSON
-/// (`{"benchmarks": [{"name", "wall_ns", "cpu_ns", "iters"}, ...]}`), for
-/// CI artifacts and regression diffing.
+/// Writes all recorded micro-benchmark results on the shared
+/// `mst-bench-rows/1` row schema (two `ns` rows per benchmark:
+/// `<group>/<name>.wall_ns` and `.cpu_ns`), for CI artifacts and
+/// `benchcmp` regression diffing.
 pub fn write_micro_json(path: &str) -> std::io::Result<()> {
     let results = micro_results().lock().unwrap_or_else(|p| p.into_inner());
-    let mut out = String::from("{\"benchmarks\":[");
-    for (i, (name, r)) in results.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "{{\"name\":\"{}\",\"wall_ns\":{:.1},\"cpu_ns\":{:.1},\"iters\":{}}}",
-            mst_telemetry::json::escape(name),
+    let mut rows = Vec::with_capacity(results.len() * 2);
+    for (name, r) in results.iter() {
+        rows.push(mst_telemetry::Row::new(
+            format!("{name}.wall_ns"),
             r.wall_ns,
+            "ns",
+            r.iters,
+        ));
+        rows.push(mst_telemetry::Row::new(
+            format!("{name}.cpu_ns"),
             r.cpu_ns,
-            r.iters
+            "ns",
+            r.iters,
         ));
     }
-    out.push_str("]}");
-    mst_telemetry::json::parse(&out).expect("generated micro JSON must parse");
-    std::fs::write(path, out)
+    crate::rows::write_rows(path, "micro", &[], &rows);
+    Ok(())
 }
 
 /// Per-iteration measurement from [`MicroGroup::bench`].

@@ -4,3 +4,4 @@
 //! `table3`, `ablations` — and the Criterion benches under `benches/`.
 
 pub mod harness;
+pub mod rows;

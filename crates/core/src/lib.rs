@@ -290,6 +290,9 @@ impl MsSystem {
         } else {
             mst_telemetry::init_from_env();
         }
+        // Per-processor state timelines are opt-in the same way
+        // (`MST_TIMELINE=1`); profile harnesses enable them directly.
+        mst_telemetry::timeline::init_from_env();
         // Fault injection follows the same pattern: an explicit config
         // wins; otherwise MST_CHAOS may arm the process-global registry.
         if let Some(chaos) = config.chaos {

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use mst_objmem::layout::{block_ctx, class as cls, ctx_size, message, method_ctx, process};
 use mst_objmem::{AllocToken, MethodHeader, ObjFormat, ObjectMemory, Oop, RootHandle, So};
+use mst_telemetry as tel;
 
 use crate::cache::{CacheEntry, LocalCache};
 use crate::contexts::{reinit_block_ctx, reinit_method_ctx, CtxKind, FreeLists};
@@ -375,6 +376,7 @@ impl Interpreter {
             };
             match claimed {
                 Some(p) => {
+                    tel::timeline::transition(tel::ProcState::Mutator);
                     self.n_switches += 1;
                     self.load_process(p);
                     let ev = self.execute();
@@ -389,6 +391,7 @@ impl Interpreter {
                 None => {
                     // Idle: no claimable process. Keep polling the GC flag —
                     // parked idle interpreters must not block a scavenge.
+                    tel::timeline::transition(tel::ProcState::Idle);
                     if self.vm.rendezvous.poll() {
                         self.mem().retire_token(&self.token);
                         self.vm.rendezvous.park(participant.id());
@@ -397,6 +400,7 @@ impl Interpreter {
                 }
             }
         };
+        tel::timeline::transition(tel::ProcState::Idle);
         self.watched = None;
         self.flush_counters();
         self.rdv_id = None;
@@ -1132,6 +1136,7 @@ impl Interpreter {
                     entry.primitive as u64,
                 );
             }
+            let _prim_state = tel::timeline::enter_state(tel::ProcState::Primitive);
             match self.dispatch_primitive(entry.primitive, nargs, pc0) {
                 PrimOutcome::Done => {
                     self.n_prims += 1;

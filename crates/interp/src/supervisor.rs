@@ -89,6 +89,10 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// thread and is never panic-injectable.
 pub fn supervise(vm: Arc<Vm>, processor: usize, policy: SupervisorPolicy) {
     vm.roster_register(processor);
+    // RAII timeline session: whatever state this processor dies in — panic
+    // unwind, degrade, clean shutdown — the open interval is closed and the
+    // per-state nanoseconds stay exact.
+    let _session = tel::timeline::register(processor);
     let mut interp = Interpreter::new(Arc::clone(&vm));
     interp.set_panic_injectable(true);
     loop {
@@ -107,6 +111,9 @@ pub fn supervise(vm: Arc<Vm>, processor: usize, policy: SupervisorPolicy) {
             let _span = tel::span("supervisor.recover", "supervisor");
             interp.recover_after_panic();
         }
+        // The panic unwound past any state the interpreter was in; close
+        // that interval now so the timeline never leaks a dead state.
+        tel::timeline::transition(tel::ProcState::Idle);
         // The fault is recorded in the roster (`last_fault`), not in
         // `vm.error_log`: the error log drives `run_prepared`'s
         // did-this-doit-fail check, and a supervisor entry there would

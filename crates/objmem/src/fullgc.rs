@@ -233,6 +233,16 @@ pub(crate) struct FullMarkState {
     started: Instant,
 }
 
+/// Per-phase wall times of one [`compact_marked`](ObjectMemory::compact_marked)
+/// run, feeding the pause-attribution log.
+#[derive(Default)]
+struct CompactTiming {
+    plan_ns: u64,
+    update_ns: u64,
+    move_ns: u64,
+    clear_ns: u64,
+}
+
 /// Relocation oracle for the update phase: the sorted from→to plan plus the
 /// diagnostic report for targets that are not marked-object starts.
 struct Relocator<'m> {
@@ -309,9 +319,11 @@ impl ObjectMemory {
         }
         self.run_pre_fullgc_hooks();
         let mut trace_span = mst_telemetry::span("gc.full", "gc");
+        let pause_start_ns = mst_telemetry::now_ns();
         let start = Instant::now();
 
         let mark_start = Instant::now();
+        mst_telemetry::trace::counter_event("gc.phase", "gc", "fullgc_phase", 1);
         let (marked, entered, steals, per_helper_words) = if helpers <= 1 {
             (self.serial_mark(), 1, 0, Vec::new())
         } else {
@@ -319,7 +331,7 @@ impl ObjectMemory {
         };
         let mark_nanos = mark_start.elapsed().as_nanos() as u64;
 
-        let (reclaimed, report) = self.compact_marked(&marked, false);
+        let (reclaimed, report, timing) = self.compact_marked(&marked, false);
 
         self.bump_epoch();
         // Until the next completed scavenge, dead new-space objects may hold
@@ -335,10 +347,29 @@ impl ObjectMemory {
             instr.parallel_collections.incr();
             instr.parallel_steals.add(steals);
             instr.parallel_helpers.record(entered as u64);
-            for w in per_helper_words {
+            for &w in &per_helper_words {
                 instr.helper_marked_words.record(w);
             }
         }
+        let (min_w, max_w) = per_helper_words
+            .iter()
+            .fold((u64::MAX, 0u64), |(lo, hi), &w| (lo.min(w), hi.max(w)));
+        mst_telemetry::pauselog::record(mst_telemetry::GcPause {
+            kind: "fullgc",
+            start_ns: pause_start_ns,
+            total_ns: nanos,
+            phases: vec![
+                ("mark", mark_nanos),
+                ("plan", timing.plan_ns),
+                ("update", timing.update_ns),
+                ("move", timing.move_ns),
+                ("clear", timing.clear_ns),
+            ],
+            helpers: entered,
+            per_helper_work: per_helper_words,
+            steals,
+            imbalance_pct: min_w.saturating_mul(100).checked_div(max_w).unwrap_or(100) as u32,
+        });
         self.publish_fullgc_report(&report);
         trace_span.set_arg("reclaimed_words", reclaimed as u64);
         drop(trace_span);
@@ -553,7 +584,9 @@ impl ObjectMemory {
             return FullGcOutcome::default();
         };
         let mut trace_span = mst_telemetry::span("gc.full", "gc");
+        let pause_start_ns = mst_telemetry::now_ns();
         let finish_start = Instant::now();
+        mst_telemetry::trace::counter_event("gc.phase", "gc", "fullgc_phase", 1);
 
         // Anything that became a root during the window.
         self.mark_roots_incr(&mut st);
@@ -585,8 +618,9 @@ impl ObjectMemory {
             }
         }
         self.mark_active.store(false, Ordering::Release);
+        let finish_mark_ns = finish_start.elapsed().as_nanos() as u64;
 
-        let (reclaimed, report) = self.compact_marked(&st.marked, true);
+        let (reclaimed, report, timing) = self.compact_marked(&st.marked, true);
         self.bump_epoch();
 
         let finish_ns = finish_start.elapsed().as_nanos() as u64;
@@ -594,6 +628,22 @@ impl ObjectMemory {
         self.stats.full_gcs.incr();
         self.stats.full_gc_nanos.add(stw_nanos);
         instruments().pause_ns.record(finish_ns);
+        mst_telemetry::pauselog::record(mst_telemetry::GcPause {
+            kind: "fullgc_finish",
+            start_ns: pause_start_ns,
+            total_ns: finish_ns,
+            phases: vec![
+                ("finish_mark", finish_mark_ns),
+                ("plan", timing.plan_ns),
+                ("update", timing.update_ns),
+                ("move", timing.move_ns),
+                ("clear", timing.clear_ns),
+            ],
+            helpers: 1,
+            per_helper_work: Vec::new(),
+            steals: 0,
+            imbalance_pct: 100,
+        });
         self.publish_fullgc_report(&report);
         trace_span.set_arg("reclaimed_words", reclaimed as u64);
         drop(trace_span);
@@ -701,8 +751,15 @@ impl ObjectMemory {
     /// are rewritten too (the incremental path, whose `marked` list holds
     /// only old objects); otherwise the marked list itself covers the live
     /// new-space referrers (the monolithic path).
-    fn compact_marked(&self, marked: &[Oop], update_new_walk: bool) -> (usize, FullGcReport) {
+    fn compact_marked(
+        &self,
+        marked: &[Oop],
+        update_new_walk: bool,
+    ) -> (usize, FullGcReport, CompactTiming) {
         let old_used_before = self.old_used();
+        let mut timing = CompactTiming::default();
+        let t_phase = Instant::now();
+        mst_telemetry::trace::counter_event("gc.phase", "gc", "fullgc_phase", 2);
 
         // --- Phase 2: plan new addresses --------------------------------
         // Sorted by construction (linear walk), enabling binary search.
@@ -730,6 +787,9 @@ impl ObjectMemory {
         rel.nil_new = rel
             .lookup(self.nil())
             .expect("nil must be marked by every full collection");
+        timing.plan_ns = t_phase.elapsed().as_nanos() as u64;
+        let t_phase = Instant::now();
+        mst_telemetry::trace::counter_event("gc.phase", "gc", "fullgc_phase", 3);
 
         // --- Phase 3: update references ----------------------------------
         for &obj in marked {
@@ -777,6 +837,9 @@ impl ObjectMemory {
         // the slide, and blindly clearing a bit at a stale address would
         // corrupt whatever lives there afterwards.
         let relocated_marks: Vec<Oop> = marked.iter().filter_map(|&o| rel.lookup(o)).collect();
+        timing.update_ns = t_phase.elapsed().as_nanos() as u64;
+        let t_phase = Instant::now();
+        mst_telemetry::trace::counter_event("gc.phase", "gc", "fullgc_phase", 4);
 
         // --- Phase 4: move bodies ---------------------------------------
         for &(from, to) in &rel.map {
@@ -788,15 +851,20 @@ impl ObjectMemory {
             }
         }
         self.set_old_next(dest);
+        timing.move_ns = t_phase.elapsed().as_nanos() as u64;
+        let t_phase = Instant::now();
+        mst_telemetry::trace::counter_event("gc.phase", "gc", "fullgc_phase", 5);
 
         // --- Phase 5: clear marks ----------------------------------------
         for obj in relocated_marks {
             let h = self.header(obj);
             self.set_header(obj, h.with_marked(false));
         }
+        timing.clear_ns = t_phase.elapsed().as_nanos() as u64;
+        mst_telemetry::trace::counter_event("gc.phase", "gc", "fullgc_phase", 0);
 
         let reclaimed = old_used_before - (dest - self.spaces().old_start);
-        (reclaimed, rel.report.into_inner())
+        (reclaimed, rel.report.into_inner(), timing)
     }
 
     /// Linearly walks every formatted new-space object — eden (only under

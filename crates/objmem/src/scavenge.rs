@@ -51,6 +51,8 @@ struct Scavenger<'m> {
     to_end: usize,
     queue: Vec<Oop>,
     outcome: ScavengeOutcome,
+    /// Phase attribution: specials + root cells + entry-table scan.
+    roots_ns: u64,
 }
 
 impl ObjectMemory {
@@ -78,7 +80,14 @@ impl ObjectMemory {
     /// succeed.
     pub fn try_scavenge(&self) -> Result<ScavengeOutcome, crate::OomError> {
         let mut trace_span = mst_telemetry::span("gc.scavenge", "gc");
+        let pause_start_ns = mst_telemetry::now_ns();
         let start = Instant::now();
+        mst_telemetry::trace::counter_event(
+            "gc.eden",
+            "gc",
+            "occupied_words",
+            self.eden_used() as u64,
+        );
         // An unfinished incremental mark cannot survive a scavenge (eden
         // empties and survivors flip under the mark's feet): complete it
         // now — its compaction may itself free the room this scavenge needs.
@@ -88,6 +97,7 @@ impl ObjectMemory {
             full_gc_ran = true;
         }
         full_gc_ran |= self.reserve_tenure_room(None)?;
+        let reserve_ns = start.elapsed().as_nanos() as u64;
         let (to_start, to_end) = self.select_to_space();
         self.survivor_next.store(to_start, Ordering::Relaxed);
 
@@ -100,12 +110,17 @@ impl ObjectMemory {
                 full_gc_ran,
                 ..ScavengeOutcome::default()
             },
+            roots_ns: 0,
         };
+        let b_run0 = start.elapsed().as_nanos() as u64;
         sc.run();
+        let b_run1 = start.elapsed().as_nanos() as u64;
         let words_survived = (self.survivor_next.load(Ordering::Relaxed) - to_start) as u64;
         sc.outcome.words_survived = words_survived;
+        let roots_ns = sc.roots_ns;
         let mut outcome = sc.outcome;
 
+        mst_telemetry::trace::counter_event("gc.phase", "gc", "scavenge_phase", 3);
         // Flip: the future survivor space becomes the past one.
         let past_was_a = self.past_is_a.load(Ordering::Relaxed);
         self.past_is_a.store(!past_was_a, Ordering::Relaxed);
@@ -118,6 +133,8 @@ impl ObjectMemory {
         // New space now holds only freshly copied survivors: any dangling
         // references a full collection left in dead objects are gone.
         self.fullgc_since_scavenge.store(false, Ordering::Relaxed);
+        mst_telemetry::trace::counter_event("gc.eden", "gc", "occupied_words", 0);
+        mst_telemetry::trace::counter_event("gc.phase", "gc", "scavenge_phase", 0);
 
         outcome.nanos = start.elapsed().as_nanos() as u64;
         // Sharded counters: recording the outcome never contends, even when
@@ -127,6 +144,27 @@ impl ObjectMemory {
         self.stats.words_tenured.add(outcome.words_tenured);
         self.stats.scavenge_nanos.add(outcome.nanos);
         scavenge_pause_hist().record(outcome.nanos);
+        // The boundary timestamps partition the pause exactly: setup is the
+        // to-space selection and scavenger construction, "copy" is all of
+        // `run()` that is not the roots scan (transitive drain plus entry
+        // merge), and "flip" absorbs everything from `run()`'s return to
+        // the final timestamp.
+        mst_telemetry::pauselog::record(mst_telemetry::GcPause {
+            kind: "scavenge",
+            start_ns: pause_start_ns,
+            total_ns: outcome.nanos,
+            phases: vec![
+                ("reserve", reserve_ns),
+                ("setup", b_run0.saturating_sub(reserve_ns)),
+                ("roots", roots_ns),
+                ("copy", (b_run1 - b_run0).saturating_sub(roots_ns)),
+                ("flip", outcome.nanos - b_run1),
+            ],
+            helpers: 1,
+            per_helper_work: vec![outcome.words_survived + outcome.words_tenured],
+            steals: 0,
+            imbalance_pct: 100,
+        });
         trace_span.set_arg("words_survived", outcome.words_survived);
         drop(trace_span);
         Ok(outcome)
@@ -174,7 +212,14 @@ impl ObjectMemory {
             return self.try_scavenge();
         }
         let mut trace_span = mst_telemetry::span("gc.scavenge", "gc");
+        let pause_start_ns = mst_telemetry::now_ns();
         let start = Instant::now();
+        mst_telemetry::trace::counter_event(
+            "gc.eden",
+            "gc",
+            "occupied_words",
+            self.eden_used() as u64,
+        );
         // As in `try_scavenge`: an open incremental mark window must be
         // closed before new space is rearranged.
         let mut full_gc_ran = false;
@@ -185,6 +230,7 @@ impl ObjectMemory {
         // A scavenge-triggered full GC borrows the same stopped helpers the
         // scavenge itself was handed, sized down to its live-set estimate.
         full_gc_ran |= self.reserve_tenure_room(Some((helpers, &run)))?;
+        let reserve_ns = start.elapsed().as_nanos() as u64;
         let (to_start, to_end) = self.select_to_space();
         self.survivor_next.store(to_start, Ordering::Relaxed);
 
@@ -221,7 +267,14 @@ impl ObjectMemory {
             rounds: AtomicUsize::new(0),
             merge: Mutex::new(MergeState::default()),
         };
+        mst_telemetry::trace::counter_event("gc.phase", "gc", "scavenge_phase", 1);
+        // Boundary timestamps off the one `start` clock: the recorded phases
+        // below partition the pause exactly because every phase is a gap
+        // between two of these boundaries (no independent timers to leave
+        // unattributed seams between regions).
+        let b_run0 = start.elapsed().as_nanos() as u64;
         run(helpers, &|slot| par.run_helper(slot));
+        let b_run1 = start.elapsed().as_nanos() as u64;
         let ran = par.entered.load(Ordering::SeqCst);
         assert!(ran >= 1, "run() must invoke the scavenge closure (slot 0)");
         let m = par.merge.into_inner().unwrap();
@@ -239,6 +292,8 @@ impl ObjectMemory {
             full_gc_ran,
         };
 
+        let b_flip = start.elapsed().as_nanos() as u64;
+        mst_telemetry::trace::counter_event("gc.phase", "gc", "scavenge_phase", 3);
         // Flip: the future survivor space becomes the past one. `past_fill`
         // is the carve frontier — every word below it is an object or a pad.
         let past_was_a = self.past_is_a.load(Ordering::Relaxed);
@@ -250,6 +305,8 @@ impl ObjectMemory {
         self.eden_reset();
         self.bump_epoch();
         self.fullgc_since_scavenge.store(false, Ordering::Relaxed);
+        mst_telemetry::trace::counter_event("gc.eden", "gc", "occupied_words", 0);
+        mst_telemetry::trace::counter_event("gc.phase", "gc", "scavenge_phase", 0);
 
         outcome.nanos = start.elapsed().as_nanos() as u64;
         self.stats.scavenges.incr();
@@ -272,6 +329,35 @@ impl ObjectMemory {
         if max_copied > 0 && m.per_helper_copied.len() > 1 {
             instr.balance_pct.record(min_copied * 100 / max_copied);
         }
+
+        // Pause attribution: the leader (slot 0) spans the whole parallel
+        // region, so its roots/copy/termination split attributes that
+        // region; "drain" is the leftover the leader spent off-region
+        // (helper scheduling skew). The remaining phases are gaps between
+        // the boundary timestamps above, so the record sums to the total.
+        let leader_ns = m.leader_roots_ns + m.leader_copy_ns + m.leader_term_ns;
+        mst_telemetry::pauselog::record(mst_telemetry::GcPause {
+            kind: "scavenge",
+            start_ns: pause_start_ns,
+            total_ns: outcome.nanos,
+            phases: vec![
+                ("reserve", reserve_ns),
+                ("setup", b_run0.saturating_sub(reserve_ns)),
+                ("roots", m.leader_roots_ns),
+                ("copy", m.leader_copy_ns),
+                ("termination", m.leader_term_ns),
+                ("drain", (b_run1 - b_run0).saturating_sub(leader_ns)),
+                ("merge", b_flip.saturating_sub(b_run1)),
+                ("finalize", outcome.nanos - b_flip),
+            ],
+            helpers: ran,
+            per_helper_work: m.per_helper_copied.clone(),
+            steals: m.steals,
+            imbalance_pct: min_copied
+                .saturating_mul(100)
+                .checked_div(max_copied)
+                .unwrap_or(100) as u32,
+        });
 
         trace_span.set_arg("words_survived", outcome.words_survived);
         drop(trace_span);
@@ -327,6 +413,8 @@ impl ObjectMemory {
 impl Scavenger<'_> {
     fn run(&mut self) {
         let mem = self.mem;
+        let t_roots = Instant::now();
+        mst_telemetry::trace::counter_event("gc.phase", "gc", "scavenge_phase", 1);
         // Special objects.
         mem.specials().update_all(|o| self.forward(o));
         // Rust-side root cells (prune dropped handles as we go).
@@ -354,6 +442,8 @@ impl Scavenger<'_> {
                 mem.set_header(obj, h.with_remembered(false));
             }
         }
+        self.roots_ns = t_roots.elapsed().as_nanos() as u64;
+        mst_telemetry::trace::counter_event("gc.phase", "gc", "scavenge_phase", 2);
         self.drain();
         // Merge survivors back (tenured-object entries added during the
         // drain are already in the live table; flags prevent duplicates).
@@ -510,6 +600,12 @@ struct MergeState {
     tenured_objects: u64,
     steals: u64,
     per_helper_copied: Vec<u64>,
+    /// Slot 0's phase split (roots / transitive copy / termination probe):
+    /// the leader runs the whole parallel region, so its split attributes
+    /// the pause (helpers overlap it).
+    leader_roots_ns: u64,
+    leader_copy_ns: u64,
+    leader_term_ns: u64,
 }
 
 /// One helper's private state: its to-space buffer, deque-overflow list,
@@ -543,6 +639,7 @@ impl ParScavenger<'_> {
         };
         self.entered.fetch_add(1, Ordering::SeqCst);
         self.enter();
+        let t_roots = Instant::now();
         // Slot 0 — the leader, guaranteed to run — owns the special objects.
         if slot == 0 {
             mem.specials().update_all(|o| self.forward(&mut h, o));
@@ -577,6 +674,9 @@ impl ParScavenger<'_> {
                 }
             }
         }
+        let roots_ns = t_roots.elapsed().as_nanos() as u64;
+        let t_copy = Instant::now();
+        let mut term_ns = 0u64;
         // Transitive copy: drain own work, steal when dry, stop when every
         // helper is dry at once.
         'work: loop {
@@ -595,21 +695,25 @@ impl ParScavenger<'_> {
             // The `rounds` re-read catches a helper that re-entered (and may
             // have already emptied a deque again) during the probe.
             self.busy.fetch_sub(1, Ordering::SeqCst);
+            let t_probe = Instant::now();
             loop {
                 let r0 = self.rounds.load(Ordering::SeqCst);
                 if self.busy.load(Ordering::SeqCst) == 0
                     && self.deques.iter().all(StealDeque::is_empty)
                     && self.rounds.load(Ordering::SeqCst) == r0
                 {
+                    term_ns += t_probe.elapsed().as_nanos() as u64;
                     break 'work;
                 }
                 if self.deques.iter().any(|d| !d.is_empty()) {
+                    term_ns += t_probe.elapsed().as_nanos() as u64;
                     self.enter();
                     continue 'work;
                 }
                 std::hint::spin_loop();
             }
         }
+        let copy_ns = (t_copy.elapsed().as_nanos() as u64).saturating_sub(term_ns);
         // Plug the unused tail of the final buffer so to-space stays
         // linearly walkable.
         for w in h.buf_next..h.buf_limit {
@@ -622,6 +726,11 @@ impl ParScavenger<'_> {
         m.tenured_objects += h.tenured_objects;
         m.steals += h.steals;
         m.per_helper_copied.push(h.copied_words);
+        if slot == 0 {
+            m.leader_roots_ns = roots_ns;
+            m.leader_copy_ns = copy_ns;
+            m.leader_term_ns = term_ns;
+        }
     }
 
     /// Joins the busy set. `busy` first, `rounds` second: the idle-probe

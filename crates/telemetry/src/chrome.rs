@@ -13,6 +13,9 @@ use crate::trace::{all_rings, TraceEvent, TracePhase};
 /// The process id used in exported traces (one VM = one process).
 pub const TRACE_PID: u64 = 1;
 
+/// The process display name emitted as `process_name` metadata.
+pub const TRACE_PROCESS_NAME: &str = "mst-vm";
+
 fn push_us(out: &mut String, ns: u64) {
     // Microseconds with ns precision, without going through floats.
     let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
@@ -27,14 +30,17 @@ fn push_event(out: &mut String, tid: u64, ev: &TraceEvent) {
     out.push_str(match ev.phase {
         TracePhase::Complete => "X",
         TracePhase::Instant => "i",
+        TracePhase::Counter => "C",
     });
     out.push_str("\",\"ts\":");
     push_us(out, ev.start_ns);
-    if ev.phase == TracePhase::Complete {
-        out.push_str(",\"dur\":");
-        push_us(out, ev.dur_ns);
-    } else {
-        out.push_str(",\"s\":\"t\"");
+    match ev.phase {
+        TracePhase::Complete => {
+            out.push_str(",\"dur\":");
+            push_us(out, ev.dur_ns);
+        }
+        TracePhase::Instant => out.push_str(",\"s\":\"t\""),
+        TracePhase::Counter => {}
     }
     let _ = write!(out, ",\"pid\":{TRACE_PID},\"tid\":{tid}");
     if !ev.arg_name.is_empty() {
@@ -43,6 +49,15 @@ fn push_event(out: &mut String, tid: u64, ev: &TraceEvent) {
         out.push_str(",\"args\":{}");
     }
     out.push('}');
+}
+
+fn push_process_name(out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{TRACE_PID},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape(TRACE_PROCESS_NAME)
+    );
 }
 
 fn push_thread_name(out: &mut String, tid: u64, name: &str) {
@@ -58,7 +73,8 @@ fn push_thread_name(out: &mut String, tid: u64, name: &str) {
 /// Pure (no global state) so tests can feed fixed timestamps.
 pub fn events_to_json(threads: &[(u64, &str, &[TraceEvent])]) -> String {
     let mut out = String::from("{\"traceEvents\":[");
-    let mut first = true;
+    push_process_name(&mut out);
+    let mut first = false;
     for (tid, name, _) in threads {
         if !first {
             out.push(',');
@@ -84,7 +100,7 @@ pub fn export_chrome_json() -> String {
     let rings = all_rings();
     let mut threads: Vec<(u64, String, Vec<TraceEvent>)> = rings
         .into_iter()
-        .map(|(ring, events, _dropped)| (ring.tid, ring.name.clone(), events))
+        .map(|(ring, events, _dropped)| (ring.tid, ring.name(), events))
         .collect();
     threads.sort_by_key(|(tid, _, _)| *tid);
     let borrowed: Vec<(u64, &str, &[TraceEvent])> = threads
@@ -153,22 +169,39 @@ mod tests {
             .get("traceEvents")
             .and_then(Json::as_arr)
             .expect("traceEvents array");
-        // One metadata record plus the two events.
-        assert_eq!(evs.len(), 3);
-        let meta = &evs[0];
-        assert_eq!(meta.get("ph").and_then(Json::as_str), Some("M"));
+        // Process-name and thread-name metadata plus the two events.
+        assert_eq!(evs.len(), 4);
+        let pmeta = &evs[0];
+        assert_eq!(pmeta.get("ph").and_then(Json::as_str), Some("M"));
         assert_eq!(
-            meta.get("args")
+            pmeta.get("name").and_then(Json::as_str),
+            Some("process_name")
+        );
+        assert_eq!(
+            pmeta
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some(TRACE_PROCESS_NAME)
+        );
+        let tmeta = &evs[1];
+        assert_eq!(
+            tmeta.get("name").and_then(Json::as_str),
+            Some("thread_name")
+        );
+        assert_eq!(
+            tmeta
+                .get("args")
                 .and_then(|a| a.get("name"))
                 .and_then(Json::as_str),
             Some("p0:interp")
         );
-        for ev in &evs[1..] {
+        for ev in &evs[2..] {
             for key in ["name", "cat", "ph", "ts", "pid", "tid", "args"] {
                 assert!(ev.get(key).is_some(), "event missing required key {key}");
             }
         }
-        let span = &evs[1];
+        let span = &evs[2];
         assert_eq!(span.get("ph").and_then(Json::as_str), Some("X"));
         assert_eq!(span.get("ts").and_then(Json::as_f64), Some(1234.567));
         assert_eq!(span.get("dur").and_then(Json::as_f64), Some(89.012));
@@ -178,9 +211,37 @@ mod tests {
                 .and_then(Json::as_f64),
             Some(4096.0)
         );
-        let inst = &evs[2];
+        let inst = &evs[3];
         assert_eq!(inst.get("ph").and_then(Json::as_str), Some("i"));
         assert_eq!(inst.get("s").and_then(Json::as_str), Some("t"));
+    }
+
+    #[test]
+    fn counter_events_export_as_counter_phase() {
+        let ev = TraceEvent {
+            name: "gc.eden",
+            cat: "gc",
+            phase: TracePhase::Counter,
+            start_ns: 5_000_250,
+            dur_ns: 0,
+            arg_name: "occupied_words",
+            arg: 81920,
+        };
+        let events = [ev];
+        let threads: Vec<(u64, &str, &[TraceEvent])> = vec![(3, "p0:interp", &events)];
+        let doc = parse(&events_to_json(&threads)).expect("valid JSON");
+        let evs = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let c = evs.last().unwrap();
+        assert_eq!(c.get("ph").and_then(Json::as_str), Some("C"));
+        assert_eq!(c.get("ts").and_then(Json::as_f64), Some(5000.25));
+        assert!(c.get("dur").is_none(), "counters carry no duration");
+        assert!(c.get("s").is_none(), "counters carry no instant scope");
+        assert_eq!(
+            c.get("args")
+                .and_then(|a| a.get("occupied_words"))
+                .and_then(Json::as_f64),
+            Some(81920.0)
+        );
     }
 
     #[test]

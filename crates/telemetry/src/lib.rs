@@ -20,8 +20,18 @@
 //!   a relaxed atomic.
 //! * [`chrome`] — exports the rings as Chrome `trace_event` JSON, loadable
 //!   in `chrome://tracing` or Perfetto.
+//! * [`timeline`] — per-processor *state* accounting (mutator / safepoint
+//!   wait / stopped / GC helper / lock spin / idle / primitive nanoseconds)
+//!   behind an RAII transition API, feeding the paper-style utilization
+//!   table.
+//! * [`pauselog`] — a bounded log of GC pauses attributed to named phases
+//!   (roots, copy/mark, termination, plan, update, move) with per-helper
+//!   work and steal counts.
+//! * [`profile`] — versioned [`ProfileReport`] snapshots (`PROFILE.json`)
+//!   embedding normalized `{name, value, unit, n}` rows for `benchcmp`.
 //! * [`report`] — a human-readable `vmstat`-style text report of every
-//!   registered counter and histogram.
+//!   registered counter and histogram, plus the utilization and
+//!   pause-attribution tables.
 //! * [`json`] — a minimal JSON parser so exported traces can be validated
 //!   in-tree (tests, the CI smoke run) without external dependencies.
 //!
@@ -46,12 +56,18 @@
 pub mod chrome;
 pub mod json;
 mod metrics;
+pub mod pauselog;
+pub mod profile;
 pub mod registry;
 pub mod report;
+pub mod timeline;
 pub mod trace;
 
 pub use metrics::{Counter, Histogram, HistogramSnapshot, BUCKETS, SHARDS};
+pub use pauselog::GcPause;
+pub use profile::{ProfileReport, Row};
 pub use registry::{counter, histogram};
+pub use timeline::{enter_state, ProcState, ProcTimeline};
 pub use trace::{
     enabled, init_from_env, instant, now_ns, set_enabled, span, Span, TraceEvent, TracePhase,
 };

@@ -70,6 +70,22 @@ pub fn histograms() -> Vec<(String, HistogramSnapshot)> {
         .collect()
 }
 
+/// A point-in-time copy of every registered instrument, sorted by name.
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Snapshots all counters and histograms at once (the profile pipeline's
+/// entry point; see [`crate::profile::capture`]).
+pub fn snapshot() -> RegistrySnapshot {
+    RegistrySnapshot {
+        counters: counters(),
+        histograms: histograms(),
+    }
+}
+
 /// Resets every registered instrument (between benchmark runs).
 pub fn reset_all() {
     let reg = inner();

@@ -62,6 +62,9 @@ pub enum TracePhase {
     Complete,
     /// A point event (`ph: "i"`).
     Instant,
+    /// A counter sample (`ph: "C"`): `arg_name`/`arg` name the series and
+    /// its value at `start_ns` (eden occupancy, GC phase index).
+    Counter,
 }
 
 /// One recorded event. `arg_name`/`arg` carry a single numeric payload
@@ -97,8 +100,9 @@ struct RingInner {
 pub struct ThreadRing {
     /// Stable exporter thread id (dense, starts at 1).
     pub tid: u64,
-    /// OS thread name at first record, or `thread-<tid>`.
-    pub name: String,
+    /// OS thread name at first record, or `thread-<tid>` — relabelable for
+    /// anonymous threads drafted as GC helpers (see [`name_helper_thread`]).
+    name: Mutex<String>,
     cap: usize,
     inner: Mutex<RingInner>,
 }
@@ -107,13 +111,34 @@ impl ThreadRing {
     fn new(tid: u64, name: String, cap: usize) -> ThreadRing {
         ThreadRing {
             tid,
-            name,
+            name: Mutex::new(name),
             cap,
             inner: Mutex::new(RingInner {
                 buf: Vec::with_capacity(cap.min(1024)),
                 next: 0,
                 dropped: 0,
             }),
+        }
+    }
+
+    /// The thread's display name for exporters.
+    pub fn name(&self) -> String {
+        self.name
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+
+    /// Relabels the ring, but only if it still carries an auto-generated
+    /// (`thread-<tid>`) or previous helper label — named interpreter
+    /// threads keep their identity.
+    fn relabel_helper(&self, label: &str) {
+        let mut name = self
+            .name
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if name.starts_with("thread-") || name.starts_with("gc-helper") {
+            *name = label.to_string();
         }
     }
 
@@ -209,6 +234,37 @@ pub fn instant(name: &'static str, cat: &'static str, arg_name: &'static str, ar
             arg,
         })
     });
+}
+
+/// Records a counter sample (`ph: "C"` in the Chrome export): the value of
+/// the named series at this instant. Traces chart these as a filled graph
+/// lane (eden occupancy, pause-phase index).
+#[inline]
+pub fn counter_event(name: &'static str, cat: &'static str, series: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    my_ring(|r| {
+        r.push(TraceEvent {
+            name,
+            cat,
+            phase: TracePhase::Counter,
+            start_ns: now_ns(),
+            dur_ns: 0,
+            arg_name: series,
+            arg: value,
+        })
+    });
+}
+
+/// Relabels the current thread's ring to `label` — used to name GC-helper
+/// threads per pause. Only threads without a real OS name (or with a stale
+/// helper label) are renamed, so interpreter threads keep theirs.
+pub fn name_helper_thread(label: &str) {
+    if !enabled() {
+        return;
+    }
+    my_ring(|r| r.relabel_helper(label));
 }
 
 /// Starts a span; the complete event is recorded when the guard drops.
@@ -388,6 +444,93 @@ mod tests {
     }
 
     #[test]
+    fn dropped_event_accounting_is_exact() {
+        // Satellite: however many times the ring wraps, every overwritten
+        // event is counted, retained + dropped == pushed, and the retained
+        // window is exactly the newest `cap` events in order.
+        let cap = 8usize;
+        let ring = ThreadRing::new(998, "drop-test".into(), cap);
+        let ev = |i: u64| TraceEvent {
+            name: "test.drop",
+            cat: "test",
+            phase: TracePhase::Instant,
+            start_ns: i,
+            dur_ns: 0,
+            arg_name: "i",
+            arg: i,
+        };
+        for total in [3usize, 8, 9, 31, 64] {
+            ring.clear();
+            for i in 0..total as u64 {
+                ring.push(ev(i));
+            }
+            let (events, dropped) = ring.drain_ordered();
+            let kept = total.min(cap);
+            assert_eq!(events.len(), kept);
+            assert_eq!(
+                dropped as usize + events.len(),
+                total,
+                "no event unaccounted"
+            );
+            let args: Vec<u64> = events.iter().map(|e| e.arg).collect();
+            let want: Vec<u64> = ((total - kept) as u64..total as u64).collect();
+            assert_eq!(args, want, "retained window is the newest events in order");
+        }
+        ring.clear();
+        let (events, dropped) = ring.drain_ordered();
+        assert!(events.is_empty());
+        assert_eq!(dropped, 0, "clear resets the drop count");
+    }
+
+    #[test]
+    fn counter_events_and_helper_relabeling() {
+        with_tracing(|| {
+            std::thread::spawn(|| {
+                counter_event("test.eden", "gc", "words", 4096);
+                name_helper_thread("gc-helper#1");
+                counter_event("test.eden", "gc", "words", 0);
+                name_helper_thread("gc-helper#2");
+            })
+            .join()
+            .unwrap();
+            let rings = all_rings();
+            let (ring, events, _) = rings
+                .iter()
+                .find(|(_, e, _)| e.iter().any(|ev| ev.name == "test.eden"))
+                .expect("helper thread's ring");
+            assert_eq!(
+                ring.name(),
+                "gc-helper#2",
+                "anonymous thread takes the latest helper label"
+            );
+            let c = events.iter().find(|e| e.name == "test.eden").unwrap();
+            assert_eq!(c.phase, TracePhase::Counter);
+            assert_eq!(c.arg_name, "words");
+        });
+    }
+
+    #[test]
+    fn named_threads_keep_their_name_over_helper_labels() {
+        with_tracing(|| {
+            std::thread::Builder::new()
+                .name("interp-keep".to_string())
+                .spawn(|| {
+                    instant("test.keepname", "test", "", 0);
+                    name_helper_thread("gc-helper#0");
+                })
+                .unwrap()
+                .join()
+                .unwrap();
+            let rings = all_rings();
+            let (ring, _, _) = rings
+                .iter()
+                .find(|(_, e, _)| e.iter().any(|ev| ev.name == "test.keepname"))
+                .unwrap();
+            assert_eq!(ring.name(), "interp-keep");
+        });
+    }
+
+    #[test]
     fn rings_from_multiple_threads_are_all_visible() {
         with_tracing(|| {
             let handles: Vec<_> = (0..2)
@@ -407,7 +550,7 @@ mod tests {
                 .collect();
             assert!(with_event.len() >= 2, "one ring per recording thread");
             for (ring, _, _) in &with_event {
-                assert!(ring.name.starts_with("trace-test-"));
+                assert!(ring.name().starts_with("trace-test-"));
             }
         });
     }

@@ -28,6 +28,7 @@ use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
 
 use mst_telemetry as tel;
+use mst_telemetry::timeline::{self, ProcState};
 use mst_telemetry::trace::record;
 use mst_telemetry::{TraceEvent, TracePhase};
 
@@ -298,6 +299,7 @@ impl Rendezvous {
             return; // raced with the release
         }
         let start_ns = tel::now_ns();
+        let wait_state = timeline::enter_state(ProcState::SafepointWait);
         inner.parked += 1;
         if let Some(e) = inner.roster_entry(id) {
             e.parked = true;
@@ -315,6 +317,7 @@ impl Rendezvous {
             e.parked = false;
         }
         drop(inner);
+        drop(wait_state);
         let parked_ns = tel::now_ns() - start_ns;
         instruments().2.record(parked_ns);
         if tel::enabled() {
@@ -347,6 +350,7 @@ impl Rendezvous {
                 // Somebody else is leading a stop: behave as a parker, then
                 // go around again — another woken would-be leader may have
                 // claimed the next stop while we were rescheduled.
+                let wait_state = timeline::enter_state(ProcState::SafepointWait);
                 inner.parked += 1;
                 if let Some(e) = inner.roster_entry(id) {
                     e.parked = true;
@@ -363,6 +367,7 @@ impl Rendezvous {
                 if let Some(e) = inner.roster_entry(id) {
                     e.parked = false;
                 }
+                drop(wait_state);
                 continue;
             }
             inner.requested = true;
@@ -422,7 +427,10 @@ impl Rendezvous {
                     arg: waiting_for,
                 });
             }
-            return RendezvousGuard { rdv: self };
+            return RendezvousGuard {
+                rdv: self,
+                _state: timeline::enter_state(ProcState::Stopped),
+            };
         }
     }
 
@@ -450,8 +458,15 @@ impl Rendezvous {
         drop(inner);
         // SAFETY: the leader blocks in `run_stopped` until `active` is zero
         // and only then clears the job, so the closure outlives this call.
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*func)(slot) }));
+        let result = {
+            let _helper_state = timeline::enter_state(ProcState::GcHelper);
+            if tel::enabled() {
+                tel::trace::name_helper_thread(&format!("gc-helper#{slot}"));
+            }
+            let mut sp = tel::span("gc.helper", "gc");
+            sp.set_arg("slot", slot as u64);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*func)(slot) }))
+        };
         let mut inner = self.lock_inner();
         if let Some(job) = inner.job.as_mut() {
             job.active -= 1;
@@ -472,6 +487,7 @@ impl Rendezvous {
     /// hold the stopped world.
     fn run_stopped(&self, max_helpers: usize, f: &(dyn Fn(usize) + Sync)) -> usize {
         if max_helpers <= 1 {
+            let _helper_state = timeline::enter_state(ProcState::GcHelper);
             f(0);
             return 1;
         }
@@ -498,7 +514,12 @@ impl Rendezvous {
         // The leader always runs slot 0 itself. Even if it panics, it must
         // first close the job and drain active helpers — they hold a pointer
         // into this frame.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0)));
+        let result = {
+            let _helper_state = timeline::enter_state(ProcState::GcHelper);
+            let mut sp = tel::span("gc.helper", "gc");
+            sp.set_arg("slot", 0);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0)))
+        };
         let mut inner = self.lock_inner();
         let slots = match inner.job.as_mut() {
             Some(job) => {
@@ -583,14 +604,20 @@ fn watchdog_report(inner: &Inner, leader: ParticipantId, waited_ms: u64) -> Stri
             let _ = writeln!(
                 out,
                 "  [{} {}] {}/{} start={}ns dur={}ns",
-                ring.tid, ring.name, ev.cat, ev.name, ev.start_ns, ev.dur_ns
+                ring.tid,
+                ring.name(),
+                ev.cat,
+                ev.name,
+                ev.start_ns,
+                ev.dur_ns
             );
         }
         if dropped > 0 {
             let _ = writeln!(
                 out,
                 "  [{} {}] ({dropped} older events dropped)",
-                ring.tid, ring.name
+                ring.tid,
+                ring.name()
             );
         }
     }
@@ -637,6 +664,9 @@ impl Drop for Participant<'_> {
 #[derive(Debug)]
 pub struct RendezvousGuard<'a> {
     rdv: &'a Rendezvous,
+    /// Accounts the leader's time as [`ProcState::Stopped`] for as long as
+    /// it holds the world; restored when the guard drops.
+    _state: timeline::StateGuard,
 }
 
 impl RendezvousGuard<'_> {

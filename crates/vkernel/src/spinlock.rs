@@ -155,6 +155,7 @@ impl SpinLock {
     #[cold]
     fn acquire_slow(&self) {
         self.contended.fetch_add(1, Ordering::Relaxed);
+        let _spin_state = tel::timeline::enter_state(tel::ProcState::LockSpin);
         let start_ns = tel::now_ns();
         let mut iter = 0u32;
         let mut spins = 0u64;
