@@ -24,6 +24,7 @@ use mst_interp::{
     RunOutcome, Vm, VmOptions,
 };
 pub use mst_interp::{ProcessorInfo, SupervisorPolicy};
+pub use mst_objmem::SnapshotTemplate;
 use mst_objmem::{AllocPolicy, MemoryConfig, ObjectMemory, Oop, RootHandle, So};
 use mst_vkernel::{spawn_lightweight, LightweightHandle, Processor, SyncMode};
 
@@ -660,6 +661,96 @@ impl MsSystem {
         };
         system.start_workers();
         Ok(system)
+    }
+
+    /// Reads and validates a snapshot file as a reusable
+    /// [`SnapshotTemplate`], applying `config`'s sync and allocation
+    /// strategies to the memory configuration (as
+    /// [`from_snapshot`](Self::from_snapshot) would).
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot-format errors.
+    pub fn load_template(
+        path: &std::path::Path,
+        config: MsConfig,
+    ) -> Result<SnapshotTemplate, mst_objmem::SnapshotError> {
+        let mut memory = config.memory;
+        memory.sync = config.strategies.sync;
+        memory.alloc_policy = config.strategies.alloc;
+        SnapshotTemplate::from_path(path, memory)
+    }
+
+    /// Boots a fresh, fully independent system from a shared
+    /// [`SnapshotTemplate`] — the serving layer's copy-on-load session
+    /// spawn. Each call deserializes its own object memory; sessions share
+    /// only the immutable image bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot-format errors (resource exhaustion only — the
+    /// template's bytes were validated when it was built).
+    pub fn from_template(
+        template: &SnapshotTemplate,
+        config: MsConfig,
+    ) -> Result<MsSystem, mst_objmem::SnapshotError> {
+        let mem = template.instantiate()?;
+        let options = VmOptions {
+            sync: config.strategies.sync,
+            memory: template.config(),
+            cache_policy: config.strategies.cache,
+            context_policy: config.strategies.free_contexts,
+            processors: config.processors,
+            quantum: config.quantum,
+        };
+        let vm = Arc::new(Vm::with_memory(mem, options));
+        let main = Interpreter::new(Arc::clone(&vm));
+        let mut system = MsSystem {
+            vm,
+            config,
+            main,
+            workers: Vec::new(),
+            background: Vec::new(),
+        };
+        system.start_workers();
+        Ok(system)
+    }
+
+    /// Runs a [`Prepared`] doit under a wall-clock deadline: if the doit is
+    /// still running when the budget expires, it is terminated at its next
+    /// safepoint through the same containment route as `outOfMemory` — the
+    /// session stays consistent (the heap passes `audit_heap`) and the
+    /// expiry surfaces as an [`EvalError::Runtime`] naming
+    /// `deadlineExpired`.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_prepared`](Self::run_prepared), plus `deadlineExpired` on
+    /// budget expiry.
+    pub fn run_prepared_with_deadline(
+        &mut self,
+        prepared: &Prepared,
+        budget: std::time::Duration,
+    ) -> Result<Value, EvalError> {
+        let abs = mst_telemetry::now_ns().saturating_add(budget.as_nanos() as u64);
+        self.vm.set_deadline_ns(abs.max(1));
+        let result = self.run_prepared(prepared);
+        self.vm.set_deadline_ns(0);
+        result
+    }
+
+    /// Shrinks (or restores) this session's soft eden budget, in words —
+    /// the graceful-degradation knob the serving layer turns under memory
+    /// pressure. See [`mst_objmem::ObjectMemory::set_eden_budget`].
+    pub fn set_eden_budget(&self, words: usize) {
+        self.vm.mem.set_eden_budget(words);
+    }
+
+    /// Whether the VM's low-space latch is currently set (a collection
+    /// recently left old space nearly full and the LowSpaceSemaphore was
+    /// signalled).
+    pub fn low_space(&self) -> bool {
+        self.vm.low_space_latched()
     }
 
     /// Stops the world and scavenges (for tests and harnesses). With

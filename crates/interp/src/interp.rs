@@ -649,6 +649,15 @@ impl Interpreter {
     fn gc_scavenge(&mut self, pc0: usize) -> Step {
         self.pc = pc0;
         self.flush_registers();
+        // An allocation-bound doit can burn its whole budget between
+        // safepoints in scavenge-and-retry cycles; check the deadline here
+        // too so expiry costs at most one collection, not a quantum of them.
+        if self.watching_claimed() {
+            let deadline = self.vm.deadline_ns.load(Ordering::Relaxed);
+            if deadline != 0 && tel::now_ns() >= deadline {
+                return self.deadline_expired();
+            }
+        }
         if self.gc_streak > Self::FUTILE_GC_LIMIT {
             // Repeated scavenges made no progress (e.g. a large tenured
             // request against a full old generation).
@@ -804,6 +813,16 @@ impl Interpreter {
                 self.id
             );
         }
+        // Chaos: the serving layer's mid-doit panic (serve.panic). Fires
+        // only while this interpreter is executing the watched doit, so one
+        // tenant session dies without touching any other session's workers.
+        if self.watching_claimed() && self.vm.take_doit_panic() {
+            self.flush_registers();
+            panic!(
+                "chaos: injected mid-doit panic (serve.panic) on interp {}",
+                self.id
+            );
+        }
         if self.vm.rendezvous.poll() {
             self.flush_registers();
             // The stopper may size a scavenge while we sit parked: retire
@@ -825,6 +844,17 @@ impl Interpreter {
             self.flush_registers();
             return Step::Event(Event::Yielded);
         }
+        // Deadline enforcement: a watched doit runs under an optional
+        // per-request budget (armed by the serving layer). Expiry takes the
+        // same containment route as `outOfMemory` — the process terminates
+        // cleanly, the heap stays consistent, and the failure surfaces
+        // through the error log.
+        if self.watching_claimed() {
+            let deadline = self.vm.deadline_ns.load(Ordering::Relaxed);
+            if deadline != 0 && tel::now_ns() >= deadline {
+                return self.deadline_expired();
+            }
+        }
         // If the process we are watching finished on another interpreter,
         // stop executing whatever we claimed (it stays ready).
         if let Some(w) = &self.watched {
@@ -835,6 +865,31 @@ impl Interpreter {
             }
         }
         Step::Continue
+    }
+
+    /// Whether the currently loaded process is the watched (reserved) doit.
+    fn watching_claimed(&self) -> bool {
+        self.watched
+            .as_ref()
+            .is_some_and(|w| w.get() == self.proc_root.get())
+    }
+
+    /// Terminates the watched doit because its request deadline passed.
+    /// Mirrors [`out_of_memory`](Self::out_of_memory): the report goes to
+    /// the error log, the process retires through the ordinary
+    /// `Terminated` unload (result stored, suspended context nilled), and
+    /// the heap stays audit-clean.
+    fn deadline_expired(&mut self) -> Step {
+        self.flush_registers();
+        self.gc_streak = 0;
+        self.vm.deadline_ns.store(0, Ordering::Relaxed);
+        self.vm
+            .error_log
+            .lock()
+            .push("deadlineExpired: request budget exhausted; process terminated".to_string());
+        let nil = self.mem().nil();
+        self.last_value = nil;
+        Step::Event(Event::Terminated)
     }
 
     // ------------------------------------------------------------------

@@ -175,6 +175,15 @@ pub struct Vm {
     pub(crate) next_interp_id: AtomicU64,
     /// Supervised-processor health rows (see [`ProcessorInfo`]).
     pub(crate) roster: SpinMutex<Vec<ProcessorInfo>>,
+    /// Absolute `tel::now_ns()` deadline for the watched (reserved) doit,
+    /// or 0 when none is armed. Checked at the watcher's safepoints; on
+    /// expiry the doit is terminated through the same containment route as
+    /// `outOfMemory` (see `Interpreter::deadline_expired`).
+    pub(crate) deadline_ns: AtomicU64,
+    /// One-shot chaos flag: when set, the watcher panics at its next
+    /// safepoint *inside* the watched doit (the serving layer's
+    /// `serve.panic` mid-doit fault).
+    pub(crate) doit_panic: AtomicBool,
 }
 
 impl std::fmt::Debug for Vm {
@@ -235,6 +244,8 @@ impl Vm {
             low_space: AtomicBool::new(false),
             next_interp_id: AtomicU64::new(0),
             roster: SpinMutex::new(options.sync, Vec::new()),
+            deadline_ns: AtomicU64::new(0),
+            doit_panic: AtomicBool::new(false),
         }
     }
 
@@ -337,6 +348,37 @@ impl Vm {
             row.restarts += 1;
             row.last_fault = Some(fault);
         }
+    }
+
+    /// Whether the low-space latch is set: a collection recently left old
+    /// space nearly full and the LowSpaceSemaphore was signalled. Cleared
+    /// once space recovers.
+    pub fn low_space_latched(&self) -> bool {
+        self.low_space.load(Ordering::Relaxed)
+    }
+
+    /// Arms a deadline for the watched (reserved) doit: an absolute
+    /// `tel::now_ns()` instant after which the doit is terminated at the
+    /// watcher's next safepoint. Pass 0 to disarm. Checked only by the
+    /// interpreter running the watched process, so worker interpreters and
+    /// unrelated processes are unaffected.
+    pub fn set_deadline_ns(&self, abs_ns: u64) {
+        self.deadline_ns.store(abs_ns, Ordering::Relaxed);
+    }
+
+    /// The currently armed doit deadline (0 = none).
+    pub fn deadline_ns(&self) -> u64 {
+        self.deadline_ns.load(Ordering::Relaxed)
+    }
+
+    /// Arms the one-shot mid-doit panic: the interpreter running the
+    /// watched doit panics at its next safepoint (chaos `serve.panic`).
+    pub fn inject_doit_panic(&self) {
+        self.doit_panic.store(true, Ordering::Relaxed);
+    }
+
+    pub(crate) fn take_doit_panic(&self) -> bool {
+        self.doit_panic.swap(false, Ordering::Relaxed)
     }
 
     /// Asks every interpreter to stop at its next safepoint.

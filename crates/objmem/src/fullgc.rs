@@ -972,6 +972,13 @@ struct MarkCtx {
 impl ParMarker<'_> {
     fn run_helper(&self, slot: usize) {
         assert!(slot < self.deques.len(), "helper slot out of range");
+        // Chaos: same discipline as the scavenger — a non-leader mark
+        // helper dies before joining the busy set, so the termination
+        // probe never waits on it and the mark completes with fewer
+        // helpers.
+        if slot != 0 && mst_vkernel::fault::gc_helper_panic() {
+            panic!("chaos: injected GC helper panic (gc_helper.panic) in mark slot {slot}");
+        }
         let mut h = MarkCtx {
             slot,
             overflow: Vec::new(),

@@ -322,6 +322,11 @@ pub struct ObjectMemory {
     /// (`PerProcessorLab` only): carved out of `eden_next` but never
     /// allocated, counted when a token refills or retires its buffer.
     eden_lab_waste: AtomicUsize,
+    /// Soft eden limit (an index, `<= spaces.eden_end`): allocation treats
+    /// this as the end of eden, so a serving layer can shrink a tenant's
+    /// eden budget under memory pressure without resizing the heap. Set via
+    /// [`ObjectMemory::set_eden_budget`]; defaults to the full eden.
+    eden_soft_end: AtomicUsize,
     /// Words a failed large-object (direct-to-old) allocation needed; folded
     /// into the next scavenge's old-space reservation so the regular
     /// full-GC / `OomError` containment route covers large objects too.
@@ -394,6 +399,7 @@ impl ObjectMemory {
             old_next: SpinMutex::named(config.sync, "old_next", spaces.old_start),
             eden_next: SpinMutex::named(config.sync, "eden_next", spaces.eden_start),
             eden_lab_waste: AtomicUsize::new(0),
+            eden_soft_end: AtomicUsize::new(spaces.eden_end),
             large_shortfall: AtomicUsize::new(0),
             survivor_next: AtomicUsize::new(spaces.surv_b_start),
             past_is_a: AtomicBool::new(true),
@@ -765,10 +771,17 @@ impl ObjectMemory {
         if mst_vkernel::fault::fail_alloc() {
             return None;
         }
+        // Allocation honors the *soft* eden end so a serving layer can
+        // shrink a session's eden budget under memory pressure; the soft
+        // end never exceeds the real one.
+        let eden_end = self
+            .eden_soft_end
+            .load(Ordering::Relaxed)
+            .min(self.spaces.eden_end);
         let idx = match self.config.alloc_policy {
             AllocPolicy::SharedEden => {
                 let mut next = self.eden_next.lock();
-                if *next + total > self.spaces.eden_end {
+                if *next + total > eden_end {
                     return None;
                 }
                 let idx = *next;
@@ -779,7 +792,7 @@ impl ObjectMemory {
                 if token.lab_next.get() + total > token.lab_limit.get() {
                     let chunk = lab_words.max(total);
                     let mut next = self.eden_next.lock();
-                    if *next + chunk > self.spaces.eden_end {
+                    if *next + chunk > eden_end {
                         // Refill failed: the token keeps its old buffer (a
                         // smaller object may still fit it), so nothing is
                         // abandoned yet.
@@ -1067,6 +1080,27 @@ impl ObjectMemory {
         self.spaces.eden_end - *self.eden_next.lock()
     }
 
+    /// Shrinks (or restores) the soft eden budget to `words`, clamped to
+    /// the real eden capacity and to at least one large-object threshold so
+    /// forward progress stays possible. Allocation beyond the budget fails
+    /// as if eden were full, forcing a scavenge — the graceful-degradation
+    /// knob the serving layer turns under memory pressure. Takes effect at
+    /// the next allocation/LAB refill.
+    pub fn set_eden_budget(&self, words: usize) {
+        let capacity = self.spaces.eden_end - self.spaces.eden_start;
+        let words = words.clamp(Self::LARGE_OBJECT_WORDS.min(capacity), capacity);
+        self.eden_soft_end
+            .store(self.spaces.eden_start + words, Ordering::Relaxed);
+    }
+
+    /// Current soft eden budget in words (defaults to the full capacity).
+    pub fn eden_budget(&self) -> usize {
+        self.eden_soft_end
+            .load(Ordering::Relaxed)
+            .min(self.spaces.eden_end)
+            - self.spaces.eden_start
+    }
+
     /// Returns a token's unallocated LAB remainder to the waste account and
     /// empties the buffer. Interpreters call this before parking at a
     /// safepoint so eden accounting is exact while the world is stopped;
@@ -1125,16 +1159,32 @@ impl ObjectMemory {
         self.large_shortfall.swap(0, Ordering::Relaxed)
     }
 
+    /// Interned symbols, sorted by name so a saved snapshot's symbol
+    /// section is byte-identical across saves of the same image (HashMap
+    /// iteration order is nondeterministic per process).
     pub(crate) fn symbol_entries(&self) -> Vec<(String, u64)> {
-        self.symbols
+        let mut entries: Vec<(String, u64)> = self
+            .symbols
             .lock()
             .iter()
             .map(|(k, &v)| (k.to_string(), v))
-            .collect()
+            .collect();
+        entries.sort();
+        entries
     }
 
-    pub(crate) fn insert_symbol(&self, name: &str, oop: Oop) {
-        self.symbols.lock().insert(name.into(), oop.raw());
+    /// Installs a symbol-table entry. Returns `false` (and leaves the
+    /// existing mapping in place) when the name is already interned at a
+    /// *different* oop — the snapshot loader treats that as corruption
+    /// rather than silently re-pointing the intern table.
+    pub(crate) fn insert_symbol(&self, name: &str, oop: Oop) -> bool {
+        match self.symbols.lock().entry(name.into()) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get() == oop.raw(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(oop.raw());
+                true
+            }
+        }
     }
 
     pub(crate) fn old_next_value(&self) -> usize {

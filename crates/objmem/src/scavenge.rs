@@ -625,6 +625,14 @@ struct HelperCtx {
 impl ParScavenger<'_> {
     fn run_helper(&self, slot: usize) {
         assert!(slot < self.deques.len(), "helper slot out of range");
+        // Chaos: a non-leader helper slot may be told to die. Panicking
+        // *before* enter() keeps the termination protocol sound — the
+        // leader never waits on a busy count the dead helper would have
+        // owed — and the unwind is absorbed by the rendezvous' helper-slot
+        // catch, so the collection completes with fewer helpers.
+        if slot != 0 && mst_vkernel::fault::gc_helper_panic() {
+            panic!("chaos: injected GC helper panic (gc_helper.panic) in scavenge slot {slot}");
+        }
         let mem = self.mem;
         let mut h = HelperCtx {
             slot,

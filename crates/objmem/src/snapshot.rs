@@ -687,7 +687,16 @@ impl ObjectMemory {
                     format!("symbol '{name}' maps to out-of-range oop {raw:#x}"),
                 ));
             }
-            mem.insert_symbol(&name, o);
+            if !mem.insert_symbol(&name, o) {
+                // A name interned twice (at different oops) would silently
+                // re-point the intern table — later interns of the name
+                // would disagree with symbols already baked into methods.
+                return Err(SnapshotError::corrupt(
+                    "symbols",
+                    at,
+                    format!("symbol '{name}' interned twice with conflicting oops"),
+                ));
+            }
         }
         s.finish()?;
 
@@ -791,6 +800,68 @@ impl ObjectMemory {
             Ok(count) => count,
             Err(e) => panic!("heap verification failed: {e}"),
         }
+    }
+}
+
+/// A validated snapshot image held in memory for repeated instantiation —
+/// the serving layer's copy-on-load tenant template.
+///
+/// The bytes are read (and fully validated by a trial load) once; every
+/// [`instantiate`](SnapshotTemplate::instantiate) then deserializes a
+/// *fresh* [`ObjectMemory`] from the shared buffer. Sessions share nothing
+/// mutable: each gets its own heap, entry table, specials and symbol intern
+/// table, so loading the same template twice in one process cannot
+/// re-intern specials or globals inconsistently across sessions. The
+/// template is cheap to clone (the image buffer is shared).
+#[derive(Clone)]
+pub struct SnapshotTemplate {
+    bytes: std::sync::Arc<[u8]>,
+    config: MemoryConfig,
+}
+
+impl fmt::Debug for SnapshotTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotTemplate")
+            .field("bytes", &self.bytes.len())
+            .finish()
+    }
+}
+
+impl SnapshotTemplate {
+    /// Builds a template from raw snapshot bytes, validating them with a
+    /// trial load so later instantiations fail only on resource exhaustion,
+    /// not corruption.
+    pub fn from_bytes(
+        bytes: Vec<u8>,
+        config: MemoryConfig,
+    ) -> Result<SnapshotTemplate, SnapshotError> {
+        ObjectMemory::load_snapshot(&mut bytes.as_slice(), config)?;
+        Ok(SnapshotTemplate {
+            bytes: bytes.into(),
+            config,
+        })
+    }
+
+    /// Reads and validates a snapshot file as a template.
+    pub fn from_path(path: &Path, config: MemoryConfig) -> Result<SnapshotTemplate, SnapshotError> {
+        let bytes = fs::read(path).map_err(|e| SnapshotError::io("file", 0, e))?;
+        SnapshotTemplate::from_bytes(bytes, config)
+    }
+
+    /// Deserializes a fresh, fully independent [`ObjectMemory`] from the
+    /// template.
+    pub fn instantiate(&self) -> Result<ObjectMemory, SnapshotError> {
+        ObjectMemory::load_snapshot(&mut &self.bytes[..], self.config)
+    }
+
+    /// The memory configuration instantiated images use.
+    pub fn config(&self) -> MemoryConfig {
+        self.config
+    }
+
+    /// Size of the backing image, in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
     }
 }
 

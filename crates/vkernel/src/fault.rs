@@ -18,10 +18,10 @@
 //! * [`fail_alloc`] — fails a new-space allocation that had room, forcing
 //!   the caller down its scavenge-and-retry path.
 //!
-//! Two further sites are **destructive** and therefore *opt-in*: they are
-//! not part of [`ALL_SITES`] and only fire when named explicitly in the
-//! site mask (`MST_CHAOS=<seed>:<rate>:thread.panic`, or a programmatic
-//! [`install`]):
+//! The remaining sites are **destructive** (or serving-path-specific) and
+//! therefore *opt-in*: they are not part of [`ALL_SITES`] and only fire
+//! when named explicitly in the site mask
+//! (`MST_CHAOS=<seed>:<rate>:thread.panic`, or a programmatic [`install`]):
 //!
 //! * [`thread_panic`] — tells a supervised interpreter thread to panic at
 //!   its next safepoint, exercising the processor supervisor's recovery
@@ -30,6 +30,12 @@
 //! * [`torn_write`] — tells the snapshot writer to tear the image file
 //!   mid-write (truncate the temp file and skip the atomic rename),
 //!   exercising the crash-consistent save path.
+//! * [`gc_helper_panic`] — panics a GC helper slot mid-collection,
+//!   exercising the rendezvous' helper-panic unwinding (shares the kill
+//!   budget with `thread.panic`).
+//! * [`serve_drop`] / [`serve_slow`] / [`serve_panic`] — serving-layer
+//!   faults consulted by `mst-serve`: drop a request before execution,
+//!   stall a tenant, or panic a tenant session mid-doit (kill-budgeted).
 //!
 //! Disabled (the default), every injection point is a single branch on one
 //! relaxed atomic load. Configuration comes from the `MST_CHAOS`
@@ -63,17 +69,35 @@ pub enum FaultSite {
     /// Tear a snapshot write (truncate the temp file, skip the rename).
     /// Destructive: opt-in, never part of [`ALL_SITES`].
     TornWrite = 5,
+    /// Panic a GC helper slot mid-collection (parallel scavenge or full-GC
+    /// mark), exercising the rendezvous' helper-panic unwinding.
+    /// Destructive: opt-in, never part of [`ALL_SITES`].
+    GcHelperPanic = 6,
+    /// Drop a serving-layer request before execution (client sees an error
+    /// and retries). Destructive: opt-in, never part of [`ALL_SITES`].
+    ServeDrop = 7,
+    /// Stall a serving-layer request inside its tenant session, simulating
+    /// a slow tenant. Opt-in, never part of [`ALL_SITES`].
+    ServeSlow = 8,
+    /// Panic a tenant session mid-doit at a safepoint, exercising the
+    /// server's crash-only session recovery. Destructive: opt-in, never
+    /// part of [`ALL_SITES`].
+    ServePanic = 9,
 }
 
 impl FaultSite {
     /// All sites, in bit order.
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 10] = [
         FaultSite::LockAcquire,
         FaultSite::SafepointPoll,
         FaultSite::SpuriousWake,
         FaultSite::AllocFail,
         FaultSite::ThreadPanic,
         FaultSite::TornWrite,
+        FaultSite::GcHelperPanic,
+        FaultSite::ServeDrop,
+        FaultSite::ServeSlow,
+        FaultSite::ServePanic,
     ];
 
     /// The site's name as accepted by the `MST_CHAOS` site filter.
@@ -85,6 +109,10 @@ impl FaultSite {
             FaultSite::AllocFail => "alloc_fail",
             FaultSite::ThreadPanic => "thread.panic",
             FaultSite::TornWrite => "snapshot.torn_write",
+            FaultSite::GcHelperPanic => "gc_helper.panic",
+            FaultSite::ServeDrop => "serve.drop",
+            FaultSite::ServeSlow => "serve.slow",
+            FaultSite::ServePanic => "serve.panic",
         }
     }
 
@@ -173,8 +201,8 @@ thread_local! {
     static RNG: Cell<(u64, SplitMix64)> = const { Cell::new((0, SplitMix64::new(0))) };
 }
 
-fn counters() -> &'static [&'static tel::Counter; 6] {
-    static C: OnceLock<[&'static tel::Counter; 6]> = OnceLock::new();
+fn counters() -> &'static [&'static tel::Counter; 10] {
+    static C: OnceLock<[&'static tel::Counter; 10]> = OnceLock::new();
     C.get_or_init(|| {
         [
             tel::counter("chaos.lock_delay"),
@@ -183,6 +211,10 @@ fn counters() -> &'static [&'static tel::Counter; 6] {
             tel::counter("chaos.alloc_fail"),
             tel::counter("chaos.thread_panic"),
             tel::counter("chaos.torn_write"),
+            tel::counter("chaos.gc_helper_panic"),
+            tel::counter("chaos.serve_drop"),
+            tel::counter("chaos.serve_slow"),
+            tel::counter("chaos.serve_panic"),
         ]
     })
 }
@@ -326,19 +358,57 @@ pub fn thread_panic() -> bool {
 
 #[cold]
 fn thread_panic_slow() -> bool {
-    if KILL_BUDGET.load(Ordering::Relaxed) == 0 || !roll(FaultSite::ThreadPanic) {
+    budgeted_kill(FaultSite::ThreadPanic)
+}
+
+/// Rolls a destructive kill site against the shared kill budget. A firing
+/// claims one unit of budget; losers of the race (budget already spent by
+/// a concurrent kill) stand down. Negative budget means unlimited, and
+/// stays negative under fetch_sub until i64 wraps — effectively never.
+#[cold]
+fn budgeted_kill(site: FaultSite) -> bool {
+    if KILL_BUDGET.load(Ordering::Relaxed) == 0 || !roll(site) {
         return false;
     }
-    // Claim one unit of budget; losers of the race (budget already spent
-    // by a concurrent kill) stand down. Negative budget means unlimited,
-    // and stays negative under fetch_sub until i64 wraps — effectively
-    // never.
     let prior = KILL_BUDGET.fetch_sub(1, Ordering::Relaxed);
     if prior == 0 {
         KILL_BUDGET.store(0, Ordering::Relaxed);
         return false;
     }
     true
+}
+
+/// Injection point: a GC helper slot at the start of its parallel
+/// scavenge/mark work. Returns `true` when the helper should panic to
+/// exercise the rendezvous' helper-panic unwinding. Shares the kill budget
+/// with [`thread_panic`].
+#[inline]
+pub fn gc_helper_panic() -> bool {
+    ENABLED.load(Ordering::Relaxed) && budgeted_kill(FaultSite::GcHelperPanic)
+}
+
+/// Injection point: serving-layer request dispatch. Returns `true` when
+/// the request should be dropped before execution.
+#[inline]
+pub fn serve_drop() -> bool {
+    ENABLED.load(Ordering::Relaxed) && roll(FaultSite::ServeDrop)
+}
+
+/// Injection point: serving-layer request execution. Returns `true` when
+/// the tenant should stall for the configured duration ([`set_stall_ns`]),
+/// simulating a slow tenant.
+#[inline]
+pub fn serve_slow() -> bool {
+    ENABLED.load(Ordering::Relaxed) && roll(FaultSite::ServeSlow)
+}
+
+/// Injection point: serving-layer request execution. Returns `true` when
+/// the tenant session should panic mid-doit (at its next safepoint),
+/// exercising crash-only session recovery. Shares the kill budget with
+/// [`thread_panic`].
+#[inline]
+pub fn serve_panic() -> bool {
+    ENABLED.load(Ordering::Relaxed) && budgeted_kill(FaultSite::ServePanic)
 }
 
 /// Injection point: the snapshot file writer. Returns `true` when the
@@ -391,6 +461,30 @@ mod tests {
         configure(42, 1.0);
         assert!(!thread_panic());
         assert!(!torn_write());
+        assert!(!gc_helper_panic());
+        assert!(!serve_drop());
+        assert!(!serve_slow());
+        assert!(!serve_panic());
+
+        // The serve/GC-helper sites fire when armed explicitly, and the
+        // kill-budgeted ones respect a zero budget.
+        install(ChaosConfig {
+            seed: 42,
+            rate: 1.0,
+            sites: FaultSite::GcHelperPanic.bit()
+                | FaultSite::ServeDrop.bit()
+                | FaultSite::ServeSlow.bit()
+                | FaultSite::ServePanic.bit(),
+        });
+        assert!(gc_helper_panic());
+        assert!(serve_drop());
+        assert!(serve_slow());
+        assert!(serve_panic());
+        set_kill_budget(0);
+        assert!(!gc_helper_panic());
+        assert!(!serve_panic());
+        assert!(serve_drop(), "serve.drop is not kill-budgeted");
+        set_kill_budget(-1);
 
         // Explicitly armed, they fire...
         install(ChaosConfig {
@@ -432,6 +526,15 @@ mod tests {
         assert_eq!(
             c.sites,
             FaultSite::ThreadPanic.bit() | FaultSite::TornWrite.bit()
+        );
+        let c =
+            ChaosConfig::parse("9:0.01:gc_helper.panic,serve.drop,serve.slow,serve.panic").unwrap();
+        assert_eq!(
+            c.sites,
+            FaultSite::GcHelperPanic.bit()
+                | FaultSite::ServeDrop.bit()
+                | FaultSite::ServeSlow.bit()
+                | FaultSite::ServePanic.bit()
         );
 
         assert!(ChaosConfig::parse("").is_none());

@@ -596,6 +596,53 @@ fn watchdog_report(inner: &Inner, leader: ParticipantId, waited_ms: u64) -> Stri
     }
     let _ = writeln!(out, "\n-- telemetry registry --");
     out.push_str(&tel::report::text_report());
+    // Per-processor timeline states: which state each processor was last
+    // seen in (and how long it has spent in each) makes a stuck stop-world
+    // attributable to a specific processor, not just "someone".
+    let _ = writeln!(out, "\n-- per-processor timelines --");
+    let timelines = tel::timeline::snapshot();
+    if timelines.is_empty() {
+        let _ = writeln!(out, "  (none — run with MST_TIMELINE=1 to capture)");
+    }
+    for t in &timelines {
+        let mut states = String::new();
+        for (i, name) in tel::timeline::STATE_NAMES.iter().enumerate() {
+            if t.ns[i] > 0 {
+                let _ = write!(states, " {name}={}us", t.ns[i] / 1_000);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  p{:<3} sessions={} open={} closed={}{}",
+            t.proc, t.sessions, t.opened_ns, t.closed_ns, states
+        );
+    }
+    // Newest GC pause records: a watchdog firing during (or right after) a
+    // collection should say what that collection was doing.
+    let _ = writeln!(out, "\n-- newest gc pauses (newest last) --");
+    let (pauses, dropped) = tel::pauselog::snapshot();
+    if pauses.is_empty() {
+        let _ = writeln!(out, "  (none recorded)");
+    }
+    for p in pauses.iter().rev().take(8).rev() {
+        let mut phases = String::new();
+        for &(name, ns) in &p.phases {
+            let _ = write!(phases, " {name}={}us", ns / 1_000);
+        }
+        let _ = writeln!(
+            out,
+            "  {} total={}us helpers={} steals={} imbalance={}%{}",
+            p.kind,
+            p.total_ns / 1_000,
+            p.helpers,
+            p.steals,
+            p.imbalance_pct,
+            phases
+        );
+    }
+    if dropped > 0 {
+        let _ = writeln!(out, "  ({dropped} older pause records dropped)");
+    }
     let _ = writeln!(out, "\n-- recent trace events (newest last) --");
     let mut any = false;
     for (ring, events, dropped) in tel::trace::all_rings() {
@@ -912,6 +959,13 @@ mod tests {
         let report = std::fs::read_to_string(&dump).expect("dump file written");
         assert!(report.contains("missed safepoint"), "report: {report}");
         assert!(report.contains("roster"), "report: {report}");
+        // The dump carries the attribution data added for stuck-stop
+        // forensics: per-processor timelines and the GC pause-log tail.
+        assert!(
+            report.contains("per-processor timelines"),
+            "report: {report}"
+        );
+        assert!(report.contains("newest gc pauses"), "report: {report}");
         std::env::remove_var("MST_WATCHDOG_DUMP");
         let _ = std::fs::remove_dir_all(&dir);
 

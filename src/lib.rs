@@ -10,5 +10,6 @@ pub use mst_core as core;
 pub use mst_image as image;
 pub use mst_interp as interp;
 pub use mst_objmem as objmem;
+pub use mst_serve as serve;
 pub use mst_telemetry as telemetry;
 pub use mst_vkernel as vkernel;

@@ -1,0 +1,409 @@
+//! Integration: the serving layer's robustness envelope — deadline
+//! termination, snapshot-template reuse, crash-only tenant recovery, and
+//! GC-helper panic containment.
+//!
+//! Some tests arm *destructive* fault sites (`gc_helper.panic`,
+//! `serve.panic`), which kill any injectable thread in the process — so
+//! they live in this dedicated test binary and serialize on
+//! [`CHAOS_LOCK`], keeping the kills away from the systems the other test
+//! binaries build concurrently.
+
+use std::time::{Duration, Instant};
+
+use mst_core::{EvalError, MsConfig, MsSystem, SupervisorPolicy, Value};
+use mst_objmem::MemoryConfig;
+use mst_serve::{ServeConfig, ServeError, Server};
+use mst_vkernel::fault::{self, ChaosConfig, FaultSite};
+use mst_vkernel::WatchdogPolicy;
+
+/// The fault registry is process-global, so tests that arm chaos must not
+/// overlap (an `install` would reset another test's site mask and kill
+/// budget mid-flight).
+static CHAOS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn chaos_lock() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_LOCK
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Disarms the process-global fault registry when dropped, so a failing
+/// assertion cannot leave chaos armed for the rest of the test binary.
+struct DisarmChaos;
+impl Drop for DisarmChaos {
+    fn drop(&mut self) {
+        fault::disable();
+    }
+}
+
+fn small_config() -> MsConfig {
+    MsConfig {
+        processors: 2,
+        memory: MemoryConfig {
+            old_words: 2 << 20,
+            eden_words: 64 << 10,
+            survivor_words: 24 << 10,
+            ..MemoryConfig::default()
+        },
+        ..MsConfig::default()
+    }
+}
+
+/// A doit that spins forever without allocating: only the safepoint
+/// deadline check can stop it.
+const SPIN: &str = "[true] whileTrue";
+/// A doit that allocates garbage forever: it reaches safepoints rarely
+/// (most time is spent in allocation/scavenge cycles), exercising the
+/// deadline check at collection entry.
+const ALLOC_SPIN: &str = "[true] whileTrue: [Array new: 20000]";
+
+fn assert_deadline_error(err: &EvalError) {
+    match err {
+        EvalError::Runtime(msg) => {
+            assert!(
+                msg.contains("deadlineExpired"),
+                "expected a deadline termination, got: {msg}"
+            )
+        }
+        other => panic!("expected a runtime deadline error, got: {other}"),
+    }
+}
+
+/// Core satellite: an infinite-loop doit and an allocation-bound doit both
+/// terminate within 2x the deadline, the heap audits clean afterwards, and
+/// the session keeps serving.
+#[test]
+fn deadline_terminates_runaway_doits_cleanly() {
+    let mut ms = MsSystem::new(small_config());
+    let deadline = Duration::from_millis(250);
+    for (name, src) in [("spin", SPIN), ("alloc", ALLOC_SPIN)] {
+        let p = ms.prepare(src).expect("runaway doit compiles");
+        let t0 = Instant::now();
+        let err = ms
+            .run_prepared_with_deadline(&p, deadline)
+            .expect_err("runaway doit must not return a value");
+        let elapsed = t0.elapsed();
+        assert_deadline_error(&err);
+        assert!(
+            elapsed < deadline * 2,
+            "{name}: terminated after {elapsed:?}, over 2x the {deadline:?} budget"
+        );
+        let audit = ms.audit_heap();
+        assert!(
+            audit.is_clean(),
+            "{name}: dirty heap after termination:\n{audit}"
+        );
+        // The session survives and serves the next request.
+        assert_eq!(ms.evaluate("3 + 4").unwrap(), Value::Int(7));
+    }
+    ms.shutdown();
+}
+
+/// A doit that finishes inside its budget is unaffected by the deadline
+/// plumbing, and the armed deadline does not leak to the next doit.
+#[test]
+fn deadline_does_not_fire_on_fast_doits() {
+    let mut ms = MsSystem::new(small_config());
+    let p = ms
+        .prepare("(1 to: 100) inject: 0 into: [:a :b | a + b]")
+        .unwrap();
+    let v = ms
+        .run_prepared_with_deadline(&p, Duration::from_secs(10))
+        .expect("fast doit completes inside its budget");
+    assert_eq!(v, Value::Int(5050));
+    // The budget was cleared: an ordinary run has no deadline.
+    assert_eq!(ms.evaluate("3 + 4").unwrap(), Value::Int(7));
+    ms.shutdown();
+}
+
+fn make_template(dir: &std::path::Path, config: MsConfig) -> mst_core::SnapshotTemplate {
+    let path = dir.join("template.image");
+    let ms = MsSystem::new(config);
+    ms.save_snapshot_file(&path).expect("template saves");
+    ms.shutdown();
+    MsSystem::load_template(&path, config).expect("template loads")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mst_serving_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Satellite: four tenants running runaway doits concurrently all get
+/// terminated by their own deadline without cross-talk.
+#[test]
+fn deadline_terminates_four_concurrent_tenants() {
+    let dir = temp_dir("deadline4");
+    let config = small_config();
+    let template = make_template(&dir, config);
+    let deadline = Duration::from_millis(300);
+    let server = Server::new(
+        template,
+        config,
+        ServeConfig {
+            processors: 2,
+            deadline,
+            ..ServeConfig::default()
+        },
+        4,
+    );
+    // Warm the sessions so template instantiation is not on the timed path.
+    for t in 0..4 {
+        server.request(t, "3 + 4").expect("warmup");
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let server = &server;
+                s.spawn(move || {
+                    let src = if t % 2 == 0 { SPIN } else { ALLOC_SPIN };
+                    let t0 = Instant::now();
+                    let err = server.request(t, src).expect_err("runaway doit");
+                    let elapsed = t0.elapsed();
+                    assert!(
+                        matches!(err, ServeError::DeadlineExpired),
+                        "tenant {t}: expected deadline expiry, got {err}"
+                    );
+                    assert!(
+                        elapsed < deadline * 2,
+                        "tenant {t}: took {elapsed:?}, over 2x the {deadline:?} budget"
+                    );
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("tenant thread");
+        }
+    });
+    // Every session stayed consistent and keeps serving.
+    for t in 0..4 {
+        let r = server.request(t, "6 * 7").expect("post-deadline doit");
+        assert_eq!(r.value, Value::Int(42));
+        assert_eq!(server.restarts(t), 0, "deadline expiry is not a crash");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: loading the same snapshot twice in one process yields
+/// consistent, fully independent images — interned symbols behave, and
+/// divergence in one session is invisible to the other and to later
+/// instantiations of the template.
+#[test]
+fn snapshot_template_loads_twice_and_diverges_independently() {
+    let dir = temp_dir("template");
+    let config = small_config();
+    let path = dir.join("template.image");
+    {
+        let mut ms = MsSystem::new(config);
+        ms.evaluate("Benchmark class compile: 'answer ^41'")
+            .unwrap();
+        ms.save_snapshot_file(&path).expect("template saves");
+        ms.shutdown();
+    }
+    let template = MsSystem::load_template(&path, config).expect("template loads");
+
+    // Load twice in the same process: both images must have consistent
+    // specials and symbol interning (a symbol interned at load time is
+    // `==` to the same symbol interned by running code).
+    let mut a = MsSystem::from_template(&template, config).expect("first load");
+    let mut b = MsSystem::from_template(&template, config).expect("second load");
+    for ms in [&mut a, &mut b] {
+        assert_eq!(
+            ms.evaluate("#answer == #answer").unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(ms.evaluate("Benchmark answer").unwrap(), Value::Int(41));
+        assert_eq!(
+            ms.evaluate("(3 @ 4) printString").unwrap(),
+            Value::Str("3@4".into())
+        );
+    }
+
+    // Diverge session A: recompile the method and intern new symbols.
+    a.evaluate("Benchmark class compile: 'answer ^42'").unwrap();
+    a.evaluate("#aFreshlyDivergedSymbol size").unwrap();
+    assert_eq!(a.evaluate("Benchmark answer").unwrap(), Value::Int(42));
+    // Session B and a third instantiation still see the template's state.
+    assert_eq!(b.evaluate("Benchmark answer").unwrap(), Value::Int(41));
+    let mut c = MsSystem::from_template(&template, config).expect("third load");
+    assert_eq!(c.evaluate("Benchmark answer").unwrap(), Value::Int(41));
+
+    for ms in [a, b, c] {
+        let audit = ms.audit_heap();
+        assert!(audit.is_clean(), "dirty heap:\n{audit}");
+        ms.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tentpole acceptance: a mid-doit panic in one tenant crashes only that
+/// tenant's session; it is respawned from the template at a higher epoch
+/// while the other tenants keep serving with zero errors.
+#[test]
+fn tenant_crash_is_contained_and_recovered() {
+    let _guard = chaos_lock();
+    let _disarm = DisarmChaos;
+    let dir = temp_dir("crash");
+    let config = small_config();
+    let template = make_template(&dir, config);
+    let server = Server::new(
+        template,
+        config,
+        ServeConfig {
+            processors: 2,
+            deadline: Duration::from_secs(5),
+            ..ServeConfig::default()
+        },
+        3,
+    );
+    for t in 0..3 {
+        server.request(t, "3 + 4").expect("warmup");
+    }
+    let epoch_before = server.epoch(0);
+
+    // Arm ONLY the mid-doit panic, always-fire, one kill, victim tenant 0.
+    fault::install(ChaosConfig {
+        seed: 0x5EED_5E12_7E00_0003,
+        rate: 1.0,
+        sites: FaultSite::ServePanic.bit(),
+    });
+    fault::set_kill_budget(1);
+    server.set_victim(Some(0));
+
+    let err = server
+        .request(0, "(1 to: 1000000) inject: 0 into: [:a :b | a + b]")
+        .expect_err("victim doit must crash");
+    match err {
+        ServeError::SessionCrashed { epoch } => {
+            assert_eq!(epoch, epoch_before + 1, "respawn bumps the epoch")
+        }
+        other => panic!("expected a session crash, got {other}"),
+    }
+    assert_eq!(server.restarts(0), 1);
+    fault::disable();
+    server.set_victim(None);
+
+    // The victim's fresh session serves again; the others never noticed.
+    let r = server
+        .request(0, "6 * 7")
+        .expect("respawned session serves");
+    assert_eq!(r.value, Value::Int(42));
+    assert_eq!(r.epoch, epoch_before + 1);
+    for t in 1..3 {
+        let r = server.request(t, "6 * 7").expect("bystander tenant");
+        assert_eq!(r.value, Value::Int(42));
+        assert_eq!(server.restarts(t), 0, "bystander session never crashed");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Admission control: a tenant whose session is busy sheds excess load
+/// with a structured queue-full rejection instead of queueing unboundedly.
+#[test]
+fn admission_rejects_queue_overflow() {
+    let dir = temp_dir("admission");
+    let config = small_config();
+    let template = make_template(&dir, config);
+    let server = Server::new(
+        template,
+        config,
+        ServeConfig {
+            processors: 2,
+            // Generous: the saturating doits must finish, not expire.
+            deadline: Duration::from_secs(60),
+            queue_cap: 2,
+            queue_wait_limit: Duration::from_secs(120),
+            ..ServeConfig::default()
+        },
+        1,
+    );
+    server.request(0, "3 + 4").expect("warmup");
+    std::thread::scope(|s| {
+        // Saturate the tenant: one long doit executing, one queued.
+        let holders: Vec<_> = (0..2)
+            .map(|_| {
+                s.spawn(|| server.request(0, "(1 to: 400000) inject: 0 into: [:a :b | a + b]"))
+            })
+            .collect();
+        // Give the holders time to enter the queue.
+        std::thread::sleep(Duration::from_millis(100));
+        let mut saw_reject = false;
+        for _ in 0..50 {
+            match server.request(0, "3 + 4") {
+                Err(ServeError::Rejected(_)) => {
+                    saw_reject = true;
+                    break;
+                }
+                _ => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        assert!(
+            saw_reject,
+            "an over-cap burst must see a structured rejection"
+        );
+        for h in holders {
+            h.join().expect("holder").expect("long doit completes");
+        }
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: a GC helper panicking during parallel scavenge and parallel
+/// mark never hangs the rendezvous — the collection completes on the
+/// survivors (fail loudly is acceptable; silence is not), the supervisor
+/// absorbs the dead workers, and the system keeps executing.
+#[test]
+fn gc_helper_panic_never_hangs_scavenge_or_mark() {
+    let _guard = chaos_lock();
+    let _disarm = DisarmChaos;
+    fault::install(ChaosConfig {
+        seed: 0x5EED_6C4E_19E1_2BAD,
+        rate: 1.0,
+        sites: FaultSite::GcHelperPanic.bit(),
+    });
+    fault::set_kill_budget(2);
+    let mut ms = MsSystem::new(MsConfig {
+        processors: 3,
+        memory: MemoryConfig {
+            old_words: 2 << 20,
+            eden_words: 64 << 10,
+            survivor_words: 24 << 10,
+            gc_helpers: 3,
+            ..MemoryConfig::default()
+        },
+        supervisor: SupervisorPolicy::Degrade,
+        ..MsConfig::default()
+    });
+    // A wedged rendezvous is the failure mode under test: give the
+    // watchdog a generous budget, then fail loudly instead of hanging.
+    ms.vm().rendezvous.set_watchdog(60_000);
+    ms.vm()
+        .rendezvous
+        .set_watchdog_policy(WatchdogPolicy::Panic);
+
+    let fired_before = mst_telemetry::counter("chaos.gc_helper_panic").get();
+    // Parallel scavenge with worker interpreters donated as helpers: every
+    // claimed helper slot panics at entry (rate 1.0) until the kill budget
+    // runs out. The collection must still complete on the leader.
+    ms.collect_garbage();
+    // Churn the heap and scavenge again, then run a full parallel mark.
+    ms.evaluate(
+        "| o | o := OrderedCollection new. 1 to: 2000 do: [:i | o add: i printString]. o size",
+    )
+    .expect("allocating doit under gc chaos");
+    ms.collect_garbage();
+    ms.full_collect();
+
+    // The system is alive and consistent on the surviving processors.
+    assert_eq!(ms.evaluate("3 + 4").unwrap(), Value::Int(7));
+    fault::disable();
+    let audit = ms.audit_heap();
+    assert!(audit.is_clean(), "dirty heap after helper panics:\n{audit}");
+    let fired = mst_telemetry::counter("chaos.gc_helper_panic").get() - fired_before;
+    println!(
+        "gc_helper.panic fired {fired} times; {} workers still online",
+        ms.processors_online()
+    );
+    ms.shutdown();
+}
