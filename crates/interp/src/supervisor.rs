@@ -163,14 +163,27 @@ fn checkpoint_if_configured(vm: &Vm) {
     vm.mem.scavenge(); // checkpoint with an empty eden
     vm.bump_cache_epoch();
     scheduler::set_active_process_slot(&vm.mem, vm.mem.nil());
-    match vm.mem.save_snapshot_to_path(std::path::Path::new(&path)) {
+    // One bounded retry: this is the image's last chance before the
+    // process winds down, and transient I/O (ENOSPC races, interrupted
+    // writes) is exactly what the temp+rename save can survive a second
+    // attempt at. Failures are counted, not just buried in the error log.
+    let mut result = vm.mem.save_snapshot_to_path(std::path::Path::new(&path));
+    if let Err(first) = result {
+        tel::counter("supervisor.checkpoint_failures").incr();
+        vm.error_log
+            .lock()
+            .push(format!("supervisor: checkpoint to {path} failed: {first}"));
+        result = vm.mem.save_snapshot_to_path(std::path::Path::new(&path));
+    }
+    match result {
         Ok(()) => {
             tel::counter("supervisor.checkpoints").incr();
         }
         Err(e) => {
-            vm.error_log
-                .lock()
-                .push(format!("supervisor: checkpoint to {path} failed: {e}"));
+            tel::counter("supervisor.checkpoint_failures").incr();
+            vm.error_log.lock().push(format!(
+                "supervisor: checkpoint retry to {path} failed: {e}"
+            ));
         }
     }
     drop(guard);

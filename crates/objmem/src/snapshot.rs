@@ -129,6 +129,15 @@ impl SnapshotError {
             SnapshotErrorKind::Io(io::Error::new(e.kind(), format!("{}: {e}", path.display()))),
         )
     }
+
+    /// Whether this is a missing-file open failure. Recovery paths probe
+    /// for a checkpoint by *attempting* the load and matching this —
+    /// never by a `path.exists()` pre-check, which races with a
+    /// concurrent replace (TOCTOU) and cannot distinguish "no checkpoint"
+    /// from "checkpoint present but unreadable".
+    pub fn is_not_found(&self) -> bool {
+        matches!(&self.kind, SnapshotErrorKind::Io(e) if e.kind() == io::ErrorKind::NotFound)
+    }
 }
 
 impl fmt::Display for SnapshotError {
@@ -483,7 +492,7 @@ impl ObjectMemory {
         path: &Path,
         config: MemoryConfig,
     ) -> Result<ObjectMemory, SnapshotError> {
-        let file = File::open(path).map_err(|e| SnapshotError::io("file", 0, e))?;
+        let file = File::open(path).map_err(|e| SnapshotError::open_failed(path, e))?;
         ObjectMemory::load_snapshot(&mut BufReader::new(file), config)
     }
 

@@ -41,6 +41,16 @@
 //! ([`mst_vkernel::fault`]) are consulted only for the configured *victim*
 //! tenant ([`Server::set_victim`]), so a soak can prove the blast radius of
 //! a misbehaving tenant stays confined to it.
+//!
+//! **Durability** (the [`store`] module): when a checkpoint directory is
+//! configured, every tenant's checkpoints are versioned files committed
+//! through an append-only, CRC'd `MANIFEST` journal. A [`CheckpointPolicy`]
+//! takes checkpoints at quiescent points (after a completed doit, holding
+//! only that tenant's lock), and [`Server::recover`] reconstructs the whole
+//! fleet — epochs, restart counts, sessions — from the directory alone
+//! after a process death. The `ckpt.crash` / `ckpt.torn_manifest` /
+//! `ckpt.slow` fault sites simulate deaths inside the commit protocol
+//! itself; the `crashrec` bench drives recovery across hundreds of them.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -51,6 +61,25 @@ use std::time::{Duration, Instant};
 use mst_core::{EvalError, MsConfig, MsSystem, SnapshotTemplate, Value};
 use mst_telemetry as tel;
 use mst_vkernel::fault;
+
+pub mod store;
+
+pub use store::{chains_from_records, scan_manifest, CheckpointStore, Commit, Record, StoreError};
+
+/// When the server takes checkpoints on its own (on-demand
+/// [`Server::checkpoint`] always works regardless). Checkpoints are taken
+/// at quiescent points — after a completed doit, holding only that
+/// tenant's session lock — so one tenant checkpointing never blocks
+/// another's requests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointPolicy {
+    /// Checkpoint a tenant after every N successful requests.
+    pub every_requests: Option<u64>,
+    /// Checkpoint a tenant the moment it transitions into degraded mode
+    /// (the session may be about to get worse; capture it while it is
+    /// still consistent).
+    pub on_degrade: bool,
+}
 
 /// Serving-layer policy knobs.
 #[derive(Debug, Clone)]
@@ -72,8 +101,16 @@ pub struct ServeConfig {
     /// How long the chaos `serve.slow` fault stalls the victim tenant.
     pub slow_stall: Duration,
     /// Directory for per-tenant checkpoints ([`Server::checkpoint`]);
-    /// recovery prefers a checkpoint over the template when present.
+    /// recovery prefers a checkpoint over the template when present. With
+    /// a directory configured the server runs a durable
+    /// [`CheckpointStore`] there: versioned images committed through the
+    /// `MANIFEST` journal.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Automatic checkpoint policy (applies only with `checkpoint_dir`).
+    pub checkpoint: CheckpointPolicy,
+    /// Committed checkpoints retained per tenant (clamped to ≥ 1; the
+    /// newest committed entry is never pruned).
+    pub retain: usize,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +123,8 @@ impl Default for ServeConfig {
             degraded_eden_words: 16 << 10,
             slow_stall: Duration::from_millis(20),
             checkpoint_dir: None,
+            checkpoint: CheckpointPolicy::default(),
+            retain: 2,
         }
     }
 }
@@ -194,6 +233,9 @@ struct Tenant {
     restarts: AtomicU64,
     /// 1 while the session is degraded (shrunken eden, halved cap).
     degraded: AtomicUsize,
+    /// Successful requests since the last checkpoint (drives
+    /// [`CheckpointPolicy::every_requests`]).
+    since_ckpt: AtomicU64,
 }
 
 /// Decrements the tenant's queue depth when a request leaves (including
@@ -212,9 +254,47 @@ pub struct Server {
     base: MsConfig,
     cfg: ServeConfig,
     tenants: Vec<Tenant>,
+    /// Durable checkpoint store, present iff `cfg.checkpoint_dir` is.
+    store: Option<CheckpointStore>,
     /// Chaos victim tenant (`usize::MAX` = none): the only tenant for
     /// which the `serve.*` fault sites are consulted.
     victim: AtomicUsize,
+}
+
+/// Where a tenant's session came from during [`Server::recover`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverySource {
+    /// Restored from a committed checkpoint at this epoch (the newest
+    /// loadable entry in the tenant's manifest chain).
+    Checkpoint {
+        /// The committed epoch the session resumed at.
+        epoch: u64,
+    },
+    /// Every committed checkpoint failed to load; respawned from the
+    /// template at (newest committed epoch + 1).
+    Template,
+    /// The tenant had no committed checkpoints; left cold.
+    Cold,
+}
+
+/// One tenant's recovery outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantRecovery {
+    /// The tenant id.
+    pub tenant: usize,
+    /// Where the session came from.
+    pub source: RecoverySource,
+    /// Wall-clock nanoseconds spent recovering this tenant.
+    pub duration_ns: u64,
+}
+
+/// What [`Server::recover`] did, tenant by tenant.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Per-tenant outcomes, in tenant-id order.
+    pub tenants: Vec<TenantRecovery>,
+    /// Total wall-clock nanoseconds for the whole recovery.
+    pub total_ns: u64,
 }
 
 impl Server {
@@ -230,14 +310,28 @@ impl Server {
     ) -> Server {
         assert!(tenants > 0, "a server needs at least one tenant");
         assert!(cfg.queue_cap > 0, "queue_cap must be positive");
+        // Losing the checkpoint store means losing durability silently —
+        // exactly the failure mode this layer exists to remove — so a
+        // store that cannot open is a construction error, not a warning.
+        let store = cfg.checkpoint_dir.as_ref().map(|dir| {
+            CheckpointStore::open(dir, cfg.retain)
+                .unwrap_or_else(|e| panic!("checkpoint store at {}: {e}", dir.display()))
+        });
         let tenants = (0..tenants)
-            .map(|id| Tenant {
-                id,
-                slot: Mutex::new(Slot { ms: None }),
-                queued: AtomicUsize::new(0),
-                epoch: AtomicU64::new(0),
-                restarts: AtomicU64::new(0),
-                degraded: AtomicUsize::new(0),
+            .map(|id| {
+                // Seed epochs/restarts from the manifest so generation
+                // counters stay monotonic across process lifetimes: the
+                // next spawn lands above every committed epoch.
+                let newest = store.as_ref().and_then(|s| s.newest(id as u64));
+                Tenant {
+                    id,
+                    slot: Mutex::new(Slot { ms: None }),
+                    queued: AtomicUsize::new(0),
+                    epoch: AtomicU64::new(newest.map_or(0, |c| c.epoch)),
+                    restarts: AtomicU64::new(newest.map_or(0, |c| c.restarts)),
+                    degraded: AtomicUsize::new(0),
+                    since_ckpt: AtomicU64::new(0),
+                }
             })
             .collect();
         Server {
@@ -245,8 +339,90 @@ impl Server {
             base,
             cfg,
             tenants,
+            store,
             victim: AtomicUsize::new(usize::MAX),
         }
+    }
+
+    /// Reconstructs a whole server — sessions, epochs, restart counts —
+    /// from its checkpoint directory after a process death. Every tenant
+    /// with committed checkpoints is eagerly restored from the newest
+    /// loadable entry in its manifest chain (falling down the chain past
+    /// corrupt images, then to the template); tenants that never
+    /// checkpointed stay cold. Records the `serve.ckpt.recovery_ns`
+    /// histogram and returns a per-tenant [`RecoveryReport`].
+    pub fn recover(
+        template: SnapshotTemplate,
+        base: MsConfig,
+        cfg: ServeConfig,
+        tenants: usize,
+    ) -> (Server, RecoveryReport) {
+        let t0 = tel::now_ns();
+        let server = Server::new(template, base, cfg, tenants);
+        let mut report = RecoveryReport::default();
+        for t in &server.tenants {
+            let tt0 = tel::now_ns();
+            let source = server.recover_tenant(t);
+            let duration_ns = tel::now_ns().saturating_sub(tt0);
+            tel::histogram("serve.ckpt.tenant_recovery_ns").record(duration_ns);
+            report.tenants.push(TenantRecovery {
+                tenant: t.id,
+                source,
+                duration_ns,
+            });
+        }
+        report.total_ns = tel::now_ns().saturating_sub(t0);
+        tel::histogram("serve.ckpt.recovery_ns").record(report.total_ns);
+        (server, report)
+    }
+
+    /// Restores one tenant's session during [`recover`](Self::recover):
+    /// newest chain entry → older entries → template → cold.
+    fn recover_tenant(&self, t: &Tenant) -> RecoverySource {
+        let Some(store) = &self.store else {
+            return RecoverySource::Cold;
+        };
+        let chain = store.chain(t.id as u64);
+        let Some(newest_epoch) = chain.first().map(|c| c.epoch) else {
+            return RecoverySource::Cold;
+        };
+        let config = MsConfig {
+            processors: self.cfg.processors,
+            ..self.base
+        };
+        for commit in &chain {
+            let loaded = store
+                .read_image(commit)
+                .ok()
+                .and_then(|bytes| MsSystem::from_snapshot(&mut &bytes[..], config).ok());
+            match loaded {
+                Some(ms) => {
+                    t.epoch.store(commit.epoch, Ordering::Relaxed);
+                    t.restarts.store(commit.restarts, Ordering::Relaxed);
+                    t.degraded.store(0, Ordering::Relaxed);
+                    t.since_ckpt.store(0, Ordering::Relaxed);
+                    lock_slot(&t.slot).ms = Some(ms);
+                    tel::counter("serve.ckpt.recovered").incr();
+                    return RecoverySource::Checkpoint {
+                        epoch: commit.epoch,
+                    };
+                }
+                None => tel::counter("serve.checkpoint_fallback").incr(),
+            }
+        }
+        // Every committed image was unreadable: the chain is evidence of
+        // the tenant's existence but not of its state. Fresh session from
+        // the template, one generation above everything committed.
+        let ms = MsSystem::from_template(&self.template, config)
+            .expect("template was validated at build time");
+        t.epoch.store(newest_epoch + 1, Ordering::Relaxed);
+        lock_slot(&t.slot).ms = Some(ms);
+        RecoverySource::Template
+    }
+
+    /// The durable checkpoint store, when a directory is configured.
+    pub fn store(&self) -> Option<&CheckpointStore> {
+        self.store.as_ref()
     }
 
     /// Number of tenants.
@@ -349,6 +525,13 @@ impl Server {
         if (pressure || shrunk) && t.degraded.swap(1, Ordering::Relaxed) == 0 {
             ms.set_eden_budget(self.cfg.degraded_eden_words);
             tel::counter("serve.degraded").incr();
+            // Policy: capture the session while it is still consistent —
+            // degradation means it may be about to get worse. Quiescent
+            // (no doit is running) and only this tenant's lock is held.
+            if self.cfg.checkpoint.on_degrade && self.store.is_some() {
+                tel::counter("serve.ckpt.auto").incr();
+                let _ = self.commit_session(t, ms);
+            }
         }
         // Admission: memory pressure. One request may proceed (the tenant
         // must keep making progress for space to recover) but concurrent
@@ -382,6 +565,7 @@ impl Server {
                 tel::histogram("serve.request.latency_ns").record(ns);
                 tel::histogram(&format!("serve.tenant{}.latency_ns", t.id)).record(ns);
                 tel::counter("serve.ok").incr();
+                self.maybe_auto_checkpoint(t, &slot);
                 drop(queue);
                 Ok(Response {
                     value,
@@ -410,50 +594,136 @@ impl Server {
         }
     }
 
-    /// Writes a crash-consistent checkpoint of `tenant`'s session; later
-    /// crash respawns restore from it instead of the template.
+    /// Takes a crash-consistent, manifest-committed checkpoint of
+    /// `tenant`'s session on demand, returning the durable image path;
+    /// later crash respawns and [`Server::recover`] restore from it
+    /// instead of the template.
     ///
     /// # Errors
     ///
     /// [`ServeError::Runtime`] if no checkpoint directory is configured,
-    /// the tenant is cold, or the save fails.
+    /// the tenant is cold, or the commit fails (counted in
+    /// `serve.ckpt.failures`; the previously committed chain is
+    /// untouched).
     pub fn checkpoint(&self, tenant: usize) -> Result<PathBuf, ServeError> {
         let t = self
             .tenants
             .get(tenant)
             .ok_or(ServeError::NoSuchTenant(tenant))?;
-        let Some(dir) = &self.cfg.checkpoint_dir else {
-            return Err(ServeError::Runtime("no checkpoint directory".into()));
-        };
         let slot = lock_slot(&t.slot);
         let Some(ms) = slot.ms.as_ref() else {
             return Err(ServeError::Runtime("tenant is cold".into()));
         };
-        let path = dir.join(format!("tenant{}.image", t.id));
-        ms.save_snapshot_file(&path)
-            .map_err(|e| ServeError::Runtime(format!("checkpoint: {e}")))?;
-        Ok(path)
+        tel::counter("serve.ckpt.on_demand").incr();
+        self.commit_session(t, ms)
     }
 
-    /// Spawns a fresh session for `t`: from its checkpoint when one exists
-    /// and still loads, else copy-on-load from the shared template. Bumps
-    /// the tenant epoch.
+    /// Runs a full heap audit on `tenant`'s live session (the crashrec
+    /// harness verifies recovered sessions with this).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Runtime`] when the tenant is cold — there is no heap
+    /// to audit.
+    pub fn audit(&self, tenant: usize) -> Result<mst_objmem::HeapAudit, ServeError> {
+        let t = self
+            .tenants
+            .get(tenant)
+            .ok_or(ServeError::NoSuchTenant(tenant))?;
+        let slot = lock_slot(&t.slot);
+        match slot.ms.as_ref() {
+            Some(ms) => Ok(ms.audit_heap()),
+            None => Err(ServeError::Runtime("tenant is cold".into())),
+        }
+    }
+
+    /// Serializes `t`'s session and commits it through the store (stops
+    /// that session's world for the save; no other tenant blocks).
+    fn commit_session(&self, t: &Tenant, ms: &MsSystem) -> Result<PathBuf, ServeError> {
+        let Some(store) = &self.store else {
+            return Err(ServeError::Runtime("no checkpoint directory".into()));
+        };
+        let t0 = tel::now_ns();
+        let mut image = Vec::new();
+        let result = ms
+            .save_snapshot(&mut image)
+            .map_err(|e| ServeError::Runtime(format!("checkpoint: {e}")))
+            .and_then(|()| {
+                store
+                    .commit(
+                        t.id as u64,
+                        t.epoch.load(Ordering::Relaxed),
+                        t.restarts.load(Ordering::Relaxed),
+                        &image,
+                    )
+                    .map_err(|e| ServeError::Runtime(format!("checkpoint: {e}")))
+            });
+        match &result {
+            Ok(_) => {
+                t.since_ckpt.store(0, Ordering::Relaxed);
+                tel::histogram("serve.ckpt.save_ns").record(tel::now_ns().saturating_sub(t0));
+            }
+            Err(_) => tel::counter("serve.ckpt.failures").incr(),
+        }
+        result
+    }
+
+    /// Applies [`CheckpointPolicy::every_requests`] at the quiescent
+    /// point after a completed doit, still holding only this tenant's
+    /// session lock.
+    fn maybe_auto_checkpoint(&self, t: &Tenant, slot: &Slot) {
+        if self.store.is_none() {
+            return;
+        }
+        let Some(n) = self.cfg.checkpoint.every_requests else {
+            return;
+        };
+        let since = t.since_ckpt.fetch_add(1, Ordering::Relaxed) + 1;
+        if since < n.max(1) {
+            return;
+        }
+        let Some(ms) = slot.ms.as_ref() else {
+            return;
+        };
+        tel::counter("serve.ckpt.auto").incr();
+        let _ = self.commit_session(t, ms);
+    }
+
+    /// Spawns a fresh session for `t`: newest → oldest down the committed
+    /// checkpoint chain, then the legacy single-file checkpoint, then
+    /// copy-on-load from the shared template. Bumps the tenant epoch.
     fn spawn_session(&self, t: &Tenant) -> MsSystem {
         t.epoch.fetch_add(1, Ordering::Relaxed);
         t.degraded.store(0, Ordering::Relaxed);
+        t.since_ckpt.store(0, Ordering::Relaxed);
         let config = MsConfig {
             processors: self.cfg.processors,
             ..self.base
         };
-        if let Some(dir) = &self.cfg.checkpoint_dir {
-            let path = dir.join(format!("tenant{}.image", t.id));
-            if path.exists() {
-                if let Ok(ms) = MsSystem::from_snapshot_file(&path, config) {
-                    return ms;
+        if let Some(store) = &self.store {
+            for commit in store.chain(t.id as u64) {
+                let loaded = store
+                    .read_image(&commit)
+                    .ok()
+                    .and_then(|bytes| MsSystem::from_snapshot(&mut &bytes[..], config).ok());
+                match loaded {
+                    Some(ms) => return ms,
+                    // A corrupt or unloadable checkpoint must not wedge
+                    // recovery: fall down the chain toward the template.
+                    None => tel::counter("serve.checkpoint_fallback").incr(),
                 }
-                // A corrupt checkpoint must not wedge recovery: fall back
-                // to the pristine template.
-                tel::counter("serve.checkpoint_fallback").incr();
+            }
+        }
+        if let Some(dir) = &self.cfg.checkpoint_dir {
+            // Legacy pre-manifest layout: one unversioned image. Probe by
+            // *attempting* the load — a `path.exists()` pre-check races
+            // with a concurrent replace (TOCTOU) and cannot tell "no
+            // checkpoint" from "checkpoint present but unreadable".
+            let path = dir.join(format!("tenant{}.image", t.id));
+            match MsSystem::from_snapshot_file(&path, config) {
+                Ok(ms) => return ms,
+                Err(e) if e.is_not_found() => {} // never checkpointed: silent
+                Err(_) => tel::counter("serve.checkpoint_fallback").incr(),
             }
         }
         MsSystem::from_template(&self.template, config)

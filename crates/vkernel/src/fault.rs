@@ -36,6 +36,10 @@
 //! * [`serve_drop`] / [`serve_slow`] / [`serve_panic`] — serving-layer
 //!   faults consulted by `mst-serve`: drop a request before execution,
 //!   stall a tenant, or panic a tenant session mid-doit (kill-budgeted).
+//! * [`ckpt_crash`] / [`ckpt_torn_manifest`] / [`ckpt_slow`] — durable
+//!   checkpoint-store faults: abandon an image write or tear a MANIFEST
+//!   append at a seeded byte boundary (simulated process death, both
+//!   kill-budgeted), or stall checkpoint I/O.
 //!
 //! Disabled (the default), every injection point is a single branch on one
 //! relaxed atomic load. Configuration comes from the `MST_CHAOS`
@@ -83,11 +87,22 @@ pub enum FaultSite {
     /// server's crash-only session recovery. Destructive: opt-in, never
     /// part of [`ALL_SITES`].
     ServePanic = 9,
+    /// Abandon a checkpoint image write at a seeded byte boundary,
+    /// simulating process death mid-write (torn temp file, no rename, no
+    /// manifest commit). Destructive: opt-in, never part of [`ALL_SITES`].
+    CkptCrash = 10,
+    /// Tear a checkpoint MANIFEST append at a seeded byte boundary,
+    /// simulating process death mid-append (the journal keeps its valid
+    /// prefix). Destructive: opt-in, never part of [`ALL_SITES`].
+    CkptTornManifest = 11,
+    /// Stall a checkpoint write (slow disk), proving checkpoints only ever
+    /// block their own tenant. Opt-in, never part of [`ALL_SITES`].
+    CkptSlow = 12,
 }
 
 impl FaultSite {
     /// All sites, in bit order.
-    pub const ALL: [FaultSite; 10] = [
+    pub const ALL: [FaultSite; 13] = [
         FaultSite::LockAcquire,
         FaultSite::SafepointPoll,
         FaultSite::SpuriousWake,
@@ -98,6 +113,9 @@ impl FaultSite {
         FaultSite::ServeDrop,
         FaultSite::ServeSlow,
         FaultSite::ServePanic,
+        FaultSite::CkptCrash,
+        FaultSite::CkptTornManifest,
+        FaultSite::CkptSlow,
     ];
 
     /// The site's name as accepted by the `MST_CHAOS` site filter.
@@ -113,6 +131,9 @@ impl FaultSite {
             FaultSite::ServeDrop => "serve.drop",
             FaultSite::ServeSlow => "serve.slow",
             FaultSite::ServePanic => "serve.panic",
+            FaultSite::CkptCrash => "ckpt.crash",
+            FaultSite::CkptTornManifest => "ckpt.torn_manifest",
+            FaultSite::CkptSlow => "ckpt.slow",
         }
     }
 
@@ -201,8 +222,8 @@ thread_local! {
     static RNG: Cell<(u64, SplitMix64)> = const { Cell::new((0, SplitMix64::new(0))) };
 }
 
-fn counters() -> &'static [&'static tel::Counter; 10] {
-    static C: OnceLock<[&'static tel::Counter; 10]> = OnceLock::new();
+fn counters() -> &'static [&'static tel::Counter; 13] {
+    static C: OnceLock<[&'static tel::Counter; 13]> = OnceLock::new();
     C.get_or_init(|| {
         [
             tel::counter("chaos.lock_delay"),
@@ -215,6 +236,9 @@ fn counters() -> &'static [&'static tel::Counter; 10] {
             tel::counter("chaos.serve_drop"),
             tel::counter("chaos.serve_slow"),
             tel::counter("chaos.serve_panic"),
+            tel::counter("chaos.ckpt_crash"),
+            tel::counter("chaos.ckpt_torn_manifest"),
+            tel::counter("chaos.ckpt_slow"),
         ]
     })
 }
@@ -418,6 +442,57 @@ pub fn torn_write() -> bool {
     ENABLED.load(Ordering::Relaxed) && roll(FaultSite::TornWrite)
 }
 
+/// Draws one more value from the calling thread's (already seeded) fault
+/// stream — used by sites that need a fault *position*, not just a firing.
+#[cold]
+fn extra_draw() -> u64 {
+    RNG.with(|cell| {
+        let (generation, mut rng) = cell.get();
+        let v = rng.next_u64();
+        cell.set((generation, rng));
+        v
+    })
+}
+
+/// Injection point: a checkpoint image write of `len` bytes. When the
+/// fault fires, returns the seeded byte boundary at which the write should
+/// be abandoned (torn temp file, no rename, no manifest commit —
+/// simulated process death mid-checkpoint). Shares the kill budget with
+/// [`thread_panic`], so a harness injects a planned number of crashes.
+#[inline]
+pub fn ckpt_crash(len: u64) -> Option<u64> {
+    if ENABLED.load(Ordering::Relaxed) && budgeted_kill(FaultSite::CkptCrash) {
+        Some(extra_draw() % len.max(1))
+    } else {
+        None
+    }
+}
+
+/// Injection point: a checkpoint MANIFEST append of `len` bytes. When the
+/// fault fires, returns the seeded byte boundary at which the append
+/// should be torn (simulated process death mid-append; the journal keeps
+/// its committed prefix). Shares the kill budget with [`thread_panic`].
+#[inline]
+pub fn ckpt_torn_manifest(len: u64) -> Option<u64> {
+    if ENABLED.load(Ordering::Relaxed) && budgeted_kill(FaultSite::CkptTornManifest) {
+        Some(extra_draw() % len.max(1))
+    } else {
+        None
+    }
+}
+
+/// Injection point: checkpoint I/O. Sleeps the calling thread for the
+/// configured stall ([`set_stall_ns`]) when the fault fires, simulating a
+/// slow disk — checkpoints must only ever block their own tenant.
+#[inline]
+pub fn ckpt_slow() {
+    if ENABLED.load(Ordering::Relaxed) && roll(FaultSite::CkptSlow) {
+        std::thread::sleep(std::time::Duration::from_nanos(
+            STALL_NS.load(Ordering::Relaxed),
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,6 +540,8 @@ mod tests {
         assert!(!serve_drop());
         assert!(!serve_slow());
         assert!(!serve_panic());
+        assert!(ckpt_crash(100).is_none());
+        assert!(ckpt_torn_manifest(100).is_none());
 
         // The serve/GC-helper sites fire when armed explicitly, and the
         // kill-budgeted ones respect a zero budget.
@@ -484,6 +561,23 @@ mod tests {
         assert!(!gc_helper_panic());
         assert!(!serve_panic());
         assert!(serve_drop(), "serve.drop is not kill-budgeted");
+        set_kill_budget(-1);
+
+        // The checkpoint crash sites fire when armed, return an in-bounds
+        // seeded byte boundary, and respect the shared kill budget.
+        install(ChaosConfig {
+            seed: 42,
+            rate: 1.0,
+            sites: FaultSite::CkptCrash.bit() | FaultSite::CkptTornManifest.bit(),
+        });
+        let off = ckpt_crash(64).expect("armed ckpt.crash fires");
+        assert!(off < 64, "crash boundary {off} out of range");
+        let off = ckpt_torn_manifest(33).expect("armed ckpt.torn_manifest fires");
+        assert!(off < 33, "torn boundary {off} out of range");
+        assert_eq!(ckpt_crash(1), Some(0), "len 1 has a single boundary");
+        set_kill_budget(0);
+        assert!(ckpt_crash(64).is_none(), "ckpt.crash is kill-budgeted");
+        assert!(ckpt_torn_manifest(64).is_none());
         set_kill_budget(-1);
 
         // Explicitly armed, they fire...
@@ -535,6 +629,13 @@ mod tests {
                 | FaultSite::ServeDrop.bit()
                 | FaultSite::ServeSlow.bit()
                 | FaultSite::ServePanic.bit()
+        );
+        let c = ChaosConfig::parse("9:0.01:ckpt.crash,ckpt.torn_manifest,ckpt.slow").unwrap();
+        assert_eq!(
+            c.sites,
+            FaultSite::CkptCrash.bit()
+                | FaultSite::CkptTornManifest.bit()
+                | FaultSite::CkptSlow.bit()
         );
 
         assert!(ChaosConfig::parse("").is_none());

@@ -407,3 +407,241 @@ fn gc_helper_panic_never_hangs_scavenge_or_mark() {
     );
     ms.shutdown();
 }
+
+/// Tentpole: whole-process crash recovery. A fleet serves, checkpoints
+/// through the manifest (including a chaos crash that bumps one tenant's
+/// epoch and restart count), the process "dies" (the server is dropped),
+/// and [`Server::recover`] must reconstruct every tenant — session,
+/// epoch, restarts — from the checkpoint directory alone.
+#[test]
+fn recover_restores_epochs_restarts_and_sessions_after_process_death() {
+    let _guard = chaos_lock();
+    let _disarm = DisarmChaos;
+    let dir = temp_dir("recover");
+    let ckpt_dir = dir.join("ckpts");
+    let config = small_config();
+    let template = make_template(&dir, config);
+    let cfg = ServeConfig {
+        processors: 2,
+        deadline: Duration::from_secs(5),
+        checkpoint_dir: Some(ckpt_dir.clone()),
+        checkpoint: mst_serve::CheckpointPolicy {
+            every_requests: Some(1),
+            on_degrade: false,
+        },
+        retain: 2,
+        ..ServeConfig::default()
+    };
+
+    let server = Server::new(template.clone(), config, cfg.clone(), 2);
+    for t in 0..2 {
+        server.request(t, "3 + 4").expect("warmup doit");
+    }
+    // Crash tenant 0 so its respawn bumps the epoch; the next successful
+    // request auto-commits at epoch 2 with restarts = 1 on record.
+    fault::install(ChaosConfig {
+        seed: 0x5EED_0C0E_0001,
+        rate: 1.0,
+        sites: FaultSite::ServePanic.bit(),
+    });
+    fault::set_kill_budget(1);
+    server.set_victim(Some(0));
+    server
+        .request(0, "(1 to: 1000000) inject: 0 into: [:a :b | a + b]")
+        .expect_err("victim doit must crash");
+    fault::disable();
+    server.set_victim(None);
+    server
+        .request(0, "6 * 7")
+        .expect("respawned session serves");
+    assert_eq!(server.epoch(0), 2);
+    assert_eq!(server.restarts(0), 1);
+
+    // Process death: nothing survives but the checkpoint directory.
+    drop(server);
+
+    let (server, report) = Server::recover(template, config, cfg, 2);
+    assert_eq!(
+        report.tenants[0].source,
+        mst_serve::RecoverySource::Checkpoint { epoch: 2 },
+        "tenant 0 resumes at its newest committed epoch"
+    );
+    assert_eq!(
+        report.tenants[1].source,
+        mst_serve::RecoverySource::Checkpoint { epoch: 1 }
+    );
+    assert_eq!(server.epoch(0), 2);
+    assert_eq!(server.restarts(0), 1, "restart count survives the death");
+    assert_eq!(server.epoch(1), 1);
+    for t in 0..2 {
+        let audit = server.audit(t).expect("recovered session audits");
+        assert_eq!(audit.error_count, 0, "dirty recovered heap: {audit:?}");
+        let r = server
+            .request(t, "6 * 7")
+            .expect("recovered session serves");
+        assert_eq!(r.value, Value::Int(42));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: the `serve.checkpoint_fallback` path. Corrupt the newest
+/// committed checkpoint on disk: recovery must count the fallback and
+/// resume from the next chain entry; corrupt the whole chain and it must
+/// fall to the template one epoch above everything committed.
+#[test]
+fn checkpoint_fallback_walks_the_chain_past_corruption() {
+    let dir = temp_dir("fallback_chain");
+    let ckpt_dir = dir.join("ckpts");
+    let config = small_config();
+    let template = make_template(&dir, config);
+    let cfg = ServeConfig {
+        processors: 2,
+        checkpoint_dir: Some(ckpt_dir.clone()),
+        retain: 4,
+        ..ServeConfig::default()
+    };
+
+    // Build a two-epoch chain: commit at epoch 1, restart the process,
+    // commit again at epoch 2 (the reopened server seeds its epoch from
+    // the manifest, so the next spawn lands above it).
+    let server = Server::new(template.clone(), config, cfg.clone(), 1);
+    server.request(0, "3 + 4").expect("doit");
+    server.checkpoint(0).expect("commit at epoch 1");
+    drop(server);
+    let server = Server::new(template.clone(), config, cfg.clone(), 1);
+    server.request(0, "4 + 5").expect("doit");
+    assert_eq!(
+        server.epoch(0),
+        2,
+        "fresh spawn lands above committed epoch"
+    );
+    server.checkpoint(0).expect("commit at epoch 2");
+    let chain = server.store().unwrap().chain(0);
+    assert_eq!(
+        chain.iter().map(|c| c.epoch).collect::<Vec<_>>(),
+        vec![2, 1]
+    );
+    drop(server);
+
+    // Corrupt the newest (epoch 2) image mid-file.
+    let newest = ckpt_dir.join("tenant0.e2.image");
+    let mut bytes = std::fs::read(&newest).expect("newest checkpoint exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&newest, &bytes).expect("rewrite corrupted image");
+
+    let fallbacks_before = mst_telemetry::counter("serve.checkpoint_fallback").get();
+    let (server, report) = Server::recover(template.clone(), config, cfg.clone(), 1);
+    assert_eq!(
+        report.tenants[0].source,
+        mst_serve::RecoverySource::Checkpoint { epoch: 1 },
+        "recovery falls down the chain past the corrupt newest entry"
+    );
+    assert_eq!(
+        mst_telemetry::counter("serve.checkpoint_fallback").get(),
+        fallbacks_before + 1,
+        "exactly one fallback: the corrupt epoch-2 image"
+    );
+    assert_eq!(server.request(0, "6 * 7").unwrap().value, Value::Int(42));
+    drop(server);
+
+    // Corrupt epoch 1 as well: the whole chain is gone, so recovery must
+    // fall to the template one generation above everything committed.
+    let older = ckpt_dir.join("tenant0.e1.image");
+    let mut bytes = std::fs::read(&older).expect("older checkpoint exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&older, &bytes).expect("rewrite corrupted image");
+
+    let fallbacks_before = mst_telemetry::counter("serve.checkpoint_fallback").get();
+    let (server, report) = Server::recover(template, config, cfg, 1);
+    assert_eq!(
+        report.tenants[0].source,
+        mst_serve::RecoverySource::Template
+    );
+    assert_eq!(server.epoch(0), 3, "template session lands above the chain");
+    assert_eq!(
+        mst_telemetry::counter("serve.checkpoint_fallback").get(),
+        fallbacks_before + 2,
+        "both chain entries counted as fallbacks"
+    );
+    assert_eq!(server.request(0, "6 * 7").unwrap().value, Value::Int(42));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite regression: the legacy single-file checkpoint probe attempts
+/// the load and matches the structured error — no `path.exists()`
+/// pre-check. A missing file is silent (no fallback counted); a torn or
+/// garbage file falls back to the template without wedging the spawn.
+#[test]
+fn legacy_checkpoint_probe_attempts_load_instead_of_exists_check() {
+    let dir = temp_dir("legacy_probe");
+    let ckpt_dir = dir.join("ckpts");
+    std::fs::create_dir_all(&ckpt_dir).expect("checkpoint dir");
+    let config = small_config();
+    let template = make_template(&dir, config);
+    let cfg = ServeConfig {
+        processors: 2,
+        checkpoint_dir: Some(ckpt_dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    // No checkpoint at all: the cold spawn goes straight to the template
+    // with no fallback counted (NotFound is "never checkpointed").
+    let fallbacks_before = mst_telemetry::counter("serve.checkpoint_fallback").get();
+    let server = Server::new(template.clone(), config, cfg.clone(), 1);
+    assert_eq!(server.request(0, "6 * 7").unwrap().value, Value::Int(42));
+    assert_eq!(
+        mst_telemetry::counter("serve.checkpoint_fallback").get(),
+        fallbacks_before,
+        "a missing checkpoint is not a fallback"
+    );
+    drop(server);
+
+    // A legacy checkpoint torn mid-replace (garbage bytes under the old
+    // unversioned name): the probe must attempt the load, count the
+    // fallback, and serve from the template.
+    std::fs::write(ckpt_dir.join("tenant0.image"), b"torn mid-replace")
+        .expect("plant torn legacy checkpoint");
+    let fallbacks_before = mst_telemetry::counter("serve.checkpoint_fallback").get();
+    let server = Server::new(template, config, cfg, 1);
+    assert_eq!(server.request(0, "6 * 7").unwrap().value, Value::Int(42));
+    assert_eq!(
+        mst_telemetry::counter("serve.checkpoint_fallback").get(),
+        fallbacks_before + 1,
+        "a torn legacy checkpoint is a counted fallback"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: the every-N-requests checkpoint policy commits on its own
+/// at the quiescent point after a doit — no explicit checkpoint call.
+#[test]
+fn checkpoint_policy_commits_every_n_requests() {
+    let dir = temp_dir("policy");
+    let config = small_config();
+    let template = make_template(&dir, config);
+    let cfg = ServeConfig {
+        processors: 2,
+        checkpoint_dir: Some(dir.join("ckpts")),
+        checkpoint: mst_serve::CheckpointPolicy {
+            every_requests: Some(2),
+            on_degrade: false,
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::new(template, config, cfg, 1);
+    server.request(0, "3 + 4").expect("doit 1");
+    assert!(
+        server.store().unwrap().newest(0).is_none(),
+        "one request is below the every-2 threshold"
+    );
+    server.request(0, "4 + 5").expect("doit 2");
+    let newest = server
+        .store()
+        .unwrap()
+        .newest(0)
+        .expect("second request triggers the policy commit");
+    assert_eq!(newest.epoch, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
