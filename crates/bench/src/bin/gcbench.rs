@@ -315,27 +315,46 @@ struct FullGcRun {
     best_mark_ns: u64,
     mean_mark_ns: u64,
     best_total_ns: u64,
+    best_update_ns: u64,
+    best_move_ns: u64,
     rounds: usize,
 }
 
-/// Runs `rounds` full collections with `helpers` marking threads over the
-/// same (fully live, so unchanging) heap, auditing after each, and
-/// returns best/mean mark-phase pause.
+/// Runs `rounds` full collections with `helpers` threads (marking *and*
+/// the compaction back-end), auditing after each, and returns the best
+/// per-phase pauses. Each round rotates a garbage/live batch above the
+/// settled base set, so the compactor really slides objects every time —
+/// an idle settled heap would give the move phase nothing to do.
 fn measure_fullgc(mem: &ObjectMemory, helpers: usize, rounds: usize) -> FullGcRun {
     let mut marks = Vec::with_capacity(rounds);
     let mut totals = Vec::with_capacity(rounds);
+    let mut updates = Vec::with_capacity(rounds);
+    let mut moves = Vec::with_capacity(rounds);
+    let mut batch: Vec<mst_objmem::RootHandle> = Vec::new();
     for _ in 0..rounds {
+        // Last round's batch becomes interleaved garbage below this
+        // round's live batch: a constant per-round slide workload.
+        batch.clear();
+        for _ in 0..128 {
+            mem.alloc_array_old(30).expect("churn headroom"); // garbage
+            let live = mem.alloc_array_old(30).expect("churn headroom");
+            batch.push(mem.new_root(live));
+        }
         let out = mem.full_gc_with(helpers, scope_runner);
         assert!(out.report.is_clean(), "{}", out.report);
         mem.verify_heap().assert_clean();
         marks.push(out.mark_nanos);
         totals.push(out.total_nanos);
+        updates.push(out.update_nanos);
+        moves.push(out.move_nanos);
     }
     FullGcRun {
         helpers,
         best_mark_ns: *marks.iter().min().expect("rounds >= 1"),
         mean_mark_ns: marks.iter().sum::<u64>() / marks.len() as u64,
         best_total_ns: *totals.iter().min().expect("rounds >= 1"),
+        best_update_ns: *updates.iter().min().expect("rounds >= 1"),
+        best_move_ns: *moves.iter().min().expect("rounds >= 1"),
         rounds,
     }
 }
@@ -410,6 +429,18 @@ fn write_fullgc_json(
             "ns",
             n,
         ));
+        rows.push(Row::new(
+            format!("fullgc.h{h}.best_update_ns"),
+            r.best_update_ns as f64,
+            "ns",
+            n,
+        ));
+        rows.push(Row::new(
+            format!("fullgc.h{h}.best_move_ns"),
+            r.best_move_ns as f64,
+            "ns",
+            n,
+        ));
     }
     let slices = incr.slices as u64;
     rows.push(Row::new(
@@ -464,10 +495,13 @@ fn fullgc_bench() {
     for helpers in [1usize, 2, 4] {
         let run = measure_fullgc(&mem, helpers, rounds);
         println!(
-            "  helpers={}  mark best {:>10}  mean {:>10}  total best {:>10}  ({} rounds)",
+            "  helpers={}  mark best {:>10}  mean {:>10}  update best {:>10}  \
+             move best {:>10}  total best {:>10}  ({} rounds)",
             run.helpers,
             ns_human(run.best_mark_ns as f64),
             ns_human(run.mean_mark_ns as f64),
+            ns_human(run.best_update_ns as f64),
+            ns_human(run.best_move_ns as f64),
             ns_human(run.best_total_ns as f64),
             run.rounds
         );
@@ -509,6 +543,29 @@ fn fullgc_bench() {
         println!(
             "note: only {cores} core(s) visible; 4-helper mark is {ratio:.2}x serial \
              (gate requires >= 4 cores)"
+        );
+    }
+    // Same budget for the parallelized compaction back-end: the update
+    // phase shards the reference rewrite, the move phase the chunked
+    // slide. Gated together because sliding compaction's move runs are
+    // inherently serial past the first gap — update is the bulk.
+    let serial_compact = (runs[0].best_update_ns + runs[0].best_move_ns) as f64;
+    let par4_compact = (runs[2].best_update_ns + runs[2].best_move_ns) as f64;
+    let cratio = par4_compact / serial_compact;
+    if cores >= 4 {
+        if cratio > 0.7 {
+            eprintln!(
+                "FAIL: 4-helper update+move is {cratio:.2}x serial on a {cores}-core \
+                 host (budget: 0.70x)"
+            );
+            failed = true;
+        } else {
+            println!("PASS: 4-helper update+move is {cratio:.2}x serial (budget: 0.70x)");
+        }
+    } else {
+        println!(
+            "note: only {cores} core(s) visible; 4-helper update+move is {cratio:.2}x \
+             serial (gate requires >= 4 cores)"
         );
     }
     // The slice bound holds on any host: that is the point of incremental

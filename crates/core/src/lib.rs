@@ -793,6 +793,15 @@ impl MsSystem {
         for d in self.vm.mem.take_fullgc_dangling() {
             self.vm.error_log.lock().push(format!("heap: {d}"));
         }
+        if let Some(abort) = outcome.report.aborted {
+            // The compactor refused to run (e.g. the special table is
+            // corrupt): the heap is unchanged and the system keeps going,
+            // but operators must hear about it.
+            self.vm
+                .error_log
+                .lock()
+                .push(format!("heap: full GC aborted: {abort}"));
+        }
         outcome
     }
 

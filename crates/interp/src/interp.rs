@@ -776,13 +776,19 @@ impl Interpreter {
         if !mem.incremental_mark_active() {
             // Re-check under stop-world: another interpreter may have begun
             // (or finished) a window while we raced here. `full_gc_begin`
-            // refuses on its own when preconditions fail (LAB policy, or a
-            // monolithic full GC since the last scavenge).
+            // refuses on its own when preconditions fail (a monolithic full
+            // GC since the last scavenge).
             if self.vm.low_space.load(Ordering::Relaxed) {
                 mem.full_gc_begin();
             }
         } else if mem.full_gc_mark_slice(slice_words) {
-            mem.full_gc_finish();
+            // The finish pause (plan/update/move/clear) drafts the other
+            // stopped processors as compaction helpers, exactly like the
+            // monolithic collector's mark phase.
+            let helpers = mem.adaptive_full_gc_helpers(self.vm.processors_online() + 1);
+            mem.full_gc_finish_with(helpers, |n, f| {
+                guard.run_stopped(n, f);
+            });
             self.vm.bump_cache_epoch();
             self.vm.global_cache.clear(self.vm.cache_epoch());
         }

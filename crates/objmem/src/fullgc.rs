@@ -33,6 +33,17 @@
 //!   records both the overwritten and the newly written value, so the final
 //!   pause is bounded by live-data-moved, not old-space-scanned.
 //!
+//! The shared compaction back-end is parallel too: update, move, and clear
+//! run over the same helper slots as the mark (update shards the marked
+//! list, the new-space walk, and the reference tables — the relocation map
+//! is immutable after planning; move cuts the map into independent
+//! chunk-runs wherever a run's destinations clear every earlier source,
+//! falling back to the serial slide for layouts that yield a single run).
+//! Per-helper reports are merged in deterministic order, and a corrupt
+//! special table aborts the compaction cleanly
+//! ([`CompactAbort`]) before any heap mutation instead of panicking
+//! mid-stop-the-world. Only the plan walk stays serial.
+//!
 //! **The world must be stopped by the caller** for every entry point here
 //! (for the incremental mode: during each slice and the finish). Free
 //! context lists hold dead contexts by design; the registered pre-full-GC
@@ -40,13 +51,12 @@
 //! marking starts, so a full collection triggered from *inside* a scavenge
 //! honors the same precondition as a deliberate one.
 
-use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::header::{Header, ObjFormat, PAD_WORD};
-use crate::heap::{AllocPolicy, ObjectMemory};
+use crate::heap::ObjectMemory;
 use crate::method::MethodHeader;
 use crate::oop::Oop;
 use crate::steal::StealDeque;
@@ -66,6 +76,14 @@ const FULL_GC_WORDS_PER_HELPER: usize = 128 << 10; // 1 MB
 const MARK_DEQUE_CAPACITY: usize = 1 << 13;
 /// Root oops claimed per cursor bump during the parallel root scan.
 const MARK_ROOT_CHUNK: usize = 32;
+/// Marked objects claimed per cursor bump during the parallel update and
+/// clear phases (the relocation map is read-only, so the shards need no
+/// coordination beyond the claim itself).
+const UPDATE_CHUNK: usize = 256;
+/// Target live words per chunk-run of the parallel slide. Runs are cut only
+/// where a later run's destinations cannot overlap an earlier run's
+/// sources, so the actual chunk sizes ride the heap layout.
+const MOVE_CHUNK_WORDS: usize = 16 << 10;
 /// Dangling-reference diagnostics recorded per collection; counting
 /// continues past the cap (mirrors `HeapAudit`'s error cap).
 const MAX_DANGLING: usize = 16;
@@ -83,6 +101,9 @@ struct FullGcInstruments {
     incremental_slices: &'static mst_telemetry::Counter,
     forced_finish: &'static mst_telemetry::Counter,
     dangling_refs: &'static mst_telemetry::Counter,
+    parallel_compactions: &'static mst_telemetry::Counter,
+    move_chunks: &'static mst_telemetry::Histogram,
+    aborted: &'static mst_telemetry::Counter,
 }
 
 fn instruments() -> &'static FullGcInstruments {
@@ -99,6 +120,9 @@ fn instruments() -> &'static FullGcInstruments {
         incremental_slices: mst_telemetry::counter("gc.full.incremental.slices"),
         forced_finish: mst_telemetry::counter("gc.full.incremental.forced_finish"),
         dangling_refs: mst_telemetry::counter("gc.full.dangling_refs"),
+        parallel_compactions: mst_telemetry::counter("gc.full.parallel.compactions"),
+        move_chunks: mst_telemetry::histogram("gc.full.move_chunks"),
+        aborted: mst_telemetry::counter("gc.full.aborted"),
     })
 }
 
@@ -159,6 +183,30 @@ impl std::fmt::Display for DanglingRef {
     }
 }
 
+/// Why a compaction was abandoned before any heap mutation. The abort
+/// happens between the plan and update phases — the relocation map is the
+/// only thing built so far — so containment is exact: clear the marks and
+/// the heap is byte-for-byte what the mark phase found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactAbort {
+    /// `nil` was not the start of a marked old object when planning
+    /// finished. Every dangling slot is neutralized by substituting the
+    /// relocated `nil`, so without one the compactor has no safe value to
+    /// write — and a missing `nil` means the special-objects table itself
+    /// is corrupt, which no amount of sliding will fix.
+    NilUnrelocatable,
+}
+
+impl std::fmt::Display for CompactAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompactAbort::NilUnrelocatable => {
+                write!(f, "nil is not a marked old object (special table corrupt?)")
+            }
+        }
+    }
+}
+
 /// HeapAudit-style report of what the compactor had to neutralize. A clean
 /// collection leaves it empty; a dirty one names each referrer, slot, and
 /// target so the supervisor/containment layer can log it instead of the old
@@ -169,25 +217,25 @@ pub struct FullGcReport {
     pub dangling: Vec<DanglingRef>,
     /// Total dangling references found (may exceed `dangling.len()`).
     pub dangling_count: usize,
+    /// Set when the compaction was abandoned with the heap untouched
+    /// (marks cleared, nothing moved, nothing reclaimed).
+    pub aborted: Option<CompactAbort>,
 }
 
 impl FullGcReport {
-    /// Whether the collection found nothing to neutralize.
+    /// Whether the collection found nothing to neutralize and ran to
+    /// completion.
     pub fn is_clean(&self) -> bool {
-        self.dangling_count == 0
-    }
-
-    fn record(&mut self, d: DanglingRef) {
-        self.dangling_count += 1;
-        if self.dangling.len() < MAX_DANGLING {
-            self.dangling.push(d);
-        }
+        self.dangling_count == 0 && self.aborted.is_none()
     }
 }
 
 impl std::fmt::Display for FullGcReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "full GC: {} dangling reference(s)", self.dangling_count)?;
+        if let Some(abort) = self.aborted {
+            write!(f, "; compaction aborted: {abort}")?;
+        }
         for d in &self.dangling {
             write!(f, "\n  {d}")?;
         }
@@ -212,6 +260,17 @@ pub struct FullGcOutcome {
     pub slices: u64,
     /// Helper threads that actually entered the mark phase (1 = serial).
     pub helpers: usize,
+    /// Stop-the-world nanoseconds planning slid-down addresses.
+    pub plan_nanos: u64,
+    /// Stop-the-world nanoseconds rewriting references through the plan.
+    pub update_nanos: u64,
+    /// Stop-the-world nanoseconds sliding live bodies leftward.
+    pub move_nanos: u64,
+    /// Stop-the-world nanoseconds clearing mark bits.
+    pub clear_nanos: u64,
+    /// Helper threads that actually entered the compaction phases
+    /// (1 = serial back-end).
+    pub compact_helpers: usize,
     /// Dangling-reference diagnostics (see [`FullGcReport`]).
     pub report: FullGcReport,
 }
@@ -241,17 +300,33 @@ struct CompactTiming {
     update_ns: u64,
     move_ns: u64,
     clear_ns: u64,
+    /// Workers that entered the busiest compaction phase (1 = serial).
+    helpers: usize,
+    /// Chunk-runs the slide was partitioned into (1 = serial fallback).
+    move_chunks: usize,
 }
 
-/// Relocation oracle for the update phase: the sorted from→to plan plus the
-/// diagnostic report for targets that are not marked-object starts.
+/// One entry of the relocation plan: a marked old object's current address,
+/// its slid-down destination, and its total extent in words (header +
+/// class + body, precomputed so the move phase never re-reads headers).
+#[derive(Clone, Copy)]
+struct MapEntry {
+    from: usize,
+    to: usize,
+    total: usize,
+}
+
+/// Relocation oracle for the update phase: the sorted from→to plan. After
+/// planning it is **read-only** — every worker shares one `&Relocator` and
+/// resolves addresses through binary search with no coordination at all.
+/// Diagnostics go to each worker's private [`ReportSink`] instead (the old
+/// interior-mutable report was the one thing keeping this single-threaded).
 struct Relocator<'m> {
     mem: &'m ObjectMemory,
-    map: Vec<(usize, usize)>,
+    map: Vec<MapEntry>,
     /// The post-compaction address of `nil`, substituted for dangling slots
     /// (the pre-move `nil` would itself dangle once bodies slide).
     nil_new: Oop,
-    report: RefCell<FullGcReport>,
 }
 
 impl Relocator<'_> {
@@ -262,19 +337,19 @@ impl Relocator<'_> {
             return Some(oop);
         }
         self.map
-            .binary_search_by_key(&oop.index(), |&(from, _)| from)
+            .binary_search_by_key(&oop.index(), |e| e.from)
             .ok()
-            .map(|i| Oop::from_index(self.map[i].1))
+            .map(|i| Oop::from_index(self.map[i].to))
     }
 
     /// Relocates, neutralizing failures to (relocated) `nil` with a recorded
     /// diagnostic instead of aborting the VM from inside stop-the-world.
-    fn reloc(&self, referrer: Oop, slot: DanglingSlot, oop: Oop) -> Oop {
+    fn reloc(&self, sink: &mut ReportSink, referrer: Oop, slot: DanglingSlot, oop: Oop) -> Oop {
         match self.lookup(oop) {
             Some(n) => n,
             None => {
                 instruments().dangling_refs.incr();
-                self.report.borrow_mut().record(DanglingRef {
+                sink.record(DanglingRef {
                     referrer,
                     slot,
                     target: oop,
@@ -283,6 +358,66 @@ impl Relocator<'_> {
             }
         }
     }
+}
+
+/// A worker-private dangling-reference sink. Each diagnostic is keyed by
+/// (work item, sequence within the item), so merging the sinks sorted by
+/// key reproduces the order a serial walk would have recorded — report
+/// lines no longer interleave by scheduling accident.
+#[derive(Default)]
+struct ReportSink {
+    base: u64,
+    seq: u64,
+    recs: Vec<(u64, DanglingRef)>,
+    count: usize,
+}
+
+impl ReportSink {
+    /// Keys subsequent records under work item `item`. Sequence numbers are
+    /// monotone within an item, so each sink's kept records are its lowest
+    /// keys and the cap survives the merge exactly.
+    fn rebase(&mut self, item: usize) {
+        self.base = (item as u64) << 32;
+        self.seq = 0;
+    }
+
+    fn record(&mut self, d: DanglingRef) {
+        self.count += 1;
+        if self.recs.len() < MAX_DANGLING {
+            self.recs.push((self.base | self.seq, d));
+        }
+        self.seq += 1;
+    }
+}
+
+/// Merges per-worker sinks into the final report, in serial-walk order.
+fn merge_report(mut recs: Vec<(u64, DanglingRef)>, count: usize) -> FullGcReport {
+    recs.sort_by_key(|&(k, _)| k);
+    recs.truncate(MAX_DANGLING);
+    FullGcReport {
+        dangling: recs.into_iter().map(|(_, d)| d).collect(),
+        dangling_count: count,
+        aborted: None,
+    }
+}
+
+/// Drives `work` from every drafted helper slot (slot 0 — the leader —
+/// always runs; `run` may invoke any subset of the rest). Work distribution
+/// is the callee's business, through atomic cursors, so a chaos-killed
+/// helper just means the survivors drain its share; the check sits at slot
+/// entry, before any work is claimed, mirroring the mark and scavenge
+/// helpers.
+fn run_phase(helpers: usize, run: HelperRunner, work: &(dyn Fn() + Sync)) {
+    if helpers <= 1 {
+        work();
+        return;
+    }
+    run(helpers, &|slot| {
+        if slot != 0 && mst_vkernel::fault::gc_helper_panic() {
+            panic!("chaos: injected GC helper panic (gc_helper.panic) in compaction slot {slot}");
+        }
+        work();
+    });
 }
 
 impl ObjectMemory {
@@ -331,13 +466,16 @@ impl ObjectMemory {
         };
         let mark_nanos = mark_start.elapsed().as_nanos() as u64;
 
-        let (reclaimed, report, timing) = self.compact_marked(&marked, false);
+        let (reclaimed, report, timing) = self.compact_marked(&marked, false, helpers, run);
 
-        self.bump_epoch();
-        // Until the next completed scavenge, dead new-space objects may hold
-        // dangling references to compacted-away old objects (abandoned by
-        // design); the heap verifier consults this flag.
-        self.fullgc_since_scavenge.store(true, Ordering::Relaxed);
+        if report.aborted.is_none() {
+            self.bump_epoch();
+            // Until the next completed scavenge, dead new-space objects may
+            // hold dangling references to compacted-away old objects
+            // (abandoned by design); the heap verifier consults this flag.
+            // An aborted compaction moved nothing, so neither applies.
+            self.fullgc_since_scavenge.store(true, Ordering::Relaxed);
+        }
         let nanos = start.elapsed().as_nanos() as u64;
         self.stats.full_gcs.incr();
         self.stats.full_gc_nanos.add(nanos);
@@ -380,6 +518,11 @@ impl ObjectMemory {
             max_pause_nanos: nanos,
             slices: 1,
             helpers: entered,
+            plan_nanos: timing.plan_ns,
+            update_nanos: timing.update_ns,
+            move_nanos: timing.move_ns,
+            clear_nanos: timing.clear_ns,
+            compact_helpers: timing.helpers,
             report,
         }
     }
@@ -499,19 +642,14 @@ impl ObjectMemory {
     /// stopped by the caller** for this call (mutators may run between the
     /// slices that follow).
     ///
-    /// Returns `false` without side effects when a window is already open,
+    /// Returns `false` without side effects when a window is already open or
     /// when a monolithic full GC ran since the last scavenge (dead new-space
-    /// objects may dangle, and the finish walk would trace them), or under
-    /// [`AllocPolicy::PerProcessorLab`] (the finish's conservative new-space
-    /// scan needs a linearly walkable eden).
+    /// objects may dangle, and the finish walk would trace them).
+    /// [`crate::AllocPolicy::PerProcessorLab`] is fine: LAB buffers are formatted
+    /// as pad words when carved, so eden stays linearly walkable and the
+    /// finish's conservative new-space scan covers it.
     pub fn full_gc_begin(&self) -> bool {
-        if self.incremental_mark_active()
-            || self.fullgc_since_scavenge.load(Ordering::Relaxed)
-            || matches!(
-                self.config().alloc_policy,
-                AllocPolicy::PerProcessorLab { .. }
-            )
-        {
+        if self.incremental_mark_active() || self.fullgc_since_scavenge.load(Ordering::Relaxed) {
             return false;
         }
         self.run_pre_fullgc_hooks();
@@ -579,6 +717,21 @@ impl ObjectMemory {
     /// slot (the same walk that marked them), so it leaves no dangling
     /// references behind and `fullgc_since_scavenge` stays clear.
     pub fn full_gc_finish(&self) -> FullGcOutcome {
+        self.full_gc_finish_with(1, |_n, f: &(dyn Fn(usize) + Sync)| f(0))
+    }
+
+    /// [`full_gc_finish`](Self::full_gc_finish) with the compaction phases
+    /// (update/move/clear) run on up to `helpers` threads drawn from the
+    /// stopped world. `run`'s contract is [`full_gc_with`]
+    /// (Self::full_gc_with)'s; it may be invoked once per parallel phase.
+    pub fn full_gc_finish_with<R>(&self, helpers: usize, run: R) -> FullGcOutcome
+    where
+        R: Fn(usize, &(dyn Fn(usize) + Sync)),
+    {
+        self.full_gc_finish_impl(helpers, &run)
+    }
+
+    fn full_gc_finish_impl(&self, helpers: usize, run: HelperRunner) -> FullGcOutcome {
         let taken = self.full_mark.lock().take();
         let Some(mut st) = taken else {
             return FullGcOutcome::default();
@@ -620,8 +773,10 @@ impl ObjectMemory {
         self.mark_active.store(false, Ordering::Release);
         let finish_mark_ns = finish_start.elapsed().as_nanos() as u64;
 
-        let (reclaimed, report, timing) = self.compact_marked(&st.marked, true);
-        self.bump_epoch();
+        let (reclaimed, report, timing) = self.compact_marked(&st.marked, true, helpers, run);
+        if report.aborted.is_none() {
+            self.bump_epoch();
+        }
 
         let finish_ns = finish_start.elapsed().as_nanos() as u64;
         let stw_nanos = st.mark_nanos + finish_ns;
@@ -639,7 +794,7 @@ impl ObjectMemory {
                 ("move", timing.move_ns),
                 ("clear", timing.clear_ns),
             ],
-            helpers: 1,
+            helpers: timing.helpers,
             per_helper_work: Vec::new(),
             steals: 0,
             imbalance_pct: 100,
@@ -654,6 +809,11 @@ impl ObjectMemory {
             max_pause_nanos: st.max_slice_nanos.max(finish_ns),
             slices: st.slices,
             helpers: 1,
+            plan_nanos: timing.plan_ns,
+            update_nanos: timing.update_ns,
+            move_nanos: timing.move_ns,
+            clear_nanos: timing.clear_ns,
+            compact_helpers: timing.helpers,
             report,
         }
     }
@@ -751,19 +911,34 @@ impl ObjectMemory {
     /// are rewritten too (the incremental path, whose `marked` list holds
     /// only old objects); otherwise the marked list itself covers the live
     /// new-space referrers (the monolithic path).
+    ///
+    /// The update, move, and clear phases run on up to `helpers` workers
+    /// drawn from the stopped world (one `run` invocation per phase — the
+    /// runner returning is the only barrier, so a helper dying mid-phase
+    /// can never wedge the next one). Planning stays serial: it is a single
+    /// prefix-sum walk, and its output is what makes the other phases
+    /// embarrassingly parallel.
     fn compact_marked(
         &self,
         marked: &[Oop],
         update_new_walk: bool,
+        helpers: usize,
+        run: HelperRunner,
     ) -> (usize, FullGcReport, CompactTiming) {
         let old_used_before = self.old_used();
-        let mut timing = CompactTiming::default();
+        let mut timing = CompactTiming {
+            helpers: 1,
+            move_chunks: 1,
+            ..CompactTiming::default()
+        };
         let t_phase = Instant::now();
         mst_telemetry::trace::counter_event("gc.phase", "gc", "fullgc_phase", 2);
 
         // --- Phase 2: plan new addresses --------------------------------
         // Sorted by construction (linear walk), enabling binary search.
-        let mut map: Vec<(usize, usize)> = Vec::with_capacity(marked.len());
+        // Destinations are contiguous from `old_start` and never exceed
+        // their sources — the two facts the chunked slide leans on.
+        let mut map: Vec<MapEntry> = Vec::with_capacity(marked.len());
         let mut dest = self.spaces().old_start;
         let mut scan = self.spaces().old_start;
         let old_next = self.old_next_value();
@@ -772,7 +947,11 @@ impl ObjectMemory {
             let h = self.header(obj);
             let total = 2 + h.body_words();
             if h.is_marked() {
-                map.push((scan, dest));
+                map.push(MapEntry {
+                    from: scan,
+                    to: dest,
+                    total,
+                });
                 dest += total;
             }
             scan += total;
@@ -781,98 +960,125 @@ impl ObjectMemory {
             mem: self,
             map,
             nil_new: Oop::ZERO,
-            report: RefCell::new(FullGcReport::default()),
         };
-        // `nil` is a special object, hence always marked and relocatable.
-        rel.nil_new = rel
-            .lookup(self.nil())
-            .expect("nil must be marked by every full collection");
+        // `nil` is a special object, hence marked and relocatable by every
+        // healthy collection. When it is not, the special table is corrupt:
+        // abort *before any heap mutation* — only the plan (a side table)
+        // exists so far — clear the marks, and report the abort instead of
+        // panicking mid-stop-the-world with the heap half-planned.
+        rel.nil_new = match rel.lookup(self.nil()) {
+            Some(n) => n,
+            None => {
+                timing.plan_ns = t_phase.elapsed().as_nanos() as u64;
+                let t_clear = Instant::now();
+                for &obj in marked {
+                    let h = self.header(obj);
+                    self.set_header(obj, h.with_marked(false));
+                }
+                timing.clear_ns = t_clear.elapsed().as_nanos() as u64;
+                mst_telemetry::trace::counter_event("gc.phase", "gc", "fullgc_phase", 0);
+                let report = FullGcReport {
+                    aborted: Some(CompactAbort::NilUnrelocatable),
+                    ..FullGcReport::default()
+                };
+                return (0, report, timing);
+            }
+        };
         timing.plan_ns = t_phase.elapsed().as_nanos() as u64;
         let t_phase = Instant::now();
         mst_telemetry::trace::counter_event("gc.phase", "gc", "fullgc_phase", 3);
 
         // --- Phase 3: update references ----------------------------------
-        for &obj in marked {
-            for i in 0..self.pointer_slot_count(obj) {
-                let v = self.fetch(obj, i);
-                self.store_nocheck(obj, i, rel.reloc(obj, DanglingSlot::Body(i), v));
-            }
-            let class = self.class_of(obj);
-            self.set_class(obj, rel.reloc(obj, DanglingSlot::Class, class));
-        }
+        // The new-space walk is collected up front (a linear scan cannot be
+        // shared), then workers claim chunks of the marked list, chunks of
+        // the new-space list, and finally the four reference tables through
+        // one atomic cursor. Every marked object belongs to exactly one
+        // chunk, so no object word is ever written by two workers.
+        let mut new_objs: Vec<Oop> = Vec::new();
         if update_new_walk {
-            self.each_new_object(|mem, obj| {
-                for i in 0..mem.pointer_slot_count(obj) {
-                    let v = mem.fetch(obj, i);
-                    mem.store_nocheck(obj, i, rel.reloc(obj, DanglingSlot::Body(i), v));
-                }
-                let class = mem.class_of(obj);
-                mem.set_class(obj, rel.reloc(obj, DanglingSlot::Class, class));
-            });
+            self.each_new_object(|_, obj| new_objs.push(obj));
         }
-        self.specials()
-            .update_all(|o| rel.reloc(Oop::ZERO, DanglingSlot::Special, o));
-        {
-            let roots = self.roots.lock();
-            for weak in roots.iter() {
-                if let Some(cell) = weak.upgrade() {
-                    let old = Oop::from_raw(cell.load(Ordering::Relaxed));
-                    cell.store(
-                        rel.reloc(Oop::ZERO, DanglingSlot::Root, old).raw(),
-                        Ordering::Relaxed,
-                    );
-                }
-            }
-        }
-        self.update_symbols(|o| rel.reloc(Oop::ZERO, DanglingSlot::Symbol, o));
-        {
-            let mut table = self.entry_table.lock();
-            table.retain(|&obj| self.header(obj).is_marked());
-            for entry in table.iter_mut() {
-                *entry = rel.reloc(Oop::ZERO, DanglingSlot::Entry, *entry);
-            }
-        }
-        // Marks whose "object" cannot be relocated (a marked mid-object
-        // word) are dropped: their original address may be overwritten by
-        // the slide, and blindly clearing a bit at a stale address would
-        // corrupt whatever lives there afterwards.
-        let relocated_marks: Vec<Oop> = marked.iter().filter_map(|&o| rel.lookup(o)).collect();
+        let upd = UpdatePhase {
+            rel: &rel,
+            marked,
+            new_objs,
+            cursor: AtomicUsize::new(0),
+            entered: AtomicUsize::new(0),
+            merge: Mutex::new(UpdateMerge::default()),
+        };
+        run_phase(helpers, run, &|| upd.run_worker());
+        let upd_entered = upd.entered.load(Ordering::SeqCst).max(1);
+        let m = upd.merge.into_inner().unwrap();
+        let relocated_marks = m.relocated_marks;
+        let mut report = merge_report(m.recs, m.count);
         timing.update_ns = t_phase.elapsed().as_nanos() as u64;
         let t_phase = Instant::now();
         mst_telemetry::trace::counter_event("gc.phase", "gc", "fullgc_phase", 4);
 
         // --- Phase 4: move bodies ---------------------------------------
-        for &(from, to) in &rel.map {
-            if from != to {
-                let total = 2 + self.header(Oop::from_index(from)).body_words();
-                for i in 0..total {
-                    self.set_word(to + i, self.word(from + i));
-                }
-            }
-        }
+        // Chunked leftward sliding: cut the plan into runs at indices where
+        // the run's first destination clears the previous entry's source
+        // extent. Destinations are contiguous and `to <= from` everywhere,
+        // so at such a cut a later run's writes all land at or above the
+        // cut destination — past every earlier source — while earlier runs'
+        // writes stay below it: runs are mutually independent and workers
+        // claim them in any order. Within a run, entries are processed in
+        // address order with forward word copies (the memmove-down
+        // argument). Pathological layouts that yield a single run fall back
+        // to the serial slide on the leader.
+        let chunks = plan_move_chunks(&rel.map, helpers);
+        timing.move_chunks = chunks.len().max(1);
+        instruments().move_chunks.record(chunks.len().max(1) as u64);
+        let mov = MovePhase {
+            mem: self,
+            map: &rel.map,
+            chunks,
+            cursor: AtomicUsize::new(0),
+            entered: AtomicUsize::new(0),
+        };
+        let move_helpers = if mov.chunks.len() >= 2 { helpers } else { 1 };
+        run_phase(move_helpers, run, &|| mov.run_worker());
+        let move_entered = mov.entered.load(Ordering::SeqCst).max(1);
         self.set_old_next(dest);
         timing.move_ns = t_phase.elapsed().as_nanos() as u64;
         let t_phase = Instant::now();
         mst_telemetry::trace::counter_event("gc.phase", "gc", "fullgc_phase", 5);
 
         // --- Phase 5: clear marks ----------------------------------------
-        for obj in relocated_marks {
-            let h = self.header(obj);
-            self.set_header(obj, h.with_marked(false));
-        }
+        // Relocated mark addresses are disjoint, so workers clear chunks of
+        // the list with no ordering constraint at all.
+        let clr = ClearPhase {
+            mem: self,
+            marks: relocated_marks,
+            cursor: AtomicUsize::new(0),
+            entered: AtomicUsize::new(0),
+        };
+        run_phase(helpers, run, &|| clr.run_worker());
+        let clear_entered = clr.entered.load(Ordering::SeqCst).max(1);
         timing.clear_ns = t_phase.elapsed().as_nanos() as u64;
         mst_telemetry::trace::counter_event("gc.phase", "gc", "fullgc_phase", 0);
 
+        timing.helpers = upd_entered.max(move_entered).max(clear_entered);
+        if timing.helpers > 1 {
+            instruments().parallel_compactions.incr();
+        }
+        report.aborted = None;
         let reclaimed = old_used_before - (dest - self.spaces().old_start);
-        (reclaimed, rel.report.into_inner(), timing)
+        (reclaimed, report, timing)
     }
 
-    /// Linearly walks every formatted new-space object — eden (only under
-    /// [`AllocPolicy::SharedEden`]; LAB carving leaves unformatted gaps)
-    /// followed by the past survivor space — skipping pad words.
+    /// Linearly walks every formatted new-space object — eden followed by
+    /// the past survivor space — skipping pad words. Eden is walkable under
+    /// both allocation policies: the shared bump pointer leaves no gaps,
+    /// and LAB buffers are formatted as pad words the moment they are
+    /// carved (see `ObjectMemory::allocate`), so the carved-but-unfilled
+    /// tails read as filler, not garbage. Before that fix, the incremental
+    /// finish silently skipped eden under
+    /// [`crate::AllocPolicy::PerProcessorLab`] and live eden referrers kept stale
+    /// addresses into compacted-away old space.
     pub(crate) fn each_new_object(&self, mut f: impl FnMut(&ObjectMemory, Oop)) {
         let sp = *self.spaces();
-        if matches!(self.config().alloc_policy, AllocPolicy::SharedEden) {
+        {
             let end = sp.eden_start + self.eden_frontier();
             let mut scan = sp.eden_start;
             while scan < end {
@@ -908,6 +1114,9 @@ impl ObjectMemory {
     /// Stashes a dirty report where the interpreter layer can collect it for
     /// the error log (the containment surface), and keeps the counter hot.
     fn publish_fullgc_report(&self, report: &FullGcReport) {
+        if report.aborted.is_some() {
+            instruments().aborted.incr();
+        }
         if !report.is_clean() {
             let mut sink = self.fullgc_dangling.lock();
             sink.extend(report.dangling.iter().copied());
@@ -928,6 +1137,203 @@ impl ObjectMemory {
             ObjFormat::Pointers => h.body_words(),
             ObjFormat::Method => MethodHeader::decode(self.fetch(obj, 0)).pointer_slots(),
             ObjFormat::Bytes => 0,
+        }
+    }
+}
+
+/// Shared state for the (optionally parallel) reference-update phase.
+/// Work items — claimed with one atomic cursor — are, in order: chunks of
+/// the marked list, chunks of the collected new-space objects, then the
+/// four reference tables (specials, root cells, symbols, entry table).
+/// The relocation plan is read-only and every object/table belongs to
+/// exactly one item, so the only shared mutable state is the final merge.
+struct UpdatePhase<'a> {
+    rel: &'a Relocator<'a>,
+    marked: &'a [Oop],
+    new_objs: Vec<Oop>,
+    cursor: AtomicUsize,
+    entered: AtomicUsize,
+    merge: Mutex<UpdateMerge>,
+}
+
+#[derive(Default)]
+struct UpdateMerge {
+    recs: Vec<(u64, DanglingRef)>,
+    count: usize,
+    /// Post-move addresses whose mark bits phase 5 clears. Marks whose
+    /// "object" cannot be relocated (a marked mid-object word) are dropped:
+    /// their original address may be overwritten by the slide, and blindly
+    /// clearing a bit at a stale address would corrupt whatever lives there
+    /// afterwards.
+    relocated_marks: Vec<Oop>,
+}
+
+impl UpdatePhase<'_> {
+    fn run_worker(&self) {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        let mem = self.rel.mem;
+        let mut sink = ReportSink::default();
+        let mut relocated: Vec<Oop> = Vec::new();
+        let marked_chunks = self.marked.len().div_ceil(UPDATE_CHUNK);
+        let new_chunks = self.new_objs.len().div_ceil(UPDATE_CHUNK);
+        let total = marked_chunks + new_chunks + 4;
+        loop {
+            let item = self.cursor.fetch_add(1, Ordering::SeqCst);
+            if item >= total {
+                break;
+            }
+            sink.rebase(item);
+            if item < marked_chunks {
+                let lo = item * UPDATE_CHUNK;
+                let hi = (lo + UPDATE_CHUNK).min(self.marked.len());
+                for &obj in &self.marked[lo..hi] {
+                    self.update_object(obj, &mut sink);
+                    if let Some(n) = self.rel.lookup(obj) {
+                        relocated.push(n);
+                    }
+                }
+            } else if item < marked_chunks + new_chunks {
+                let lo = (item - marked_chunks) * UPDATE_CHUNK;
+                let hi = (lo + UPDATE_CHUNK).min(self.new_objs.len());
+                for &obj in &self.new_objs[lo..hi] {
+                    self.update_object(obj, &mut sink);
+                }
+            } else {
+                match item - marked_chunks - new_chunks {
+                    0 => self.rel.mem.specials().update_all(|o| {
+                        self.rel
+                            .reloc(&mut sink, Oop::ZERO, DanglingSlot::Special, o)
+                    }),
+                    1 => {
+                        let roots = mem.roots.lock();
+                        for weak in roots.iter() {
+                            if let Some(cell) = weak.upgrade() {
+                                let old = Oop::from_raw(cell.load(Ordering::Relaxed));
+                                cell.store(
+                                    self.rel
+                                        .reloc(&mut sink, Oop::ZERO, DanglingSlot::Root, old)
+                                        .raw(),
+                                    Ordering::Relaxed,
+                                );
+                            }
+                        }
+                    }
+                    2 => mem.update_symbols(|o| {
+                        self.rel
+                            .reloc(&mut sink, Oop::ZERO, DanglingSlot::Symbol, o)
+                    }),
+                    _ => {
+                        let mut table = mem.entry_table.lock();
+                        table.retain(|&obj| mem.header(obj).is_marked());
+                        for entry in table.iter_mut() {
+                            *entry =
+                                self.rel
+                                    .reloc(&mut sink, Oop::ZERO, DanglingSlot::Entry, *entry);
+                        }
+                    }
+                }
+            }
+        }
+        let mut m = self.merge.lock().unwrap();
+        m.recs.append(&mut sink.recs);
+        m.count += sink.count;
+        m.relocated_marks.append(&mut relocated);
+    }
+
+    fn update_object(&self, obj: Oop, sink: &mut ReportSink) {
+        let mem = self.rel.mem;
+        for i in 0..mem.pointer_slot_count(obj) {
+            let v = mem.fetch(obj, i);
+            mem.store_nocheck(obj, i, self.rel.reloc(sink, obj, DanglingSlot::Body(i), v));
+        }
+        let class = mem.class_of(obj);
+        mem.set_class(obj, self.rel.reloc(sink, obj, DanglingSlot::Class, class));
+    }
+}
+
+/// Cuts the relocation plan into independent runs for the chunked slide.
+/// A cut before entry `i` is legal iff `map[i].to >= map[i-1].from +
+/// map[i-1].total`: with contiguous destinations and `to <= from`
+/// everywhere, that single inequality proves no run's writes can touch
+/// another run's unread sources (in either direction). Returns a single
+/// run — the serial fallback — when parallelism cannot pay off.
+fn plan_move_chunks(map: &[MapEntry], helpers: usize) -> Vec<(usize, usize)> {
+    if map.is_empty() {
+        return Vec::new();
+    }
+    if helpers <= 1 || map.len() < 2 {
+        return vec![(0, map.len())];
+    }
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    let mut words = 0usize;
+    for i in 0..map.len() {
+        if i > start && words >= MOVE_CHUNK_WORDS && map[i].to >= map[i - 1].from + map[i - 1].total
+        {
+            chunks.push((start, i));
+            start = i;
+            words = 0;
+        }
+        words += map[i].total;
+    }
+    chunks.push((start, map.len()));
+    chunks
+}
+
+/// Shared state for the (optionally parallel) move phase: workers claim
+/// whole chunk-runs — precut by [`plan_move_chunks`] to be mutually
+/// independent — and slide each run's entries in address order.
+struct MovePhase<'a> {
+    mem: &'a ObjectMemory,
+    map: &'a [MapEntry],
+    chunks: Vec<(usize, usize)>,
+    cursor: AtomicUsize,
+    entered: AtomicUsize,
+}
+
+impl MovePhase<'_> {
+    fn run_worker(&self) {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        loop {
+            let c = self.cursor.fetch_add(1, Ordering::SeqCst);
+            if c >= self.chunks.len() {
+                break;
+            }
+            let (lo, hi) = self.chunks[c];
+            for e in &self.map[lo..hi] {
+                if e.from != e.to {
+                    for i in 0..e.total {
+                        self.mem.set_word(e.to + i, self.mem.word(e.from + i));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Shared state for the (optionally parallel) mark-clear phase: relocated
+/// mark addresses are disjoint, so chunks of the list clear independently.
+struct ClearPhase<'a> {
+    mem: &'a ObjectMemory,
+    marks: Vec<Oop>,
+    cursor: AtomicUsize,
+    entered: AtomicUsize,
+}
+
+impl ClearPhase<'_> {
+    fn run_worker(&self) {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        loop {
+            let c = self.cursor.fetch_add(1, Ordering::SeqCst);
+            let lo = c * UPDATE_CHUNK;
+            if lo >= self.marks.len() {
+                break;
+            }
+            let hi = (lo + UPDATE_CHUNK).min(self.marks.len());
+            for &obj in &self.marks[lo..hi] {
+                let h = self.mem.header(obj);
+                self.mem.set_header(obj, h.with_marked(false));
+            }
         }
     }
 }
@@ -1580,16 +1986,25 @@ mod tests {
         m.scavenge();
         assert!(m.full_gc_begin());
         m.full_gc_finish();
-        // LAB eden is not linearly walkable.
+        // LAB eden *is* linearly walkable (carves are pad-formatted), so
+        // the incremental window opens and finishes cleanly under LAB too.
         let lab = ObjectMemory::new(MemoryConfig {
             old_words: 64 << 10,
             eden_words: 16 << 10,
             survivor_words: 8 << 10,
             alloc_policy: crate::AllocPolicy::PerProcessorLab { lab_words: 512 },
+            full_gc_mode: FullGcMode::Incremental { slice_words: 64 },
             ..MemoryConfig::default()
         });
         bootstrap_minimal(&lab);
-        assert!(!lab.full_gc_begin());
+        assert!(
+            lab.full_gc_begin(),
+            "LAB eden is pad-formatted and walkable"
+        );
+        while !lab.full_gc_mark_slice(64) {}
+        let out = lab.full_gc_finish();
+        assert!(out.report.is_clean());
+        lab.verify_heap().assert_clean();
     }
 
     #[test]
@@ -1611,6 +2026,101 @@ mod tests {
         let fresh2 = m.fetch(anchor_root.get(), 0);
         assert!(!m.header(fresh2).is_marked(), "mark cleared");
         assert_eq!(m.fetch(fresh2, 0), anchor_root.get(), "retrace fixed slot");
+        m.verify_heap().assert_clean();
+    }
+
+    #[test]
+    fn corrupt_nil_aborts_compaction_cleanly() {
+        use crate::special::So;
+        let m = mem();
+        let keep = m.alloc_array_old(2).unwrap();
+        let root = m.new_root(keep);
+        m.store_nocheck(keep, 0, Oop::from_small_int(41));
+        m.alloc_array_old(100).unwrap(); // garbage a healthy GC would reclaim
+                                         // Forge a phantom "object" inside another object's body (the same
+                                         // shape as the dangling-reference test) and corrupt the special
+                                         // table to present it as nil.
+        let victim = m.alloc_array_old(4).unwrap();
+        m.store_nocheck(victim, 0, Oop::from_raw(1 << 24));
+        m.store_nocheck(victim, 1, m.nil());
+        let phantom = Oop::from_index(victim.index() + 2);
+        let real_nil = m.nil();
+        m.specials().set(So::Nil, phantom);
+
+        // The old implementation panicked mid-STW with the heap half
+        // planned; now the compaction aborts before any heap mutation.
+        let used = m.old_used();
+        let out = m.full_gc_with(2, scope_runner);
+        assert_eq!(
+            out.reclaimed_words, 0,
+            "aborted collection reclaims nothing"
+        );
+        assert!(matches!(
+            out.report.aborted,
+            Some(CompactAbort::NilUnrelocatable)
+        ));
+        assert!(!out.report.is_clean());
+        assert!(out.report.to_string().contains("compaction aborted"));
+        assert_eq!(m.old_used(), used, "heap untouched");
+        assert_eq!(root.get(), keep, "nothing moved");
+        assert_eq!(m.fetch(keep, 0).as_small_int(), 41);
+        assert!(!m.header(keep).is_marked(), "marks cleared on abort");
+
+        // Restore nil: the memory recovers and the next collection is
+        // healthy again.
+        m.specials().set(So::Nil, real_nil);
+        let out2 = m.full_gc_with(2, scope_runner);
+        assert!(out2.report.aborted.is_none());
+        assert!(out2.reclaimed_words >= 102, "garbage finally reclaimed");
+        m.verify_heap().assert_clean();
+    }
+
+    #[test]
+    fn lab_eden_referrers_are_updated_by_incremental_finish() {
+        // Regression: `each_new_object` used to skip eden entirely under
+        // PerProcessorLab, so the incremental finish neither marked old
+        // objects referenced only from eden nor rewrote eden slots after
+        // the slide — live eden referrers kept stale old addresses.
+        let m = ObjectMemory::new(MemoryConfig {
+            old_words: 64 << 10,
+            eden_words: 16 << 10,
+            survivor_words: 8 << 10,
+            tenure_age: 2,
+            alloc_policy: crate::AllocPolicy::PerProcessorLab { lab_words: 512 },
+            full_gc_mode: FullGcMode::Incremental { slice_words: 64 },
+            ..MemoryConfig::default()
+        });
+        bootstrap_minimal(&m);
+        let tok = m.new_token();
+        let _garbage = m.alloc_array_old(300).unwrap();
+        let old_target = m.alloc_array_old(1).unwrap();
+        m.store_nocheck(old_target, 0, Oop::from_small_int(7));
+        // The only reference to `old_target` lives in an eden object carved
+        // from a LAB.
+        let young = m.alloc_array(&tok, 1).unwrap();
+        m.store_nocheck(young, 0, old_target);
+        let root = m.new_root(young);
+        assert!(m.full_gc_begin());
+        while !m.full_gc_mark_slice(64) {}
+        let out = m.full_gc_finish();
+        assert!(out.report.is_clean());
+        let young2 = root.get();
+        assert_eq!(young2, young, "full GC does not move new objects");
+        let target2 = m.fetch(young2, 0);
+        assert!(target2.index() < old_target.index(), "old target slid down");
+        assert_eq!(m.fetch(target2, 0).as_small_int(), 7, "contents intact");
+        m.verify_heap().assert_clean();
+    }
+
+    #[test]
+    fn parallel_compaction_reports_phase_times_and_chunks() {
+        let m = mem();
+        let _root = build_old_graph(&m, 32, 12);
+        let out = m.full_gc_with(4, scope_runner);
+        assert!(out.report.is_clean());
+        assert!(out.compact_helpers >= 1);
+        // The phase clocks partition the compaction tail.
+        assert!(out.update_nanos > 0 && out.move_nanos > 0);
         m.verify_heap().assert_clean();
     }
 }

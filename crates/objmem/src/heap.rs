@@ -29,7 +29,7 @@ use std::sync::{Arc, Weak};
 use mst_telemetry as tel;
 use mst_vkernel::{SpinMutex, SyncMode};
 
-use crate::header::{Header, ObjFormat, MAX_BODY_WORDS};
+use crate::header::{Header, ObjFormat, MAX_BODY_WORDS, PAD_WORD};
 use crate::layout::class::ClassFormat;
 use crate::layout::{self};
 use crate::method::MethodHeader;
@@ -604,6 +604,12 @@ impl ObjectMemory {
         self.entry_table.lock().len()
     }
 
+    /// Snapshot of the entry table contents, for equivalence testing
+    /// (serial and parallel compaction must leave identical tables).
+    pub fn entry_table_snapshot(&self) -> Vec<Oop> {
+        self.entry_table.lock().clone()
+    }
+
     /// Whether the oop refers to a new-space object.
     #[inline]
     pub fn is_new(&self, oop: Oop) -> bool {
@@ -805,6 +811,14 @@ impl ObjectMemory {
                     let stale = token.lab_limit.get() - token.lab_next.get();
                     if stale > 0 {
                         self.eden_lab_waste.fetch_add(stale, Ordering::Relaxed);
+                    }
+                    // Format the fresh buffer as pad words so eden stays
+                    // linearly walkable (objects + filler) even while LAB
+                    // tails are carved but unfilled. The full collector's
+                    // `each_new_object` and the heap verifier both rely on
+                    // this to walk eden under LAB policy.
+                    for w in *next..*next + chunk {
+                        self.set_word(w, PAD_WORD);
                     }
                     token.lab_next.set(*next);
                     token.lab_limit.set(*next + chunk);

@@ -3,8 +3,9 @@
 //! The chaos harness needs an oracle: after soaking the runtime in injected
 //! faults, *did the heap survive intact?* [`ObjectMemory::verify_heap`]
 //! linearly walks every used region — old space, the past survivor space,
-//! and (under [`AllocPolicy::SharedEden`](crate::AllocPolicy)) eden — and
-//! checks the invariants Generation Scavenging relies on:
+//! and eden (walkable under both allocation policies: LAB buffers are
+//! formatted as pad words when carved) — and checks the invariants
+//! Generation Scavenging relies on:
 //!
 //! * **Header sanity** — valid format bits, object extents that stay inside
 //!   their region, pointer objects with no odd-byte count, method headers
@@ -26,7 +27,7 @@
 use std::collections::HashSet;
 
 use crate::header::{Header, PAD_WORD};
-use crate::heap::{AllocPolicy, ObjectMemory};
+use crate::heap::ObjectMemory;
 use crate::method::MethodHeader;
 use crate::oop::Oop;
 
@@ -51,8 +52,6 @@ pub struct HeapAudit {
     pub errors: Vec<String>,
     /// Total violations found (may exceed `errors.len()`).
     pub error_count: usize,
-    /// Eden was not walked (per-processor LABs leave unformatted gaps).
-    pub eden_skipped: bool,
     /// Reference targets in new space went unvalidated: a full collection
     /// ran since the last scavenge, so *dead* new-space objects may hold
     /// dangling references to compacted-away old objects by design.
@@ -83,15 +82,8 @@ impl std::fmt::Display for HeapAudit {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "heap audit: {} objects, {} slots, {} violation(s){}",
-            self.objects_checked,
-            self.slots_checked,
-            self.error_count,
-            if self.eden_skipped {
-                " (eden skipped: LAB policy)"
-            } else {
-                ""
-            }
+            "heap audit: {} objects, {} slots, {} violation(s)",
+            self.objects_checked, self.slots_checked, self.error_count,
         )
     }
 }
@@ -146,16 +138,10 @@ impl ObjectMemory {
 
         v.walk_region("old", sp.old_start, v.old_used.1, true);
         v.walk_region("past-survivor", past_start, past_fill, new_refs_ok);
-        match self.config().alloc_policy {
-            AllocPolicy::SharedEden => {
-                v.walk_region("eden", sp.eden_start, v.eden_used.1, new_refs_ok);
-            }
-            AllocPolicy::PerProcessorLab { .. } => {
-                // LAB carving leaves unformatted gaps between buffers; a
-                // linear walk cannot distinguish them from corruption.
-                v.audit.eden_skipped = true;
-            }
-        }
+        // Eden is walkable under both policies: shared bumping leaves no
+        // gaps, and LAB buffers are pad-formatted the moment they are
+        // carved, so unfilled tails read as filler.
+        v.walk_region("eden", sp.eden_start, v.eden_used.1, new_refs_ok);
         v.check_entry_table();
         v.check_symbols();
         v.audit
@@ -442,6 +428,37 @@ mod tests {
                 .errors
                 .iter()
                 .any(|e| e.contains("stale forwarding pointer")),
+            "errors: {:?}",
+            audit.errors
+        );
+    }
+
+    #[test]
+    fn lab_eden_is_walked_and_bugs_are_caught() {
+        // Regression: eden used to be skipped under PerProcessorLab, so
+        // the classic lost-remembered-set bug *from a LAB-carved eden
+        // object's referrer* went unverified.
+        let m = ObjectMemory::new(MemoryConfig {
+            old_words: 64 << 10,
+            eden_words: 16 << 10,
+            survivor_words: 8 << 10,
+            alloc_policy: crate::AllocPolicy::PerProcessorLab { lab_words: 512 },
+            ..MemoryConfig::default()
+        });
+        bootstrap_minimal(&m);
+        let tok = m.new_token();
+        // A healthy LAB heap walks clean, eden included.
+        let young = m.alloc_array(&tok, 2).unwrap();
+        let audit = m.verify_heap();
+        audit.assert_clean();
+        assert!(audit.objects_checked > 0);
+        // Barrier-bypassing store from old into LAB eden is now caught.
+        let old = m.alloc_array_old(2).unwrap();
+        m.store_nocheck(old, 0, young);
+        let audit = m.verify_heap();
+        assert!(!audit.is_clean());
+        assert!(
+            audit.errors.iter().any(|e| e.contains("not remembered")),
             "errors: {:?}",
             audit.errors
         );

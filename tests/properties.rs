@@ -781,6 +781,56 @@ fn parallel_full_gc_is_observationally_serial() {
     );
 }
 
+#[test]
+fn parallel_compaction_is_observationally_serial() {
+    Runner::with_cases(12).run(
+        "parallel_compaction_is_observationally_serial",
+        &heap_ops(),
+        |ops| {
+            // Same shape as the mark-phase oracle above, but aimed at the
+            // compaction back-end: 1 helper takes the exact serial
+            // update/move/clear path, 4 helpers the chunked parallel one.
+            // Everything observable must agree — reclaimed words, the
+            // reachable graphs, the heap extent, and the entry table (the
+            // remembered set survives compaction verbatim).
+            let serial = scratch_mem_roomy();
+            let parallel = scratch_mem_roomy();
+            let sroots = apply_heap_ops_par(&serial, ops, 1);
+            let proots = apply_heap_ops_par(&parallel, ops, 1);
+            let s_out = serial.full_gc_with(1, scope_runner);
+            let p_out = parallel.full_gc_with(4, scope_runner);
+            for (out, name) in [(&s_out, "serial"), (&p_out, "parallel")] {
+                if !out.report.is_clean() {
+                    return Err(format!("{name} compactor reported: {}", out.report));
+                }
+            }
+            prop_assert_eq!(s_out.reclaimed_words, p_out.reclaimed_words);
+            prop_assert_eq!(serial.old_used(), parallel.old_used());
+            prop_assert_eq!(
+                serial.entry_table_snapshot(),
+                parallel.entry_table_snapshot()
+            );
+            for (mem, name) in [(&serial, "serial"), (&parallel, "parallel")] {
+                let audit = mem.verify_heap();
+                if !audit.is_clean() {
+                    return Err(format!("dirty {name} heap after full collection:\n{audit}"));
+                }
+            }
+            let ssig = graph_signature(&serial, &sroots);
+            let psig = graph_signature(&parallel, &proots);
+            if ssig != psig {
+                return Err(format!(
+                    "reachable graphs diverged after {} ops (serial {} nodes, parallel {})",
+                    ops.len(),
+                    ssig.len(),
+                    psig.len()
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
 /// A roomy scratch memory configured for incremental full collections with
 /// deliberately tiny mark slices, so random schedules interleave many
 /// mutator steps inside each marking window.

@@ -408,6 +408,111 @@ fn gc_helper_panic_never_hangs_scavenge_or_mark() {
     ms.shutdown();
 }
 
+/// Satellite: with `gc_helper.panic` armed, a full collection whose
+/// compaction helpers are being killed at phase entry still produces a
+/// heap observationally identical to the chaos-free serial compactor —
+/// same reclaimed words, same extent, same reachable graph, clean audit.
+#[test]
+fn gc_helper_panic_leaves_compaction_observationally_serial() {
+    let _guard = chaos_lock();
+    let _disarm = DisarmChaos;
+    use mst_objmem::{ObjFormat, ObjectMemory, Oop, RootHandle, So};
+
+    fn fresh() -> ObjectMemory {
+        let m = ObjectMemory::new(MemoryConfig {
+            old_words: 256 << 10,
+            eden_words: 16 << 10,
+            survivor_words: 8 << 10,
+            ..MemoryConfig::default()
+        });
+        let nil = m
+            .allocate_old(Oop::ZERO, ObjFormat::Pointers, 0, 0)
+            .unwrap();
+        m.specials().set(So::Nil, nil);
+        m
+    }
+    /// Spine of lanes of cons cells with interleaved garbage, so live
+    /// objects really slide during compaction.
+    fn build(m: &ObjectMemory) -> RootHandle {
+        let spine = m.alloc_array_old(24).unwrap();
+        let root = m.new_root(spine);
+        for lane in 0..24usize {
+            let mut head = m.nil();
+            for i in 0..40usize {
+                let cell = m.alloc_array_old(2).unwrap();
+                m.store(cell, 0, Oop::from_small_int((lane * 1000 + i) as i64));
+                m.store(cell, 1, head);
+                head = cell;
+                if i % 3 == 0 {
+                    m.alloc_array_old(7).unwrap(); // garbage
+                }
+            }
+            m.store(spine, lane, head);
+        }
+        root
+    }
+    fn signature(m: &ObjectMemory, spine: Oop) -> u64 {
+        let mut sig = 0u64;
+        for lane in 0..24usize {
+            let mut cur = m.fetch(spine, lane);
+            while cur != m.nil() {
+                sig = sig
+                    .wrapping_mul(1099511628211)
+                    .wrapping_add(m.fetch(cur, 0).as_small_int() as u64);
+                cur = m.fetch(cur, 1);
+            }
+        }
+        sig
+    }
+    /// Like a stopped world donating helpers, but injected helper panics
+    /// are contained per thread (the rendezvous absorbs them in
+    /// production; a bare `thread::scope` would re-raise at join).
+    fn chaos_runner(helpers: usize, f: &(dyn Fn(usize) + Sync)) {
+        std::thread::scope(|s| {
+            for slot in 1..helpers {
+                s.spawn(move || {
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(slot)));
+                });
+            }
+            f(0);
+        });
+    }
+
+    // Chaos-free serial reference run.
+    let serial = fresh();
+    let sroot = build(&serial);
+    let s_out = serial.full_gc_with(1, |_n, f: &(dyn Fn(usize) + Sync)| f(0));
+    assert!(s_out.report.is_clean());
+    let ssig = signature(&serial, sroot.get());
+
+    // Identical heap compacted with 4 helpers while gc_helper.panic kills
+    // the first few helper entries (mark and compaction phases both check
+    // the site at slot entry).
+    let parallel = fresh();
+    let proot = build(&parallel);
+    let fired_before = mst_telemetry::counter("chaos.gc_helper_panic").get();
+    fault::install(ChaosConfig {
+        seed: 0x5EED_C09A_C710_2BAD,
+        rate: 1.0,
+        sites: FaultSite::GcHelperPanic.bit(),
+    });
+    fault::set_kill_budget(3);
+    let p_out = parallel.full_gc_with(4, chaos_runner);
+    fault::disable();
+    let fired = mst_telemetry::counter("chaos.gc_helper_panic").get() - fired_before;
+    assert!(fired > 0, "chaos site never fired — test is vacuous");
+    assert!(p_out.report.is_clean(), "report: {}", p_out.report);
+
+    assert_eq!(s_out.reclaimed_words, p_out.reclaimed_words);
+    assert_eq!(serial.old_used(), parallel.old_used());
+    assert_eq!(ssig, signature(&parallel, proot.get()), "graphs diverged");
+    for (m, name) in [(&serial, "serial"), (&parallel, "parallel")] {
+        let audit = m.verify_heap();
+        assert!(audit.is_clean(), "dirty {name} heap:\n{audit}");
+    }
+    println!("gc_helper.panic fired {fired} times during chaos compaction");
+}
+
 /// Tentpole: whole-process crash recovery. A fleet serves, checkpoints
 /// through the manifest (including a chaos crash that bumps one tenant's
 /// epoch and restart count), the process "dies" (the server is dropped),
